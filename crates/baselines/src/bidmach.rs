@@ -1,0 +1,319 @@
+//! BIDMach-style mini-batch SGD with ADAGRAD — the GPU comparator (§7.2).
+//!
+//! BIDMach processes large mini-batches: it accumulates gradients for all
+//! samples of a batch against a fixed model snapshot, then applies them
+//! with ADAGRAD per-coordinate step sizes. Two consequences the paper
+//! observes:
+//!
+//! * convergence per *update* is worse than pure SGD's (mini-batching
+//!   trades staleness for throughput, and the paper shows cuMF_SGD reaches
+//!   target RMSE first), and
+//! * the dense intermediate buffers cost ~5X the memory traffic of
+//!   cuMF_SGD's register-resident updates, capping BIDMach at 25–32 M
+//!   updates/s (Table 5) on the same silicon.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cumf_data::CooMatrix;
+use cumf_gpu_sim::{GpuSpec, SgdUpdateCost};
+
+use cumf_core::feature::FactorMatrix;
+use cumf_core::kernel::AdaGrad;
+use cumf_core::metrics::{rmse, Trace, TracePoint};
+
+/// BIDMach solver configuration.
+#[derive(Debug, Clone)]
+pub struct BidmachConfig {
+    /// Feature dimension.
+    pub k: u32,
+    /// Regularisation λ.
+    pub lambda: f32,
+    /// ADAGRAD base learning rate η.
+    pub eta: f32,
+    /// Mini-batch size.
+    pub minibatch: usize,
+    /// Epochs.
+    pub epochs: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BidmachConfig {
+    /// Defaults used in the benches.
+    pub fn new(k: u32) -> Self {
+        BidmachConfig {
+            k,
+            lambda: 0.02,
+            eta: 0.3,
+            minibatch: 2048,
+            epochs: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a BIDMach-style run.
+#[derive(Debug, Clone)]
+pub struct BidmachResult {
+    /// Learned row factors.
+    pub p: FactorMatrix<f32>,
+    /// Learned column factors.
+    pub q: FactorMatrix<f32>,
+    /// Convergence trace.
+    pub trace: Trace,
+}
+
+/// Throughput model of BIDMach on a GPU: the mini-batch pipeline
+/// materialises dense gradient/work buffers, multiplying per-update
+/// traffic; and its kernels port poorly across GPU generations (the paper
+/// measures only 1.2–1.5X Maxwell→Pascal where cuMF_SGD gets 2.3X).
+#[derive(Debug, Clone)]
+pub struct BidmachPerfModel {
+    /// Memory-traffic multiplier versus a register-resident SGD update.
+    /// 5.1 calibrates Table 5's 25.2 M updates/s on Maxwell/Netflix.
+    pub traffic_multiplier: f64,
+    /// Cross-architecture scaling cap relative to Maxwell (1.35 reproduces
+    /// the measured BIDMach-P/BIDMach-M ratios of 1.17–1.5).
+    pub arch_scaling_cap: f64,
+}
+
+impl Default for BidmachPerfModel {
+    fn default() -> Self {
+        BidmachPerfModel {
+            traffic_multiplier: 5.1,
+            arch_scaling_cap: 1.35,
+        }
+    }
+}
+
+impl BidmachPerfModel {
+    /// Updates per second on `gpu` (single precision storage — BIDMach
+    /// does not use half-precision feature matrices).
+    pub fn updates_per_sec(&self, gpu: &GpuSpec, k: u32) -> f64 {
+        let cost = SgdUpdateCost::cpu_f32(k);
+        let maxwell_bw = cumf_gpu_sim::TITAN_X_MAXWELL.effective_bw(768);
+        let bw = gpu
+            .effective_bw(gpu.max_workers())
+            .min(maxwell_bw * self.arch_scaling_cap);
+        bw / (cost.bytes() as f64 * self.traffic_multiplier)
+    }
+
+    /// Seconds per epoch over `nnz` samples.
+    pub fn epoch_seconds(&self, gpu: &GpuSpec, k: u32, nnz: u64) -> f64 {
+        nnz as f64 / self.updates_per_sec(gpu, k)
+    }
+}
+
+/// Trains with mini-batch ADAGRAD, BIDMach-style.
+pub fn train_bidmach(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &BidmachConfig,
+    epoch_secs: Option<f64>,
+) -> BidmachResult {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(config.minibatch > 0);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let k = config.k as usize;
+    let mut p: FactorMatrix<f32> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
+    let mut q: FactorMatrix<f32> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
+    let mut ada_p = AdaGrad::new(train.rows() as usize * k, config.eta);
+    let mut ada_q = AdaGrad::new(train.cols() as usize * k, config.eta);
+
+    let n = train.nnz();
+    let mut trace = Trace::default();
+    let mut updates = 0u64;
+
+    // Dense per-batch gradient accumulators, reused.
+    let mut grad_p = vec![0.0f32; train.rows() as usize * k];
+    let mut grad_q = vec![0.0f32; train.cols() as usize * k];
+    let mut touched_p: Vec<u32> = Vec::new();
+    let mut touched_q: Vec<u32> = Vec::new();
+
+    for epoch in 0..config.epochs {
+        let mut start = 0;
+        while start < n {
+            let end = (start + config.minibatch).min(n);
+            touched_p.clear();
+            touched_q.clear();
+            // Accumulate gradients against the batch-start snapshot.
+            for i in start..end {
+                let e = train.get(i);
+                let pu = p.row(e.u);
+                let qv = q.row(e.v);
+                let err = e.r
+                    - pu.iter().zip(qv).map(|(a, b)| a * b).sum::<f32>();
+                let pu_base = e.u as usize * k;
+                let qv_base = e.v as usize * k;
+                if grad_p[pu_base..pu_base + k].iter().all(|&g| g == 0.0) {
+                    touched_p.push(e.u);
+                }
+                if grad_q[qv_base..qv_base + k].iter().all(|&g| g == 0.0) {
+                    touched_q.push(e.v);
+                }
+                for j in 0..k {
+                    grad_p[pu_base + j] += err * qv[j] - config.lambda * pu[j];
+                    grad_q[qv_base + j] += err * pu[j] - config.lambda * qv[j];
+                }
+            }
+            // Apply with per-coordinate ADAGRAD steps.
+            let mut row = vec![0.0f32; k];
+            for &u in &touched_p {
+                let base = u as usize * k;
+                p.load_row(u, &mut row);
+                for j in 0..k {
+                    let g = grad_p[base + j];
+                    if g != 0.0 {
+                        row[j] += ada_p.step(base + j, g) * g;
+                        grad_p[base + j] = 0.0;
+                    }
+                }
+                p.store_row(u, &row);
+            }
+            for &v in &touched_q {
+                let base = v as usize * k;
+                q.load_row(v, &mut row);
+                for j in 0..k {
+                    let g = grad_q[base + j];
+                    if g != 0.0 {
+                        row[j] += ada_q.step(base + j, g) * g;
+                        grad_q[base + j] = 0.0;
+                    }
+                }
+                q.store_row(v, &row);
+            }
+            updates += (end - start) as u64;
+            start = end;
+        }
+        let test_rmse = rmse(test, &p, &q);
+        trace.push(TracePoint {
+            epoch: epoch + 1,
+            updates,
+            rmse: test_rmse,
+            seconds: epoch_secs.map(|s| s * (epoch + 1) as f64).unwrap_or(0.0),
+        });
+        if !test_rmse.is_finite() {
+            break;
+        }
+    }
+    BidmachResult { p, q, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::{generate, SynthConfig};
+    use cumf_gpu_sim::{P100_PASCAL, TITAN_X_MAXWELL};
+
+    fn dataset() -> cumf_data::synth::SynthDataset {
+        generate(&SynthConfig {
+            m: 300,
+            n: 200,
+            k_true: 4,
+            train_samples: 15_000,
+            test_samples: 1_500,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 1.0,
+            seed: 51,
+        })
+    }
+
+    #[test]
+    fn bidmach_converges() {
+        let d = dataset();
+        let mut cfg = BidmachConfig::new(6);
+        cfg.epochs = 30;
+        let r = train_bidmach(&d.train, &d.test, &cfg, None);
+        let final_rmse = r.trace.final_rmse().unwrap();
+        assert!(final_rmse < 0.35, "BIDMach should converge, got {final_rmse}");
+    }
+
+    #[test]
+    fn larger_minibatches_converge_slower_per_epoch() {
+        // The staleness cost of mini-batching: with the same ADAGRAD rate,
+        // bigger batches make less progress per epoch.
+        let d = dataset();
+        let mut small = BidmachConfig::new(6);
+        small.minibatch = 64;
+        small.epochs = 3;
+        let mut large = small.clone();
+        large.minibatch = 8192;
+        let r_small = train_bidmach(&d.train, &d.test, &small, None);
+        let r_large = train_bidmach(&d.train, &d.test, &large, None);
+        assert!(
+            r_large.trace.final_rmse().unwrap() > r_small.trace.final_rmse().unwrap(),
+            "batch 8192 {} should trail batch 64 {}",
+            r_large.trace.final_rmse().unwrap(),
+            r_small.trace.final_rmse().unwrap()
+        );
+    }
+
+    #[test]
+    fn time_to_target_loses_to_cumf_despite_adagrad() {
+        // The paper's actual claim (Fig 9, Table 4): BIDMach's per-epoch
+        // convergence is fine — its *throughput* is ~10X short, so cuMF_SGD
+        // reaches the target RMSE first in (simulated) time.
+        use cumf_core::lrate::Schedule;
+        use cumf_core::solver::{train, Scheme, SolverConfig, TimeModel};
+        let d = dataset();
+        let target = 0.3;
+        let pm = BidmachPerfModel::default();
+        let bid_epoch = pm.epoch_seconds(&TITAN_X_MAXWELL, 6, d.train.nnz() as u64);
+        let mut cfg = BidmachConfig::new(6);
+        cfg.epochs = 30;
+        let bid = train_bidmach(&d.train, &d.test, &cfg, Some(bid_epoch));
+
+        let mut sgd_cfg = SolverConfig::new(6, Scheme::BatchHogwild { workers: 8, batch: 64 });
+        sgd_cfg.epochs = 30;
+        sgd_cfg.lambda = 0.02;
+        sgd_cfg.schedule = Schedule::paper_default(0.1, 0.1);
+        let tm = TimeModel {
+            cost: SgdUpdateCost::cumf(6),
+            total_bandwidth: TITAN_X_MAXWELL.effective_bw(768),
+            epoch_overhead: TITAN_X_MAXWELL.launch_overhead_s,
+        };
+        let sgd = train::<f32>(&d.train, &d.test, &sgd_cfg, Some(&tm));
+        let t_bid = bid.trace.time_to_rmse(target);
+        let t_sgd = sgd.trace.time_to_rmse(target).expect("cuMF reaches target");
+        match t_bid {
+            Some(t) => assert!(t > 3.0 * t_sgd, "bidmach {t}s vs cumf {t_sgd}s"),
+            None => {} // never reached the target at all — also a loss
+        }
+    }
+
+    #[test]
+    fn perf_model_matches_table5() {
+        let pm = BidmachPerfModel::default();
+        let maxwell = pm.updates_per_sec(&TITAN_X_MAXWELL, 128);
+        assert!(
+            (maxwell - 25.2e6).abs() / 25.2e6 < 0.10,
+            "BIDMach-M {:.1} M vs Table 5's 25.2 M",
+            maxwell / 1e6
+        );
+        let pascal = pm.updates_per_sec(&P100_PASCAL, 128);
+        assert!(
+            pascal / maxwell < 1.5,
+            "BIDMach's cross-arch scaling is capped: {}",
+            pascal / maxwell
+        );
+        assert!(pascal > maxwell);
+        // An order of magnitude below cuMF_SGD on the same GPU (Table 5).
+        let cumf = SgdUpdateCost::cumf(128)
+            .updates_per_sec(TITAN_X_MAXWELL.effective_bw(768));
+        assert!(cumf / maxwell > 8.0);
+    }
+
+    #[test]
+    fn tiny_minibatch_equals_many_small_steps() {
+        // minibatch = 1 is plain ADAGRAD SGD; it must also converge.
+        let d = dataset();
+        let mut cfg = BidmachConfig::new(6);
+        cfg.minibatch = 1;
+        cfg.epochs = 5;
+        let r = train_bidmach(&d.train, &d.test, &cfg, None);
+        assert!(r.trace.final_rmse().unwrap() < 1.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! CCD++ — cyclic coordinate descent for matrix factorization (Yu et al.,
+//! ICDM'12; the paper's refs [60, 61]).
+//!
+//! The third algorithm family the paper positions against (§1): *"CGD
+//! [coordinate gradient descent] has lower overhead and runs faster at the
+//! first few epochs of training. However, due to the algorithmic
+//! limitation, coordinate descent is prone to reach local optima in the
+//! later epochs"* (§8). CCD++ updates one rank-one component `u_t v_tᵀ` at
+//! a time, each by exact one-dimensional least squares over the residual.
+//!
+//! The implementation maintains the residual vector `res_i = r_i − p·q`
+//! across samples, so every coordinate update is O(nnz of its row/column).
+
+use cumf_data::CooMatrix;
+
+use cumf_core::feature::FactorMatrix;
+use cumf_core::metrics::{rmse, Trace, TracePoint};
+
+/// CCD++ configuration.
+#[derive(Debug, Clone)]
+pub struct CcdConfig {
+    /// Feature dimension (number of rank-one components).
+    pub k: u32,
+    /// Regularisation λ.
+    pub lambda: f32,
+    /// Outer epochs (one epoch sweeps all k components once).
+    pub epochs: u32,
+    /// Inner iterations per component per epoch (CCD++ default: 1–5).
+    pub inner: u32,
+    /// RNG seed for initialisation.
+    pub seed: u64,
+}
+
+impl CcdConfig {
+    /// Defaults matching the SGD solver conventions.
+    pub fn new(k: u32) -> Self {
+        CcdConfig {
+            k,
+            lambda: 0.02,
+            epochs: 10,
+            inner: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a CCD++ run.
+#[derive(Debug, Clone)]
+pub struct CcdResult {
+    /// Learned row factors.
+    pub p: FactorMatrix<f32>,
+    /// Learned column factors.
+    pub q: FactorMatrix<f32>,
+    /// Convergence trace.
+    pub trace: Trace,
+}
+
+/// Per-epoch cost model: CCD++ epochs are memory-light — `O(N·k)` like
+/// SGD but with *sequential* rank-one sweeps whose per-sample work is a
+/// couple of fused multiply-adds (the "lower overhead... faster at the
+/// first few epochs" §8 observation).
+pub fn ccd_epoch_seconds(nnz: u64, k: u32, bandwidth: f64) -> f64 {
+    // Per component: read residual + one factor column per side ~ 16 B per
+    // sample per component + column vectors.
+    nnz as f64 * k as f64 * 16.0 / bandwidth
+}
+
+/// Trains with CCD++.
+pub fn train_ccd(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &CcdConfig,
+    epoch_secs: Option<f64>,
+) -> CcdResult {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(config.k > 0 && config.inner > 0);
+    use rand::Rng;
+    use rand::SeedableRng;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+
+    let m = train.rows() as usize;
+    let n = train.cols() as usize;
+    let k = config.k as usize;
+    let nnz = train.nnz();
+
+    // Column-major component storage: u[t][row], v[t][col].
+    // CCD++ convention: start v at zero so the first sweep is exact.
+    let scale = (1.0 / config.k as f32).sqrt();
+    let mut u: Vec<Vec<f32>> = (0..k)
+        .map(|_| (0..m).map(|_| rng.gen_range(0.0..scale)).collect())
+        .collect();
+    let mut v: Vec<Vec<f32>> = (0..k).map(|_| vec![0.0f32; n]).collect();
+
+    // Residual per sample: r - Σ_t u_t[row] v_t[col]; with v = 0 this
+    // starts as the raw ratings.
+    let mut res: Vec<f32> = train.rs().to_vec();
+
+    let by_row = CsrMatrixIndex::build(train, true);
+    let by_col = CsrMatrixIndex::build(train, false);
+
+    let mut trace = Trace::default();
+    let mut updates = 0u64;
+    for epoch in 0..config.epochs {
+        for t in 0..k {
+            // Fold component t back into the residual: res += u_t v_t.
+            for i in 0..nnz {
+                let e = train.get(i);
+                res[i] += u[t][e.u as usize] * v[t][e.v as usize];
+            }
+            for _ in 0..config.inner {
+                // CCD++ order (Yu et al.): refresh v_t against the
+                // (nonzero) u_t first — v starts at zero, so solving the
+                // u side first would collapse the component — then refresh
+                // u_t. Each step is the exact 1-D least squares, e.g.
+                // v_t[col] = Σ res_i u_t[row_i] / (λ + Σ u_t[row_i]²).
+                solve_side(&by_col, &res, &u[t], &mut v[t], config.lambda, train, false);
+                solve_side(&by_row, &res, &v[t], &mut u[t], config.lambda, train, true);
+            }
+            // Remove the refreshed component from the residual.
+            for i in 0..nnz {
+                let e = train.get(i);
+                res[i] -= u[t][e.u as usize] * v[t][e.v as usize];
+            }
+            updates += 2 * nnz as u64 * config.inner as u64;
+        }
+        // Materialise P/Q for evaluation.
+        let (p, q) = materialise(&u, &v, m, n, k);
+        let test_rmse = rmse(test, &p, &q);
+        trace.push(TracePoint {
+            epoch: epoch + 1,
+            updates,
+            rmse: test_rmse,
+            seconds: epoch_secs.map(|s| s * (epoch + 1) as f64).unwrap_or(0.0),
+        });
+    }
+    let (p, q) = materialise(&u, &v, m, n, k);
+    CcdResult { p, q, trace }
+}
+
+/// Index of sample ids grouped by row (or by column).
+struct CsrMatrixIndex {
+    ptr: Vec<usize>,
+    sample: Vec<usize>,
+}
+
+impl CsrMatrixIndex {
+    fn build(coo: &CooMatrix, by_row: bool) -> Self {
+        let buckets = if by_row { coo.rows() } else { coo.cols() } as usize;
+        let mut ptr = vec![0usize; buckets + 1];
+        for i in 0..coo.nnz() {
+            let e = coo.get(i);
+            let b = if by_row { e.u } else { e.v } as usize;
+            ptr[b + 1] += 1;
+        }
+        for i in 1..ptr.len() {
+            ptr[i] += ptr[i - 1];
+        }
+        let mut sample = vec![0usize; coo.nnz()];
+        let mut next = ptr.clone();
+        for i in 0..coo.nnz() {
+            let e = coo.get(i);
+            let b = if by_row { e.u } else { e.v } as usize;
+            sample[next[b]] = i;
+            next[b] += 1;
+        }
+        CsrMatrixIndex { ptr, sample }
+    }
+
+    fn bucket(&self, b: usize) -> &[usize] {
+        &self.sample[self.ptr[b]..self.ptr[b + 1]]
+    }
+
+    fn buckets(&self) -> usize {
+        self.ptr.len() - 1
+    }
+}
+
+/// One exact coordinate sweep of a side. For each bucket (row or column),
+/// solves the 1-D regularised least squares against the *other* side's
+/// current component values, updating the residual incrementally.
+#[allow(clippy::too_many_arguments)]
+fn solve_side(
+    index: &CsrMatrixIndex,
+    res: &[f32],
+    other: &[f32],
+    mine: &mut [f32],
+    lambda: f32,
+    coo: &CooMatrix,
+    by_row: bool,
+) {
+    // NOTE: `res` here stores the residual *including* the current
+    // component (it was folded back before the inner loop), so the 1-D
+    // solve is: argmin_x Σ (res_i − x·other_i)² + λx².
+    debug_assert_eq!(mine.len(), index.buckets());
+    for b in 0..index.buckets() {
+        let mut num = 0.0f64;
+        let mut den = lambda as f64;
+        for &i in index.bucket(b) {
+            let e = coo.get(i);
+            let o = other[if by_row { e.v } else { e.u } as usize] as f64;
+            num += res[i] as f64 * o;
+            den += o * o;
+        }
+        mine[b] = (num / den) as f32;
+    }
+}
+
+fn materialise(
+    u: &[Vec<f32>],
+    v: &[Vec<f32>],
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (FactorMatrix<f32>, FactorMatrix<f32>) {
+    let mut pv = vec![0.0f32; m * k];
+    let mut qv = vec![0.0f32; n * k];
+    for t in 0..k {
+        for (row, &x) in u[t].iter().enumerate() {
+            pv[row * k + t] = x;
+        }
+        for (col, &x) in v[t].iter().enumerate() {
+            qv[col * k + t] = x;
+        }
+    }
+    (
+        FactorMatrix::from_f32_slice(m as u32, k as u32, &pv),
+        FactorMatrix::from_f32_slice(n as u32, k as u32, &qv),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::{generate, SynthConfig};
+
+    fn dataset() -> cumf_data::synth::SynthDataset {
+        generate(&SynthConfig {
+            m: 300,
+            n: 200,
+            k_true: 4,
+            train_samples: 15_000,
+            test_samples: 1_500,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 1.0,
+            seed: 81,
+        })
+    }
+
+    #[test]
+    fn ccd_converges() {
+        let d = dataset();
+        let r = train_ccd(
+            &d.train,
+            &d.test,
+            &CcdConfig {
+                lambda: 0.01,
+                ..CcdConfig::new(6)
+            },
+            None,
+        );
+        let final_rmse = r.trace.final_rmse().unwrap();
+        assert!(final_rmse < 0.2, "CCD++ should converge, got {final_rmse}");
+    }
+
+    #[test]
+    fn ccd_is_strong_in_the_first_epochs() {
+        // §8: coordinate descent "runs faster at the first few epochs".
+        use cumf_core::lrate::Schedule;
+        use cumf_core::solver::{train, Scheme, SolverConfig};
+        let d = dataset();
+        let ccd = train_ccd(
+            &d.train,
+            &d.test,
+            &CcdConfig {
+                epochs: 2,
+                lambda: 0.01,
+                ..CcdConfig::new(6)
+            },
+            None,
+        );
+        let mut sgd_cfg = SolverConfig::new(6, Scheme::Serial);
+        sgd_cfg.epochs = 2;
+        sgd_cfg.lambda = 0.02;
+        sgd_cfg.schedule = Schedule::paper_default(0.1, 0.1);
+        let sgd = train::<f32>(&d.train, &d.test, &sgd_cfg, None);
+        assert!(
+            ccd.trace.final_rmse().unwrap() < sgd.trace.final_rmse().unwrap(),
+            "CCD++ epoch-2 {} should beat SGD epoch-2 {}",
+            ccd.trace.final_rmse().unwrap(),
+            sgd.trace.final_rmse().unwrap()
+        );
+    }
+
+    #[test]
+    fn rmse_monotonically_improves_per_epoch() {
+        // Each full CCD++ sweep is a block-coordinate minimisation of the
+        // training objective; test RMSE may wiggle slightly but must not
+        // blow up.
+        let d = dataset();
+        let r = train_ccd(
+            &d.train,
+            &d.test,
+            &CcdConfig {
+                lambda: 0.01,
+                epochs: 8,
+                ..CcdConfig::new(6)
+            },
+            None,
+        );
+        for w in r.trace.points.windows(2) {
+            assert!(
+                w[1].rmse <= w[0].rmse * 1.05 + 1e-3,
+                "epoch {}: {} -> {}",
+                w[1].epoch,
+                w[0].rmse,
+                w[1].rmse
+            );
+        }
+    }
+
+    #[test]
+    fn epoch_cost_model_is_cheap() {
+        // CCD++'s epoch at k=128 on Netflix-scale N should be in the same
+        // decade as SGD's (both O(N·k) memory-bound).
+        let t = ccd_epoch_seconds(99_072_112, 128, 194e9);
+        assert!(t > 0.1 && t < 5.0, "ccd epoch {t}");
+    }
+
+    #[test]
+    fn single_component_is_rank_one_fit() {
+        // k=1 CCD++ on a rank-1 matrix nails it almost exactly.
+        let mut coo = CooMatrix::new(20, 15);
+        for ui in 0..20u32 {
+            for vi in 0..15u32 {
+                if (ui + vi) % 3 == 0 {
+                    let val = (ui as f32 + 1.0) * 0.3 * (vi as f32 + 1.0) * 0.2;
+                    coo.push(ui, vi, val);
+                }
+            }
+        }
+        let r = train_ccd(
+            &coo,
+            &coo,
+            &CcdConfig {
+                k: 1,
+                lambda: 1e-6,
+                epochs: 6,
+                inner: 3,
+                seed: 1,
+            },
+            None,
+        );
+        assert!(
+            r.trace.final_rmse().unwrap() < 1e-3,
+            "rank-1 exact fit, got {}",
+            r.trace.final_rmse().unwrap()
+        );
+    }
+}

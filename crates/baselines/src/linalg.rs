@@ -1,0 +1,206 @@
+//! Small dense linear algebra for the ALS baseline: Cholesky factorisation
+//! and SPD solves on k×k systems, implemented from scratch.
+//!
+//! ALS solves one `(QᵀQ + λI)·p = Qᵀr` system per user/item per epoch; `k`
+//! is O(10)–O(100), so a straightforward O(k³) Cholesky is the right tool.
+
+/// Errors from the dense solvers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// Pivot index at which factorisation failed.
+        pivot: usize,
+    },
+    /// Dimension mismatch between operands.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite at pivot {pivot}")
+            }
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// In-place Cholesky factorisation of a row-major k×k SPD matrix:
+/// `A = L·Lᵀ`, with `L` (lower triangular) left in the lower triangle of
+/// `a`. The upper triangle is left untouched.
+pub fn cholesky(a: &mut [f64], k: usize) -> Result<(), LinalgError> {
+    if a.len() != k * k {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    for i in 0..k {
+        for j in 0..=i {
+            let mut sum = a[i * k + j];
+            for t in 0..j {
+                sum -= a[i * k + t] * a[j * k + t];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: i });
+                }
+                a[i * k + j] = sum.sqrt();
+            } else {
+                a[i * k + j] = sum / a[j * k + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Solves `L·Lᵀ·x = b` given the Cholesky factor from [`cholesky`];
+/// `b` is overwritten with the solution.
+pub fn cholesky_solve(l: &[f64], k: usize, b: &mut [f64]) -> Result<(), LinalgError> {
+    if l.len() != k * k || b.len() != k {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    // Forward substitution: L y = b.
+    for i in 0..k {
+        let mut sum = b[i];
+        for t in 0..i {
+            sum -= l[i * k + t] * b[t];
+        }
+        b[i] = sum / l[i * k + i];
+    }
+    // Back substitution: Lᵀ x = y.
+    for i in (0..k).rev() {
+        let mut sum = b[i];
+        for t in i + 1..k {
+            sum -= l[t * k + i] * b[t];
+        }
+        b[i] = sum / l[i * k + i];
+    }
+    Ok(())
+}
+
+/// Solves the SPD system `A·x = b` (A row-major k×k, destroyed; `b`
+/// overwritten with x).
+pub fn spd_solve(a: &mut [f64], k: usize, b: &mut [f64]) -> Result<(), LinalgError> {
+    cholesky(a, k)?;
+    cholesky_solve(a, k, b)
+}
+
+/// Rank-one accumulation `A += x·xᵀ` on the full square matrix.
+pub fn syrk_accumulate(a: &mut [f64], k: usize, x: &[f64]) {
+    debug_assert_eq!(a.len(), k * k);
+    debug_assert_eq!(x.len(), k);
+    for i in 0..k {
+        let xi = x[i];
+        for j in 0..k {
+            a[i * k + j] += xi * x[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_spd(rng: &mut ChaCha8Rng, k: usize) -> Vec<f64> {
+        // A = B Bᵀ + k·I is SPD with probability 1.
+        let b: Vec<f64> = (0..k * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut a = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                let mut s = 0.0;
+                for t in 0..k {
+                    s += b[i * k + t] * b[j * k + t];
+                }
+                a[i * k + j] = s + if i == j { k as f64 } else { 0.0 };
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn factorisation_reconstructs_matrix() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for k in [1usize, 2, 3, 8, 16] {
+            let a = random_spd(&mut rng, k);
+            let mut l = a.clone();
+            cholesky(&mut l, k).unwrap();
+            // Rebuild A from the lower triangle.
+            for i in 0..k {
+                for j in 0..k {
+                    let mut s = 0.0;
+                    for t in 0..=i.min(j) {
+                        s += l[i * k + t] * l[j * k + t];
+                    }
+                    assert!(
+                        (s - a[i * k + j]).abs() < 1e-9,
+                        "k={k} ({i},{j}): {s} vs {}",
+                        a[i * k + j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for k in [1usize, 4, 12, 32] {
+            let a = random_spd(&mut rng, k);
+            let x_true: Vec<f64> = (0..k).map(|i| (i as f64) - 1.5).collect();
+            let mut b = vec![0.0; k];
+            for i in 0..k {
+                b[i] = (0..k).map(|j| a[i * k + j] * x_true[j]).sum();
+            }
+            let mut a_work = a.clone();
+            spd_solve(&mut a_work, k, &mut b).unwrap();
+            for i in 0..k {
+                assert!(
+                    (b[i] - x_true[i]).abs() < 1e-8,
+                    "k={k} x[{i}]: {} vs {}",
+                    b[i],
+                    x_true[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_its_own_factor() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        cholesky(&mut a, 2).unwrap();
+        assert_eq!(a, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        let err = cholesky(&mut a, 2).unwrap_err();
+        assert_eq!(err, LinalgError::NotPositiveDefinite { pivot: 1 });
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut a = vec![1.0; 5];
+        assert_eq!(cholesky(&mut a, 2), Err(LinalgError::DimensionMismatch));
+        let mut b = vec![1.0; 3];
+        let l = vec![1.0, 0.0, 0.0, 1.0];
+        assert_eq!(
+            cholesky_solve(&l, 2, &mut b),
+            Err(LinalgError::DimensionMismatch)
+        );
+    }
+
+    #[test]
+    fn syrk_accumulates_outer_product() {
+        let mut a = vec![0.0; 4];
+        syrk_accumulate(&mut a, 2, &[2.0, 3.0]);
+        assert_eq!(a, vec![4.0, 6.0, 6.0, 9.0]);
+        syrk_accumulate(&mut a, 2, &[1.0, 0.0]);
+        assert_eq!(a, vec![5.0, 6.0, 6.0, 9.0]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion microbenchmarks of the scheduling-policy streams (§5): the
+//! per-item cost of handing work to parallel workers, policy by policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cumf_core::sched::{
+    BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream, StreamItem, UpdateStream,
+    WavefrontStream,
+};
+use cumf_data::CooMatrix;
+
+const N: usize = 100_000;
+const WORKERS: usize = 16;
+
+fn matrix() -> CooMatrix {
+    let mut coo = CooMatrix::new(1024, 1024);
+    for i in 0..N {
+        coo.push(
+            (i as u32).wrapping_mul(2654435761) % 1024,
+            (i as u32).wrapping_mul(40503) % 1024,
+            1.0,
+        );
+    }
+    coo
+}
+
+/// Drains one full epoch from a stream, counting served samples.
+fn drain<S: UpdateStream>(stream: &mut S) -> usize {
+    let s = stream.workers();
+    let mut served = 0;
+    let mut done = vec![false; s];
+    let mut live = s;
+    while live > 0 {
+        for w in 0..s {
+            if done[w] {
+                continue;
+            }
+            match stream.next(w) {
+                StreamItem::Sample(i) => {
+                    black_box(i);
+                    served += 1;
+                }
+                StreamItem::Stall => {}
+                StreamItem::Exhausted => {
+                    done[w] = true;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    served
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let coo = matrix();
+    let mut group = c.benchmark_group("scheduler_epoch");
+    group.throughput(Throughput::Elements(N as u64));
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("serial", N), |b| {
+        b.iter(|| {
+            let mut s = SerialStream::new(N);
+            drain(&mut s)
+        })
+    });
+    group.bench_function(BenchmarkId::new("hogwild", N), |b| {
+        b.iter(|| {
+            let mut s = HogwildStream::new(N, WORKERS, 1);
+            drain(&mut s)
+        })
+    });
+    group.bench_function(BenchmarkId::new("batch_hogwild", N), |b| {
+        b.iter(|| {
+            let mut s = BatchHogwildStream::new(N, WORKERS, 256);
+            drain(&mut s)
+        })
+    });
+    group.bench_function(BenchmarkId::new("wavefront", N), |b| {
+        b.iter(|| {
+            let mut s = WavefrontStream::new(&coo, WORKERS, WORKERS * 4, 1);
+            drain(&mut s)
+        })
+    });
+    group.bench_function(BenchmarkId::new("libmf_table", N), |b| {
+        b.iter(|| {
+            let mut s = LibmfTableStream::new(&coo, WORKERS, 32, 1);
+            drain(&mut s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

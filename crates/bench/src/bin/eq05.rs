@@ -1,0 +1,4 @@
+//! Regenerates the paper's Eq. 5 Flops/Byte characterisation (§2.3).
+fn main() {
+    cumf_bench::experiments::characterization::eq05().finish();
+}

@@ -1,0 +1,4 @@
+//! Ablation/extension experiment: see `cumf_bench::experiments::ablations`.
+fn main() {
+    cumf_bench::experiments::ablations::ext_adagrad().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 2(a) (LIBMF effective bandwidth).
+fn main() {
+    cumf_bench::experiments::characterization::fig02a().finish();
+}

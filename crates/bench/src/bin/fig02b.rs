@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 2(b) (NOMAD memory efficiency).
+fn main() {
+    cumf_bench::experiments::characterization::fig02b().finish();
+}

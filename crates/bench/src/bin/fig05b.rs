@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 5(b) (LIBMF scheduler saturation).
+fn main() {
+    cumf_bench::experiments::scheduling::fig05b().finish();
+}

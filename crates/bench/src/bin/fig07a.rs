@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 7(a) (batch-Hogwild!/wavefront scalability).
+fn main() {
+    cumf_bench::experiments::scheduling::fig07a().finish();
+}

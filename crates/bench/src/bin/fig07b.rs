@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 7(b) (scheduling-scheme convergence).
+fn main() {
+    cumf_bench::experiments::scheduling::fig07b().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 9 (RMSE vs training time, all systems).
+fn main() {
+    cumf_bench::experiments::comparison::fig09().finish();
+}

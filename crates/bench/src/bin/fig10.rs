@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 10 (updates/s and achieved bandwidth).
+fn main() {
+    cumf_bench::experiments::comparison::fig10().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 11 (cross-generation GPU scalability).
+fn main() {
+    cumf_bench::experiments::comparison::fig11().finish();
+}

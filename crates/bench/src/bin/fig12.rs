@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 12 (cuMF_SGD vs cuMF_ALS).
+fn main() {
+    cumf_bench::experiments::multi::fig12().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 13 (partitioned Hogwild! convergence limits).
+fn main() {
+    cumf_bench::experiments::convergence::fig13().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 14 (LIBMF blocking convergence).
+fn main() {
+    cumf_bench::experiments::convergence::fig14().finish();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 15 (feasible block update orders).
+fn main() {
+    cumf_bench::experiments::convergence::fig15().finish();
+}

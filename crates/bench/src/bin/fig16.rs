@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig 16 (Yahoo!Music on 1 vs 2 GPUs).
+fn main() {
+    cumf_bench::experiments::multi::fig16().finish();
+}

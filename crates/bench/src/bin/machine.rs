@@ -1,0 +1,4 @@
+//! Machine-model context report (rooflines, occupancy, attainable rates).
+fn main() {
+    cumf_bench::experiments::machine::machine().finish();
+}

@@ -1,0 +1,29 @@
+//! Runs the complete evaluation: every table and figure, in paper order.
+use cumf_bench::experiments as ex;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    ex::machine::machine().finish();
+    ex::characterization::eq05().finish();
+    ex::characterization::tab02().finish();
+    ex::characterization::fig02a().finish();
+    ex::characterization::fig02b().finish();
+    ex::scheduling::fig05b().finish();
+    ex::scheduling::fig07a().finish();
+    ex::scheduling::fig07b().finish();
+    ex::comparison::fig09().finish();
+    ex::comparison::tab04().finish();
+    ex::comparison::tab05().finish();
+    ex::comparison::fig10().finish();
+    ex::comparison::fig11().finish();
+    ex::multi::fig12().finish();
+    ex::convergence::fig13().finish();
+    ex::convergence::fig14().finish();
+    ex::convergence::fig15().finish();
+    ex::multi::fig16().finish();
+    ex::ablations::abl_batch().finish();
+    ex::ablations::abl_precision().finish();
+    ex::ablations::abl_overlap().finish();
+    ex::ablations::ext_adagrad().finish();
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 2 (data sets).
+fn main() {
+    cumf_bench::experiments::characterization::tab02().finish();
+}

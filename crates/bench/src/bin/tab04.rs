@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4 (time-to-RMSE speedups).
+fn main() {
+    cumf_bench::experiments::comparison::tab04().finish();
+}

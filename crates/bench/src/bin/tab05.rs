@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 5 (updates/s, BIDMach vs cuMF_SGD).
+fn main() {
+    cumf_bench::experiments::comparison::tab05().finish();
+}

@@ -1,0 +1,163 @@
+//! Workload characterisation experiments: Eq. 5, Table 2, Fig 2.
+
+use cumf_baselines::NomadPerfModel;
+use cumf_data::NETFLIX;
+use cumf_gpu_sim::{CpuCacheModel, Precision, RatingAccess, SgdUpdateCost, XEON_E5_2670X2};
+
+use crate::report::{fmt_si, Report};
+
+use super::all_specs;
+
+/// §2.3 / Eq. 5: Flops/Byte of one SGD update across feature dimensions.
+pub fn eq05() -> Report {
+    let mut r = Report::new(
+        "eq05",
+        "Flops/Byte of SGD-MF (Eq. 5; paper: 0.43 at k=128, f32)",
+        &["k", "precision", "flops", "bytes", "flops_per_byte"],
+    );
+    for k in [16u32, 32, 64, 128] {
+        for precision in [Precision::F32, Precision::F16] {
+            let cost = SgdUpdateCost {
+                k,
+                precision,
+                rating_access: RatingAccess::Streamed,
+            };
+            r.row(vec![
+                k.to_string(),
+                format!("{precision:?}"),
+                cost.flops().to_string(),
+                cost.bytes().to_string(),
+                format!("{:.3}", cost.flops_per_byte()),
+            ]);
+        }
+    }
+    r
+}
+
+/// Table 2: the benchmark data sets and their scaled stand-ins.
+pub fn tab02() -> Report {
+    let mut r = Report::new(
+        "tab02",
+        "Table 2 — data sets (full paper shapes + scaled stand-ins)",
+        &[
+            "dataset",
+            "m",
+            "n",
+            "k",
+            "train",
+            "test",
+            "samples_per_param",
+            "scaled_m",
+            "scaled_n",
+            "scaled_train",
+        ],
+    );
+    for spec in all_specs() {
+        let d = super::scaled_dataset(spec, crate::SEED);
+        r.row(vec![
+            spec.name.to_string(),
+            spec.m.to_string(),
+            spec.n.to_string(),
+            spec.k.to_string(),
+            spec.train.to_string(),
+            spec.test.to_string(),
+            format!("{:.2}", spec.samples_per_param()),
+            d.train.rows().to_string(),
+            d.train.cols().to_string(),
+            d.train.nnz().to_string(),
+        ]);
+    }
+    r
+}
+
+/// Fig 2(a): LIBMF's effective memory bandwidth per data set. The paper
+/// measures 194 GB/s on Netflix falling to 106 GB/s on Hugewiki.
+pub fn fig02a() -> Report {
+    let mut r = Report::new(
+        "fig02a",
+        "Fig 2(a) — LIBMF effective bandwidth vs data size (paper: 194 -> 106 GB/s)",
+        &["dataset", "block_ws_mb", "effective_bw_gbs", "paper_gbs"],
+    );
+    let model = CpuCacheModel::calibrated(XEON_E5_2670X2);
+    let paper = [("Netflix", 194.0), ("Yahoo!Music", f64::NAN), ("Hugewiki", 106.0)];
+    for (spec, (_, paper_bw)) in all_specs().iter().zip(paper) {
+        let ws = CpuCacheModel::block_working_set(spec.m, spec.n, 100, spec.k, 4);
+        let bw = model.libmf_effective_bw(spec.m, spec.n, 100, spec.k);
+        r.row(vec![
+            spec.name.to_string(),
+            format!("{:.1}", ws / 1048576.0),
+            format!("{:.1}", bw / 1e9),
+            if paper_bw.is_nan() {
+                "n/a".into()
+            } else {
+                format!("{paper_bw:.0}")
+            },
+        ]);
+    }
+    r
+}
+
+/// Fig 2(b): NOMAD's memory efficiency collapses with node count
+/// (Netflix shape, 1–32 nodes).
+pub fn fig02b() -> Report {
+    let mut r = Report::new(
+        "fig02b",
+        "Fig 2(b) — NOMAD parallel memory efficiency vs nodes (Netflix)",
+        &["nodes", "epoch_s", "speedup", "memory_efficiency"],
+    );
+    let pm = NomadPerfModel::hpc_cluster();
+    for nodes in [1u32, 2, 4, 8, 16, 32] {
+        let t = pm.epoch_seconds(NETFLIX.m, NETFLIX.n, NETFLIX.train, NETFLIX.k, nodes);
+        let s = pm.speedup(NETFLIX.m, NETFLIX.n, NETFLIX.train, NETFLIX.k, nodes);
+        let e = pm.memory_efficiency(NETFLIX.m, NETFLIX.n, NETFLIX.train, NETFLIX.k, nodes);
+        r.row(vec![
+            nodes.to_string(),
+            fmt_si(t),
+            format!("{s:.2}"),
+            format!("{e:.3}"),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq05_contains_papers_number() {
+        let r = eq05();
+        let k128_f32 = r
+            .rows
+            .iter()
+            .find(|row| row[0] == "128" && row[1] == "F32")
+            .expect("k=128 f32 row");
+        let fpb: f64 = k128_f32[4].parse().unwrap();
+        assert!((fpb - 0.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn fig02a_shows_the_drop() {
+        let r = fig02a();
+        let netflix: f64 = r.rows[0][2].parse().unwrap();
+        let hugewiki: f64 = r.rows[2][2].parse().unwrap();
+        assert!(netflix > 180.0 && netflix < 210.0);
+        assert!(hugewiki < 120.0);
+        assert!(hugewiki < netflix * 0.62, "the ~45% drop of Fig 2a");
+    }
+
+    #[test]
+    fn fig02b_efficiency_decreasing() {
+        let r = fig02b();
+        let effs: Vec<f64> = r.rows.iter().map(|row| row[3].parse().unwrap()).collect();
+        for w in effs.windows(2) {
+            assert!(w[1] <= w[0] * 1.15, "efficiency should trend down: {effs:?}");
+        }
+        assert!(effs.last().unwrap() < &0.25, "32-node efficiency 'extremely low'");
+    }
+
+    #[test]
+    fn tab02_has_three_rows() {
+        assert_eq!(tab02().rows.len(), 3);
+    }
+}

@@ -1,0 +1,209 @@
+//! Convergence-limit experiments: Fig 13, Fig 14, Fig 15.
+
+use cumf_core::lrate::Schedule;
+use cumf_core::multi_gpu::{train_partitioned, MultiGpuConfig};
+use cumf_core::partition::count_feasible_orders;
+use cumf_core::solver::{train, Scheme, SolverConfig};
+use cumf_data::synth::{generate, SynthConfig};
+use cumf_data::NETFLIX;
+use cumf_gpu_sim::{SgdUpdateCost, PCIE3_X16, TITAN_X_MAXWELL};
+
+use crate::report::Report;
+
+use super::{scaled_dataset, SCALED_K};
+
+/// Fig 13: partitioning vs Hogwild! convergence. The paper fixes s = 768
+/// on Hugewiki (min(m,n) = 40k) and finds convergence holds for j ≤ 2 but
+/// fails at j = 4.
+///
+/// Our deterministic conflict engine compounds colliding updates only when
+/// their gradient directions correlate (a racing GPU additionally tears
+/// vectors element-wise), so its divergence threshold sits at a different
+/// constant than the paper's `s < min/20` rule. The experiment uses a
+/// rank-2 planted model (strongly correlated user gradients) with `s = 28`
+/// workers on block columns of width 200/100/50 for j = 1/2/4 — the same
+/// mechanism and the same pattern, with the threshold crossing between
+/// j = 2 and j = 4 exactly as in the paper (calibration documented in
+/// EXPERIMENTS.md).
+pub fn fig13() -> Report {
+    let mut r = Report::new(
+        "fig13",
+        "Fig 13 — partitioned Hogwild! convergence: j <= 2 converges, j = 4 fails",
+        &["grid_j", "epoch", "rmse", "diverged"],
+    );
+    let d = generate(&SynthConfig {
+        m: 8_000,
+        n: 200,
+        k_true: 2,
+        train_samples: 150_000,
+        test_samples: 6_000,
+        noise_std: 0.1,
+        row_skew: 0.4,
+        col_skew: 0.3,
+        rating_offset: 0.0,
+        seed: crate::SEED,
+    });
+    for j in [1u32, 2, 4] {
+        let mut cfg = MultiGpuConfig::new(4, 8, j, 1);
+        cfg.workers_per_gpu = 28;
+        cfg.batch = 8;
+        cfg.epochs = 12;
+        cfg.lambda = 0.02;
+        cfg.schedule = Schedule::Fixed(0.3);
+        cfg.seed = crate::SEED;
+        let res = train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16);
+        for p in &res.trace.points {
+            r.row(vec![
+                j.to_string(),
+                p.epoch.to_string(),
+                if p.rmse.is_finite() {
+                    format!("{:.4}", p.rmse)
+                } else {
+                    "NaN".into()
+                },
+                res.diverged.to_string(),
+            ]);
+        }
+    }
+    r
+}
+
+/// Fig 14: LIBMF-style blocking with the grid dimension `a` approaching
+/// the worker count `s` — convergence speed (against modelled time)
+/// deteriorates because ≤ a workers can run and the update order loses
+/// randomness.
+pub fn fig14() -> Report {
+    let mut r = Report::new(
+        "fig14",
+        "Fig 14 — LIBMF blocking: convergence speed vs a (s = 40 workers)",
+        &["a", "epoch", "seconds", "rmse", "stall_fraction"],
+    );
+    let d = scaled_dataset(&NETFLIX, crate::SEED);
+    let s = 40u32;
+    for a in [4u32, 8, 40, 100] {
+        let cfg = SolverConfig {
+            k: SCALED_K,
+            lambda: super::SCALED_LAMBDA,
+            schedule: super::scaled_schedule(),
+            epochs: 20,
+            scheme: Scheme::LibmfTable { workers: s, a },
+            seed: crate::SEED,
+            mode: None,
+            divergence_ceiling: 1e3,
+        };
+        // Time model: rounds (stall-inflated) on the Maxwell GPU at the
+        // full Netflix scale bandwidth-per-round.
+        let tm = cumf_core::solver::TimeModel {
+            cost: SgdUpdateCost::cumf(SCALED_K),
+            total_bandwidth: TITAN_X_MAXWELL.effective_bw(s),
+            epoch_overhead: TITAN_X_MAXWELL.launch_overhead_s,
+        };
+        let res = train::<f32>(&d.train, &d.test, &cfg, Some(&tm));
+        for (p, stats) in res.trace.points.iter().zip(&res.epoch_stats) {
+            r.row(vec![
+                a.to_string(),
+                p.epoch.to_string(),
+                format!("{:.6}", p.seconds),
+                format!("{:.4}", p.rmse),
+                format!("{:.3}", stats.stall_fraction()),
+            ]);
+        }
+    }
+    r
+}
+
+/// Fig 15: feasible block update orders under full-worker-occupancy
+/// blocking — only 8 of 24 orders on a 2×2 grid with 2 workers.
+pub fn fig15() -> Report {
+    let mut r = Report::new(
+        "fig15",
+        "Fig 15 — feasible block start orders (paper: 8 of 24 at a=2, s=2)",
+        &["grid", "workers", "feasible", "total", "fraction"],
+    );
+    for (a, s) in [(2u32, 1u32), (2, 2), (3, 2), (3, 3)] {
+        let (feasible, total) = count_feasible_orders(a, s);
+        r.row(vec![
+            format!("{a}x{a}"),
+            s.to_string(),
+            feasible.to_string(),
+            total.to_string(),
+            format!("{:.3}", feasible as f64 / total as f64),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+    fn fig13_j4_diverges_j1_converges() {
+        let r = fig13();
+        let final_of = |j: &str| -> (String, String) {
+            let row = r.rows.iter().filter(|row| row[0] == j).last().unwrap();
+            (row[2].clone(), row[3].clone())
+        };
+        let (rmse1, div1) = final_of("1");
+        assert_eq!(div1, "false", "j=1 must converge");
+        assert!(rmse1.parse::<f64>().unwrap() < 0.3, "j=1 rmse {rmse1}");
+        let (_, div4) = final_of("4");
+        assert_eq!(div4, "true", "j=4 must diverge");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+    fn fig14_small_grids_are_slower_in_time() {
+        let r = fig14();
+        // Time of the final epoch per grid size.
+        let time_of = |a: &str| -> f64 {
+            r.rows
+                .iter()
+                .filter(|row| row[0] == a)
+                .last()
+                .unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        let t4 = time_of("4");
+        let t40 = time_of("40");
+        let t100 = time_of("100");
+        assert!(
+            t4 > 3.0 * t100,
+            "a=4 must be much slower than a=100: {t4} vs {t100}"
+        );
+        assert!(t40 > t100, "a=s is slower than a >> s: {t40} vs {t100}");
+        // Stall fractions mirror the slowdown.
+        let stall_of = |a: &str| -> f64 {
+            r.rows
+                .iter()
+                .filter(|row| row[0] == a)
+                .last()
+                .unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        assert!(stall_of("4") > 0.9, "a=4 starves nearly all workers");
+        // Zipf-skewed blocks leave even a=100 with a long straggler tail
+        // (~0.78 stall fraction); the claim is the gap, not the absolute.
+        assert!(
+            stall_of("4") > stall_of("100") + 0.1,
+            "stalls grow as a shrinks: a=4 {} vs a=100 {}",
+            stall_of("4"),
+            stall_of("100")
+        );
+    }
+
+    #[test]
+    fn fig15_matches_paper_count() {
+        let r = fig15();
+        let row = r
+            .rows
+            .iter()
+            .find(|row| row[0] == "2x2" && row[1] == "2")
+            .unwrap();
+        assert_eq!(row[2], "8");
+        assert_eq!(row[3], "24");
+    }
+}

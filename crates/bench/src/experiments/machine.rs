@@ -1,0 +1,73 @@
+//! Machine-model context report: the roofline and occupancy numbers every
+//! other experiment builds on (§2.3 and §4 of the paper), gathered in one
+//! table for EXPERIMENTS.md.
+
+use cumf_gpu_sim::occupancy::{blocks_per_sm, KernelFootprint, SM_MAXWELL, SM_PASCAL};
+use cumf_gpu_sim::roofline::Roofline;
+use cumf_gpu_sim::{SgdUpdateCost, P100_PASCAL, TITAN_X_MAXWELL, XEON_E5_2670X2};
+
+use crate::report::{fmt_si, Report};
+
+/// The machine-model summary: rooflines, ridges, occupancy-derived worker
+/// limits, and the attainable SGD rates they imply.
+pub fn machine() -> Report {
+    let mut r = Report::new(
+        "machine",
+        "Machine models — rooflines, occupancy, attainable SGD rates",
+        &[
+            "machine",
+            "peak_flops",
+            "eff_bw_gbs",
+            "ridge_f_per_b",
+            "workers",
+            "sgd_updates_per_s(k=128,f16)",
+        ],
+    );
+    let cost = SgdUpdateCost::cumf(128);
+    for (name, roofline, workers) in [
+        (
+            "TITAN X (Maxwell)",
+            Roofline::for_gpu(&TITAN_X_MAXWELL),
+            blocks_per_sm(&KernelFootprint::CUMF_SGD, &SM_MAXWELL) * TITAN_X_MAXWELL.sms,
+        ),
+        (
+            "P100 (Pascal)",
+            Roofline::for_gpu(&P100_PASCAL),
+            blocks_per_sm(&KernelFootprint::CUMF_SGD, &SM_PASCAL) * P100_PASCAL.sms,
+        ),
+        ("2x Xeon E5-2670", Roofline::for_cpu(&XEON_E5_2670X2), 48),
+    ] {
+        r.row(vec![
+            name.into(),
+            fmt_si(roofline.peak_flops),
+            format!("{:.1}", roofline.peak_bandwidth / 1e9),
+            format!("{:.1}", roofline.ridge()),
+            workers.to_string(),
+            fmt_si(roofline.updates_per_sec(&cost)),
+        ]);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_report_reproduces_worker_limits_and_rates() {
+        let r = machine();
+        let row = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap_or_else(|| panic!("row {name}"))
+        };
+        assert_eq!(row("TITAN X (Maxwell)")[4], "768");
+        assert_eq!(row("P100 (Pascal)")[4], "1792");
+        // Every machine's ridge is far above SGD-MF's 0.43 flops/byte.
+        for machine_row in &r.rows {
+            let ridge: f64 = machine_row[3].parse().unwrap();
+            assert!(ridge > 5.0, "{}: ridge {ridge}", machine_row[0]);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Experiment implementations, one function per paper table/figure.
+//!
+//! Binaries under `src/bin/` are thin wrappers over these functions so
+//! `run_all` can execute the full evaluation in-process.
+//!
+//! ## Scaling protocol
+//!
+//! Convergence experiments run on scaled synthetic stand-ins (see
+//! `cumf_data::presets`); *throughput and epoch-time* numbers come from
+//! the calibrated machine models evaluated at the **full paper scale**
+//! (Table 2 sample counts — the models only need counts). A figure's time
+//! axis is therefore `epochs(scaled convergence) × epoch_seconds(full
+//! scale)`, the same decomposition the paper's own analysis uses.
+
+pub mod ablations;
+pub mod characterization;
+pub mod comparison;
+pub mod convergence;
+pub mod machine;
+pub mod multi;
+pub mod scheduling;
+
+use cumf_baselines::{BidmachPerfModel, NomadPerfModel};
+use cumf_core::lrate::Schedule;
+use cumf_data::presets::DatasetSpec;
+use cumf_data::synth::SynthDataset;
+use cumf_data::{HUGEWIKI, NETFLIX, YAHOO_MUSIC};
+use cumf_gpu_sim::pipeline::{overlapped, BlockJob};
+use cumf_gpu_sim::{CpuCacheModel, GpuSpec, LinkSpec, SgdUpdateCost, XEON_E5_2670X2};
+
+/// Feature dimension for scaled convergence runs.
+pub const SCALED_K: u32 = 16;
+
+/// Learning-rate schedule for scaled runs (gentler decay than Table 3's —
+/// scaled data converges in fewer, larger steps).
+pub fn scaled_schedule() -> Schedule {
+    Schedule::paper_default(0.1, 0.1)
+}
+
+/// Regularisation for scaled runs.
+pub const SCALED_LAMBDA: f32 = 0.02;
+
+/// Scaled stand-in for a paper data set (Hugewiki scales 0.1%, others 1%).
+pub fn scaled_dataset(spec: &DatasetSpec, seed: u64) -> SynthDataset {
+    let scale = if spec.name == "Hugewiki" { 0.0002 } else { 0.01 };
+    spec.scaled(scale, SCALED_K, seed)
+}
+
+/// Convergence target on scaled data: 0.08 above the known noise floor
+/// (the analogue of Table 4's 0.92 / 22.0 / 0.52 targets — a "reasonable
+/// RMSE" every evaluated system can reach, near but not at each one's
+/// plateau).
+pub fn scaled_target(d: &SynthDataset) -> f64 {
+    d.rmse_floor + 0.08
+}
+
+/// cuMF_SGD epoch seconds at full paper scale on `gpu`: roofline when the
+/// data fits in device memory, the §6.2 overlapped staging pipeline when
+/// it does not (Hugewiki).
+pub fn cumf_epoch_secs(spec: &DatasetSpec, gpu: &GpuSpec, link: &LinkSpec) -> f64 {
+    let cost = SgdUpdateCost::cumf(spec.k);
+    let bw = gpu.effective_bw(gpu.max_workers());
+    let footprint = spec.train_bytes() + spec.feature_bytes(2);
+    if footprint <= gpu.mem_bytes {
+        return spec.train as f64 * cost.bytes() as f64 / bw + gpu.launch_overhead_s;
+    }
+    // Out-of-core: the paper's Hugewiki setup — 64×1 blocks staged through
+    // the link with transfer/compute overlap.
+    let blocks = 64u64;
+    let samples_per_block = spec.train as f64 / blocks as f64;
+    let seg_bytes = (spec.m as f64 / blocks as f64 + spec.n as f64) * spec.k as f64 * 2.0;
+    let jobs: Vec<BlockJob> = (0..blocks)
+        .map(|_| BlockJob {
+            h2d_bytes: samples_per_block * 12.0 + seg_bytes,
+            compute_bytes: samples_per_block * cost.bytes() as f64,
+            d2h_bytes: seg_bytes,
+        })
+        .collect();
+    overlapped(&jobs, gpu, link, gpu.max_workers()).makespan
+}
+
+/// LIBMF epoch seconds at full paper scale (40 threads, a = 100).
+pub fn libmf_epoch_secs(spec: &DatasetSpec) -> f64 {
+    let cost = SgdUpdateCost::cpu_f32(spec.k);
+    let bw = CpuCacheModel::calibrated(XEON_E5_2670X2)
+        .libmf_effective_bw(spec.m, spec.n, 100, spec.k);
+    spec.train as f64 * cost.bytes() as f64 / bw
+}
+
+/// NOMAD epoch seconds at full paper scale on `nodes` HPC nodes.
+pub fn nomad_epoch_secs(spec: &DatasetSpec, nodes: u32) -> f64 {
+    NomadPerfModel::hpc_cluster().epoch_seconds(spec.m, spec.n, spec.train, spec.k, nodes)
+}
+
+/// The node counts the paper runs NOMAD with (32, or 64 for Hugewiki).
+pub fn nomad_nodes(spec: &DatasetSpec) -> u32 {
+    if spec.name == "Hugewiki" {
+        64
+    } else {
+        32
+    }
+}
+
+/// BIDMach epoch seconds at full paper scale, `None` when the data set
+/// exceeds device memory (the paper could not run BIDMach on Hugewiki).
+pub fn bidmach_epoch_secs(spec: &DatasetSpec, gpu: &GpuSpec) -> Option<f64> {
+    // BIDMach stores f32 features and needs the full problem resident.
+    let footprint = spec.train_bytes() + spec.feature_bytes(4) * 2;
+    if footprint > gpu.mem_bytes {
+        return None;
+    }
+    Some(BidmachPerfModel::default().epoch_seconds(gpu, spec.k, spec.train))
+}
+
+/// The three paper data sets.
+pub fn all_specs() -> [&'static DatasetSpec; 3] {
+    [&NETFLIX, &YAHOO_MUSIC, &HUGEWIKI]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_gpu_sim::{NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL};
+
+    #[test]
+    fn netflix_fits_hugewiki_does_not() {
+        let netflix = cumf_epoch_secs(&NETFLIX, &TITAN_X_MAXWELL, &PCIE3_X16);
+        // Roofline: 99 M * 1036 B / 266 GB/s ~ 0.386 s.
+        assert!((netflix - 0.386).abs() < 0.02, "netflix epoch {netflix}");
+        let hugewiki = cumf_epoch_secs(&HUGEWIKI, &TITAN_X_MAXWELL, &PCIE3_X16);
+        // Staged epoch: ~12-16 s on Maxwell (compute ~12 s + imperfect
+        // overlap of ~11 s of transfers).
+        assert!(
+            hugewiki > 10.0 && hugewiki < 30.0,
+            "hugewiki epoch {hugewiki}"
+        );
+    }
+
+    #[test]
+    fn pascal_shrinks_hugewiki_epoch_more_than_flat() {
+        // §7.3: the NVLink platform gains most on the transfer-bound
+        // Hugewiki (28.2X total vs 6.8X on Maxwell relative to LIBMF).
+        let m = cumf_epoch_secs(&HUGEWIKI, &TITAN_X_MAXWELL, &PCIE3_X16);
+        let p = cumf_epoch_secs(&HUGEWIKI, &P100_PASCAL, &NVLINK);
+        let hw_gain = m / p;
+        let nf_gain = cumf_epoch_secs(&NETFLIX, &TITAN_X_MAXWELL, &PCIE3_X16)
+            / cumf_epoch_secs(&NETFLIX, &P100_PASCAL, &NVLINK);
+        assert!(hw_gain > nf_gain, "hugewiki gain {hw_gain} vs netflix {nf_gain}");
+    }
+
+    #[test]
+    fn libmf_epoch_times_match_table4_magnitudes() {
+        // Table 4: LIBMF needs 23 s (Netflix) and 3020 s (Hugewiki) to
+        // converge; at ~20-50 epochs that's ~1 s and ~60 s per epoch.
+        let netflix = libmf_epoch_secs(&NETFLIX);
+        assert!(netflix > 0.7 && netflix < 1.5, "netflix {netflix}");
+        let hugewiki = libmf_epoch_secs(&HUGEWIKI);
+        assert!(hugewiki > 40.0 && hugewiki < 90.0, "hugewiki {hugewiki}");
+    }
+
+    #[test]
+    fn bidmach_oom_on_hugewiki() {
+        assert!(bidmach_epoch_secs(&HUGEWIKI, &TITAN_X_MAXWELL).is_none());
+        assert!(bidmach_epoch_secs(&NETFLIX, &TITAN_X_MAXWELL).is_some());
+        assert!(bidmach_epoch_secs(&HUGEWIKI, &P100_PASCAL).is_none());
+    }
+
+    #[test]
+    fn scaled_datasets_are_reasonable() {
+        for spec in all_specs() {
+            let d = scaled_dataset(spec, 7);
+            assert!(d.train.nnz() > 50_000, "{}: {}", spec.name, d.train.nnz());
+            assert!(d.train.nnz() < 1_200_000);
+            assert!(scaled_target(&d) > d.rmse_floor);
+        }
+    }
+}

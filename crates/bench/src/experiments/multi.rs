@@ -1,0 +1,246 @@
+//! ALS comparison and multi-GPU scaling: Fig 12, Fig 16.
+
+use cumf_baselines::{train_als, AlsConfig, AlsTimeModel};
+use cumf_core::solver::{train, Scheme, SolverConfig};
+use cumf_data::presets::DatasetSpec;
+use cumf_data::YAHOO_MUSIC;
+use cumf_gpu_sim::pipeline::{overlapped, BlockJob};
+use cumf_gpu_sim::{GpuSpec, LinkSpec, SgdUpdateCost, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL};
+
+use crate::report::Report;
+
+use super::{
+    all_specs, scaled_dataset, scaled_schedule, scaled_target, SCALED_K, SCALED_LAMBDA,
+};
+
+/// Multi-GPU parallel efficiency of cuMF_ALS (the paper runs it on up to
+/// 4 GPUs; scaling is good but not perfect).
+const ALS_MULTI_GPU_EFFICIENCY: f64 = 0.85;
+
+/// Fig 12: cuMF_SGD (1 GPU) vs cuMF_ALS on 1 and 4 GPUs — SGD converges
+/// ~4X faster than ALS-1 and roughly matches ALS-4.
+pub fn fig12() -> Report {
+    let mut r = Report::new(
+        "fig12",
+        "Fig 12 — cuMF_SGD (1 GPU) vs cuMF_ALS (1 and 4 GPUs), Maxwell",
+        &["dataset", "system", "epoch", "seconds", "rmse"],
+    );
+    for spec in all_specs() {
+        let d = scaled_dataset(spec, crate::SEED);
+
+        // cuMF_SGD, 1 Maxwell GPU.
+        let sgd_cfg = SolverConfig {
+            k: SCALED_K,
+            lambda: SCALED_LAMBDA,
+            schedule: scaled_schedule(),
+            epochs: 40,
+            scheme: Scheme::BatchHogwild {
+                workers: 8,
+                batch: 256,
+            },
+            seed: crate::SEED,
+            mode: None,
+            divergence_ceiling: 1e3,
+        };
+        let sgd_epoch = super::cumf_epoch_secs(spec, &TITAN_X_MAXWELL, &PCIE3_X16);
+        let sgd = train::<cumf_core::F16>(&d.train, &d.test, &sgd_cfg, None);
+        for p in &sgd.trace.points {
+            r.row(vec![
+                spec.name.to_string(),
+                "cuMF_SGD (1 GPU)".into(),
+                p.epoch.to_string(),
+                format!("{:.3}", sgd_epoch * p.epoch as f64),
+                format!("{:.5}", p.rmse),
+            ]);
+        }
+
+        // cuMF_ALS on 1 and 4 GPUs: same convergence path, scaled epoch
+        // time.
+        let als_cfg = AlsConfig {
+            lambda: 0.01,
+            epochs: 15,
+            seed: crate::SEED,
+            ..AlsConfig::new(SCALED_K)
+        };
+        let als = train_als(&d.train, &d.test, &als_cfg, None);
+        let als_tm = AlsTimeModel::for_gpu(&TITAN_X_MAXWELL);
+        let als_epoch_1 = als_tm.epoch_seconds(spec.m, spec.n, spec.train, spec.k);
+        let als_epoch_4 = als_epoch_1 / (4.0 * ALS_MULTI_GPU_EFFICIENCY);
+        for (system, epoch_secs) in [
+            ("cuMF_ALS-1", als_epoch_1),
+            ("cuMF_ALS-4", als_epoch_4),
+        ] {
+            for p in &als.trace.points {
+                r.row(vec![
+                    spec.name.to_string(),
+                    system.into(),
+                    p.epoch.to_string(),
+                    format!("{:.3}", epoch_secs * p.epoch as f64),
+                    format!("{:.5}", p.rmse),
+                ]);
+            }
+        }
+    }
+    r
+}
+
+/// Full-scale epoch time of the partitioned multi-GPU solver: an i×j grid
+/// of uniform blocks pipelined over `gpus` GPUs (the timing half of
+/// `cumf_core::multi_gpu`, evaluated at paper scale).
+pub fn partitioned_epoch_secs(
+    spec: &DatasetSpec,
+    grid_i: u32,
+    grid_j: u32,
+    gpus: u32,
+    gpu: &GpuSpec,
+    link: &LinkSpec,
+) -> f64 {
+    let cost = SgdUpdateCost::cumf(spec.k);
+    let blocks = (grid_i * grid_j) as u64;
+    let per_gpu = blocks.div_ceil(gpus as u64);
+    let samples = spec.train as f64 / blocks as f64;
+    let seg_bytes = (spec.m as f64 / grid_i as f64 + spec.n as f64 / grid_j as f64)
+        * spec.k as f64
+        * 2.0;
+    let jobs: Vec<BlockJob> = (0..per_gpu)
+        .map(|_| BlockJob {
+            h2d_bytes: samples * 12.0 + seg_bytes,
+            compute_bytes: samples * cost.bytes() as f64,
+            d2h_bytes: seg_bytes,
+        })
+        .collect();
+    let pipeline = overlapped(&jobs, gpu, link, gpu.max_workers());
+    // Wave-boundary synchronisation through host memory (sub-linear
+    // scaling, §7.7).
+    let sync = if gpus > 1 {
+        per_gpu as f64 * (link.latency_s * gpus as f64 + seg_bytes / link.achieved_bw)
+    } else {
+        0.0
+    };
+    pipeline.makespan + sync
+}
+
+/// Fig 16: Yahoo!Music on 1 vs 2 Pascal GPUs (8×8 grid) — ~1.5X.
+pub fn fig16() -> Report {
+    let mut r = Report::new(
+        "fig16",
+        "Fig 16 — Yahoo!Music, 1 vs 2 Pascal GPUs (paper: 1.5X)",
+        &["gpus", "epoch", "seconds", "rmse"],
+    );
+    let d = scaled_dataset(&YAHOO_MUSIC, crate::SEED);
+    let target = scaled_target(&d);
+
+    // Convergence on the scaled data (identical across GPU counts because
+    // concurrently-scheduled blocks are independent).
+    let cfg = SolverConfig {
+        k: SCALED_K,
+        lambda: SCALED_LAMBDA,
+        schedule: scaled_schedule(),
+        epochs: 40,
+        scheme: Scheme::BatchHogwild {
+            workers: 8,
+            batch: 256,
+        },
+        seed: crate::SEED,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let run = train::<cumf_core::F16>(&d.train, &d.test, &cfg, None);
+
+    let mut times = Vec::new();
+    for gpus in [1u32, 2] {
+        let epoch = partitioned_epoch_secs(&YAHOO_MUSIC, 8, 8, gpus, &P100_PASCAL, &NVLINK);
+        for p in &run.trace.points {
+            r.row(vec![
+                gpus.to_string(),
+                p.epoch.to_string(),
+                format!("{:.4}", epoch * p.epoch as f64),
+                format!("{:.5}", p.rmse),
+            ]);
+        }
+        if let Some(e) = run.trace.epochs_to_rmse(target) {
+            times.push((gpus, epoch * e as f64));
+        }
+    }
+    if times.len() == 2 {
+        println!(
+            "fig16: time-to-target 1 GPU = {:.2}s, 2 GPUs = {:.2}s (speedup {:.2}X; paper 1.5X)",
+            times[0].1,
+            times[1].1,
+            times[0].1 / times[1].1
+        );
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "slow in debug; run with --release")]
+    fn fig12_reproduces_the_sgd_vs_als_tradeoff() {
+        // The paper's Fig 12 is the net of two opposing forces: ALS needs
+        // fewer epochs, SGD's epochs are several times cheaper. Both
+        // forces must reproduce. The *net* ordering is data-dependent:
+        // exact ALS solves our easy planted problems in unrealistically
+        // few epochs (documented in EXPERIMENTS.md), so the net assertion
+        // is a sanity band rather than the paper's exact 4X.
+        let r = fig12();
+        let series = |system: &str| -> Vec<(u32, f64, f64)> {
+            r.rows
+                .iter()
+                .filter(|row| row[0] == "Netflix" && row[1] == system)
+                .map(|row| {
+                    (
+                        row[2].parse().unwrap(),
+                        row[3].parse().unwrap(),
+                        row[4].parse().unwrap(),
+                    )
+                })
+                .collect()
+        };
+        let first_below = |s: &[(u32, f64, f64)], target: f64| {
+            s.iter().find(|(_, _, rmse)| *rmse <= target).copied()
+        };
+        let sgd = series("cuMF_SGD (1 GPU)");
+        let als1 = series("cuMF_ALS-1");
+        let als4 = series("cuMF_ALS-4");
+        let target = 0.18;
+        let (sgd_ep, sgd_t, _) = first_below(&sgd, target).expect("sgd converges");
+        let (als_ep, als1_t, _) = first_below(&als1, target).expect("als converges");
+        let (_, als4_t, _) = first_below(&als4, target).expect("als-4 converges");
+        // Force 1: ALS needs no more epochs than SGD.
+        assert!(als_ep <= sgd_ep, "ALS epochs {als_ep} vs SGD {sgd_ep}");
+        // Force 2: an SGD epoch is several times cheaper than an ALS epoch.
+        let sgd_epoch_t = sgd[0].1;
+        let als_epoch_t = als1[0].1;
+        assert!(
+            als_epoch_t > 3.0 * sgd_epoch_t,
+            "ALS epoch {als_epoch_t}s should dwarf SGD epoch {sgd_epoch_t}s"
+        );
+        // Net: SGD beats ALS-1 outright (measured ~1.7X here vs the
+        // paper's ~4X — see EXPERIMENTS.md for why planted data narrows
+        // it), and ALS-4 is faster than ALS-1 by construction.
+        assert!(
+            sgd_t < als1_t,
+            "SGD must reach the target before ALS-1: {sgd_t} vs {als1_t}"
+        );
+        assert!(als4_t < als1_t);
+        assert!(
+            sgd_t < 10.0 * als4_t,
+            "net times must stay comparable: sgd {sgd_t} als4 {als4_t}"
+        );
+    }
+
+    #[test]
+    fn fig16_two_gpus_sublinear_speedup() {
+        let one = partitioned_epoch_secs(&YAHOO_MUSIC, 8, 8, 1, &P100_PASCAL, &NVLINK);
+        let two = partitioned_epoch_secs(&YAHOO_MUSIC, 8, 8, 2, &P100_PASCAL, &NVLINK);
+        let speedup = one / two;
+        assert!(
+            speedup > 1.2 && speedup < 2.0,
+            "speedup {speedup} should be sub-linear, near the paper's 1.5X"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # cumf-bench — the experiment harness
+//!
+//! One binary target per table/figure of the paper's evaluation (run them
+//! with `cargo run -p cumf-bench --release --bin <id>`), plus `run_all`.
+//! Each experiment prints the regenerated rows/series and writes a CSV
+//! under `bench_results/`.
+//!
+//! | target | paper artefact |
+//! |--------|----------------|
+//! | `eq05`   | §2.3 Flops/Byte characterisation |
+//! | `tab02`  | Table 2 — data sets |
+//! | `fig02a` | Fig 2(a) — LIBMF effective bandwidth vs data size |
+//! | `fig02b` | Fig 2(b) — NOMAD memory efficiency vs nodes |
+//! | `fig05b` | Fig 5(b) — LIBMF scheduling saturation |
+//! | `fig07a` | Fig 7(a) — batch-Hogwild!/wavefront scalability |
+//! | `fig07b` | Fig 7(b) — batch-Hogwild!/wavefront convergence |
+//! | `fig09`  | Fig 9 — test RMSE vs training time, all systems |
+//! | `fig10`  | Fig 10 — updates/s + achieved bandwidth per data set |
+//! | `fig11`  | Fig 11 — updates/s + bandwidth vs workers, M vs P |
+//! | `fig12`  | Fig 12 — cuMF_SGD vs cuMF_ALS |
+//! | `fig13`  | Fig 13 — Hugewiki partitioning convergence limits |
+//! | `fig14`  | Fig 14 — LIBMF blocking convergence (a vs s) |
+//! | `fig15`  | Fig 15 — feasible block update orders |
+//! | `fig16`  | Fig 16 — Yahoo!Music on 1 vs 2 GPUs |
+//! | `tab04`  | Table 4 — time-to-RMSE speedups vs LIBMF |
+//! | `tab05`  | Table 5 — updates/s: BIDMach vs cuMF_SGD |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;
+
+/// Fixed seed shared by all experiments (reproducibility).
+pub const SEED: u64 = 2017;

@@ -1,0 +1,168 @@
+//! Tabular experiment output: aligned console printing + CSV persistence.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// A rectangular result table for one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"fig07a"` (also the CSV stem).
+    pub name: String,
+    /// Human title printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in report {}",
+            self.name
+        );
+        self.rows.push(cells);
+    }
+
+    /// Output directory: `$CUMF_BENCH_DIR` or `bench_results/`.
+    pub fn out_dir() -> PathBuf {
+        std::env::var_os("CUMF_BENCH_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("bench_results"))
+    }
+
+    /// Prints the table to stdout, aligned.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line_len: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        println!("\n== {} — {} ==", self.name, self.title);
+        let mut header_line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            header_line.push_str(&format!("| {h:>w$} "));
+        }
+        header_line.push('|');
+        println!("{header_line}");
+        println!("{}", "-".repeat(line_len.max(header_line.len())));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("| {cell:>w$} "));
+            }
+            line.push('|');
+            println!("{line}");
+        }
+    }
+
+    /// Writes `bench_results/<name>.csv`.
+    pub fn save_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::out_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(path)
+    }
+
+    /// Prints and saves; the standard tail call of every experiment.
+    pub fn finish(&self) {
+        self.print();
+        match self.save_csv() {
+            Ok(path) => println!("[saved {}]", path.display()),
+            Err(e) => eprintln!("[csv write failed: {e}]"),
+        }
+    }
+}
+
+/// Formats a float with engineering-style significant digits.
+pub fn fmt_si(x: f64) -> String {
+    let ax = x.abs();
+    if x == 0.0 {
+        "0".into()
+    } else if ax >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else if ax >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trip() {
+        let mut r = Report::new("t1", "test", &["a", "b"]);
+        r.row(vec!["1".into(), "x,y".into()]);
+        r.row(vec!["2".into(), "q\"u".into()]);
+        let dir = std::env::temp_dir().join("cumf_bench_report_test");
+        std::env::set_var("CUMF_BENCH_DIR", &dir);
+        let path = r.save_csv().unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert!(text.contains("\"x,y\""));
+        assert!(text.contains("\"q\"\"u\""));
+        std::env::remove_var("CUMF_BENCH_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+        r.print(); // smoke
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("t2", "test", &["a", "b"]);
+        r.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(fmt_si(0.0), "0");
+        assert_eq!(fmt_si(267e6), "267.0M");
+        assert_eq!(fmt_si(1.5e9), "1.50G");
+        assert_eq!(fmt_si(2500.0), "2.5k");
+        assert_eq!(fmt_si(3.14159), "3.14");
+        assert_eq!(fmt_si(0.043), "0.0430");
+    }
+}

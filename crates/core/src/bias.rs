@@ -1,0 +1,293 @@
+//! Biased matrix factorization — the standard recommender extension of
+//! the paper's model family (§2.1 cites Koren et al., whose production
+//! model is `r̂ = μ + b_u + b_v + p_u·q_v`).
+//!
+//! Global mean `μ`, per-user bias `b_u` and per-item bias `b_v` absorb
+//! rating-scale effects so the factors model *interactions* only — on
+//! offset-heavy data this reaches the noise floor with a smaller rank than
+//! the bias-free model. The SGD rules extend Algorithm 1 with
+//!
+//! ```text
+//! b_u += γ (err − λ b_u)
+//! b_v += γ (err − λ b_v)
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cumf_data::CooMatrix;
+
+use crate::feature::{Element, FactorMatrix};
+use crate::kernel::dot;
+use crate::lrate::{LearningRate, Schedule};
+use crate::metrics::{Trace, TracePoint};
+use crate::sched::{BatchHogwildStream, StreamItem, UpdateStream};
+
+/// A biased factorization model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasedModel<E: Element> {
+    /// Global rating mean μ.
+    pub mu: f32,
+    /// Per-user biases b_u.
+    pub user_bias: Vec<f32>,
+    /// Per-item biases b_v.
+    pub item_bias: Vec<f32>,
+    /// Row factors.
+    pub p: FactorMatrix<E>,
+    /// Column factors.
+    pub q: FactorMatrix<E>,
+}
+
+impl<E: Element> BiasedModel<E> {
+    /// Predicted rating `μ + b_u + b_v + p_u · q_v`.
+    pub fn predict(&self, u: u32, v: u32) -> f32 {
+        self.mu
+            + self.user_bias[u as usize]
+            + self.item_bias[v as usize]
+            + dot(self.p.row(u), self.q.row(v))
+    }
+
+    /// Test RMSE of the biased model.
+    pub fn rmse(&self, data: &CooMatrix) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut se = 0.0f64;
+        for e in data.iter() {
+            let err = (e.r - self.predict(e.u, e.v)) as f64;
+            se += err * err;
+        }
+        (se / data.nnz() as f64).sqrt()
+    }
+}
+
+/// Configuration for biased training.
+#[derive(Debug, Clone)]
+pub struct BiasedConfig {
+    /// Feature dimension of the interaction factors.
+    pub k: u32,
+    /// Regularisation λ (factors and biases).
+    pub lambda: f32,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    /// Epochs.
+    pub epochs: u32,
+    /// Batch-Hogwild! workers.
+    pub workers: u32,
+    /// Batch-Hogwild! fetch size.
+    pub batch: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BiasedConfig {
+    /// Sensible defaults.
+    pub fn new(k: u32) -> Self {
+        BiasedConfig {
+            k,
+            lambda: 0.02,
+            schedule: Schedule::NomadDecay {
+                alpha: 0.1,
+                beta: 0.1,
+            },
+            epochs: 20,
+            workers: 8,
+            batch: 256,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of biased training.
+#[derive(Debug, Clone)]
+pub struct BiasedResult<E: Element> {
+    /// The trained model.
+    pub model: BiasedModel<E>,
+    /// Convergence trace.
+    pub trace: Trace,
+}
+
+/// Trains the biased model with batch-Hogwild! scheduling (sequential
+/// application — bias cells are tiny and extremely hot, so the biased
+/// variant is typically run with conflict-free application).
+pub fn train_biased<E: Element>(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &BiasedConfig,
+) -> BiasedResult<E> {
+    assert!(!train.is_empty(), "training set is empty");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mu = train.mean_rating() as f32;
+    let mut model = BiasedModel {
+        mu,
+        user_bias: vec![0.0; train.rows() as usize],
+        item_bias: vec![0.0; train.cols() as usize],
+        p: FactorMatrix::<E>::random_init(train.rows(), config.k, &mut rng),
+        q: FactorMatrix::<E>::random_init(train.cols(), config.k, &mut rng),
+    };
+
+    // Positive-uniform factor init predicts mu + ~0.25 on average; recentre
+    // by pre-subtracting that from the item biases so early epochs start
+    // near the mean.
+    let init_dot = 0.25f32;
+    for b in &mut model.item_bias {
+        *b = -init_dot;
+    }
+
+    let mut stream =
+        BatchHogwildStream::new(train.nnz(), config.workers as usize, config.batch as usize);
+    let mut lr = LearningRate::new(config.schedule.clone());
+    let mut trace = Trace::default();
+    let mut updates = 0u64;
+
+    let k = config.k as usize;
+    let mut pu = vec![0.0f32; k];
+    let mut qv = vec![0.0f32; k];
+
+    for epoch in 0..config.epochs {
+        stream.begin_epoch(epoch);
+        let gamma = lr.gamma(epoch);
+        let lambda = config.lambda;
+        let workers = stream.workers();
+        let mut live = workers;
+        let mut exhausted = vec![false; workers];
+        while live > 0 {
+            for w in 0..workers {
+                if exhausted[w] {
+                    continue;
+                }
+                match stream.next(w) {
+                    StreamItem::Sample(i) => {
+                        let e = train.get(i);
+                        model.p.load_row(e.u, &mut pu);
+                        model.q.load_row(e.v, &mut qv);
+                        let bu = model.user_bias[e.u as usize];
+                        let bv = model.item_bias[e.v as usize];
+                        let pred = model.mu
+                            + bu
+                            + bv
+                            + pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
+                        let err = e.r - pred;
+                        model.user_bias[e.u as usize] = bu + gamma * (err - lambda * bu);
+                        model.item_bias[e.v as usize] = bv + gamma * (err - lambda * bv);
+                        for j in 0..k {
+                            let pj = pu[j];
+                            let qj = qv[j];
+                            pu[j] = pj + gamma * (err * qj - lambda * pj);
+                            qv[j] = qj + gamma * (err * pj - lambda * qj);
+                        }
+                        model.p.store_row(e.u, &pu);
+                        model.q.store_row(e.v, &qv);
+                        updates += 1;
+                    }
+                    StreamItem::Stall => {}
+                    StreamItem::Exhausted => {
+                        exhausted[w] = true;
+                        live -= 1;
+                    }
+                }
+            }
+        }
+        let test_rmse = model.rmse(test);
+        lr.observe(test_rmse);
+        trace.push(TracePoint {
+            epoch: epoch + 1,
+            updates,
+            rmse: test_rmse,
+            seconds: 0.0,
+        });
+        if !test_rmse.is_finite() {
+            break;
+        }
+    }
+    BiasedResult { model, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{train, Scheme, SolverConfig};
+    use cumf_data::synth::{generate, SynthConfig};
+
+    fn offset_heavy_dataset() -> cumf_data::synth::SynthDataset {
+        generate(&SynthConfig {
+            m: 400,
+            n: 300,
+            k_true: 4,
+            train_samples: 25_000,
+            test_samples: 2_500,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 3.5, // strong scale offset: biases should shine
+            seed: 91,
+        })
+    }
+
+    #[test]
+    fn biased_model_converges() {
+        let d = offset_heavy_dataset();
+        let r = train_biased::<f32>(&d.train, &d.test, &BiasedConfig::new(6));
+        let final_rmse = r.trace.final_rmse().unwrap();
+        assert!(final_rmse < 0.2, "biased model rmse {final_rmse}");
+    }
+
+    #[test]
+    fn biases_accelerate_early_convergence_on_offset_data() {
+        let d = offset_heavy_dataset();
+        let biased = train_biased::<f32>(
+            &d.train,
+            &d.test,
+            &BiasedConfig {
+                epochs: 3,
+                ..BiasedConfig::new(6)
+            },
+        );
+        let mut plain_cfg = SolverConfig::new(6, Scheme::BatchHogwild {
+            workers: 8,
+            batch: 256,
+        });
+        plain_cfg.epochs = 3;
+        plain_cfg.lambda = 0.02;
+        plain_cfg.schedule = Schedule::NomadDecay {
+            alpha: 0.1,
+            beta: 0.1,
+        };
+        let plain = train::<f32>(&d.train, &d.test, &plain_cfg, None);
+        assert!(
+            biased.trace.final_rmse().unwrap() < plain.trace.final_rmse().unwrap(),
+            "biases should win the early epochs on offset-heavy data: {} vs {}",
+            biased.trace.final_rmse().unwrap(),
+            plain.trace.final_rmse().unwrap()
+        );
+    }
+
+    #[test]
+    fn predict_composes_all_terms() {
+        let model = BiasedModel {
+            mu: 3.0,
+            user_bias: vec![0.5, -0.5],
+            item_bias: vec![0.25],
+            p: FactorMatrix::<f32>::from_f32_slice(2, 2, &[1.0, 0.0, 0.0, 1.0]),
+            q: FactorMatrix::<f32>::from_f32_slice(1, 2, &[2.0, 4.0]),
+        };
+        // mu + bu + bv + p.q = 3 + 0.5 + 0.25 + 2 = 5.75
+        assert!((model.predict(0, 0) - 5.75).abs() < 1e-6);
+        // second user: 3 - 0.5 + 0.25 + 4 = 6.75
+        assert!((model.predict(1, 0) - 6.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rmse_of_empty_test_is_zero() {
+        let d = offset_heavy_dataset();
+        let r = train_biased::<f32>(
+            &d.train,
+            &CooMatrix::new(d.train.rows(), d.train.cols()),
+            &BiasedConfig {
+                epochs: 1,
+                ..BiasedConfig::new(4)
+            },
+        );
+        assert_eq!(r.trace.final_rmse(), Some(0.0));
+    }
+}

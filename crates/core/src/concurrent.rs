@@ -1,0 +1,684 @@
+//! Concurrent-execution engines: how parallel SGD updates actually touch
+//! the model.
+//!
+//! On a GPU, hundreds of thread blocks race on the feature matrices; on
+//! this crate's single-core reproduction platform real threads cannot
+//! produce representative races. We therefore execute schedules through a
+//! deterministic **round-based conflict engine**:
+//!
+//! * In every round, each non-stalled worker receives one sample from the
+//!   [`crate::sched::UpdateStream`].
+//! * All workers *read* the factor rows as of the start of the round
+//!   (stale reads — what racing Hogwild! workers observe).
+//! * Each computes its SGD delta against that snapshot.
+//! * All deltas are then *committed additively*.
+//!
+//! When two workers in a round share a row or column, both corrections are
+//! applied even though each was computed assuming it acted alone — the
+//! overshoot that makes Hogwild! diverge when `s` is *not* ≪ `min(m, n)`
+//! (§7.5). When no collision occurs, a round is exactly equivalent to
+//! sequential execution. Conflict-free policies (wavefront, LIBMF blocking)
+//! can run in the cheaper [`ExecMode::Sequential`] mode, which the engine
+//! verifies is collision-free as it goes.
+//!
+//! A [`ThreadedHogwild`] executor using real OS threads over atomic f32
+//! cells is provided as well, for cross-validation on multi-core hosts.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cumf_data::CooMatrix;
+
+use crate::feature::{Element, FactorMatrix};
+use crate::kernel::{sgd_delta, sgd_update};
+use crate::sched::{StreamItem, UpdateStream};
+
+/// How parallel updates are applied to the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Apply each worker's update immediately, in worker order. Exact for
+    /// conflict-free schedules; silently serialises racy ones.
+    Sequential,
+    /// Round-snapshot reads + additive commits: Hogwild! race semantics
+    /// (stale gradients, double-applied corrections on collision).
+    StaleAdditive,
+}
+
+/// Statistics of one executed epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochStats {
+    /// SGD updates applied.
+    pub updates: u64,
+    /// Lockstep rounds the epoch needed (drives the simulated-time model:
+    /// a stalled worker still burns a round slot).
+    pub rounds: u64,
+    /// Worker-round slots lost to stalls.
+    pub stalls: u64,
+    /// Rounds in which ≥ 2 workers touched the same P row.
+    pub row_collisions: u64,
+    /// Rounds in which ≥ 2 workers touched the same Q column.
+    pub col_collisions: u64,
+}
+
+impl EpochStats {
+    /// Fraction of worker-round slots that stalled.
+    pub fn stall_fraction(&self) -> f64 {
+        let slots = self.updates + self.stalls;
+        if slots == 0 {
+            0.0
+        } else {
+            self.stalls as f64 / slots as f64
+        }
+    }
+}
+
+/// Runs one epoch of `stream` against `(p, q)` with learning rate `gamma`
+/// and regularisation `lambda`.
+pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    p: &mut FactorMatrix<E>,
+    q: &mut FactorMatrix<E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+    mode: ExecMode,
+) -> EpochStats {
+    match mode {
+        ExecMode::Sequential => run_epoch_sequential(data, p, q, stream, gamma, lambda),
+        ExecMode::StaleAdditive => run_epoch_stale(data, p, q, stream, gamma, lambda),
+    }
+}
+
+fn run_epoch_sequential<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    p: &mut FactorMatrix<E>,
+    q: &mut FactorMatrix<E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+) -> EpochStats {
+    let s = stream.workers();
+    let mut stats = EpochStats::default();
+    let mut exhausted = vec![false; s];
+    let mut live = s;
+    while live > 0 {
+        stats.rounds += 1;
+        for w in 0..s {
+            if exhausted[w] {
+                continue;
+            }
+            match stream.next(w) {
+                StreamItem::Sample(i) => {
+                    let e = data.get(i);
+                    // Split borrows: p and q are distinct matrices.
+                    sgd_update(p.row_mut(e.u), q.row_mut(e.v), e.r, gamma, lambda);
+                    stats.updates += 1;
+                }
+                StreamItem::Stall => stats.stalls += 1,
+                StreamItem::Exhausted => {
+                    exhausted[w] = true;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+fn run_epoch_stale<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    p: &mut FactorMatrix<E>,
+    q: &mut FactorMatrix<E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+) -> EpochStats {
+    let s = stream.workers();
+    let k = p.k() as usize;
+    let mut stats = EpochStats::default();
+    let mut exhausted = vec![false; s];
+    let mut live = s;
+
+    // Round buffers, reused across rounds.
+    let mut round: Vec<(u32, u32)> = Vec::with_capacity(s); // (u, v) per committed worker
+    let mut snap_p = vec![0.0f32; s * k];
+    let mut snap_q = vec![0.0f32; s * k];
+    let mut dp = vec![0.0f32; s * k];
+    let mut dq = vec![0.0f32; s * k];
+    let mut ratings: Vec<f32> = Vec::with_capacity(s);
+
+    while live > 0 {
+        stats.rounds += 1;
+        round.clear();
+        ratings.clear();
+        for w in 0..s {
+            if exhausted[w] {
+                continue;
+            }
+            match stream.next(w) {
+                StreamItem::Sample(i) => {
+                    let e = data.get(i);
+                    round.push((e.u, e.v));
+                    ratings.push(e.r);
+                }
+                StreamItem::Stall => stats.stalls += 1,
+                StreamItem::Exhausted => {
+                    exhausted[w] = true;
+                    live -= 1;
+                }
+            }
+        }
+        if round.is_empty() {
+            continue;
+        }
+        // Phase 1: snapshot reads (all against pre-round state).
+        for (idx, &(u, v)) in round.iter().enumerate() {
+            p.load_row(u, &mut snap_p[idx * k..(idx + 1) * k]);
+            q.load_row(v, &mut snap_q[idx * k..(idx + 1) * k]);
+        }
+        // Collision accounting.
+        {
+            let mut rows: Vec<u32> = round.iter().map(|&(u, _)| u).collect();
+            rows.sort_unstable();
+            if rows.windows(2).any(|w| w[0] == w[1]) {
+                stats.row_collisions += 1;
+            }
+            let mut cols: Vec<u32> = round.iter().map(|&(_, v)| v).collect();
+            cols.sort_unstable();
+            if cols.windows(2).any(|w| w[0] == w[1]) {
+                stats.col_collisions += 1;
+            }
+        }
+        // Phase 2: compute deltas against the snapshot.
+        for (idx, &(_, _)) in round.iter().enumerate() {
+            let lo = idx * k;
+            let hi = lo + k;
+            sgd_delta(
+                &snap_p[lo..hi],
+                &snap_q[lo..hi],
+                ratings[idx],
+                gamma,
+                lambda,
+                &mut dp[lo..hi],
+                &mut dq[lo..hi],
+            );
+        }
+        // Phase 3: additive commit (colliding corrections stack — the
+        // Hogwild! overshoot).
+        let mut acc = vec![0.0f32; k];
+        for (idx, &(u, v)) in round.iter().enumerate() {
+            let lo = idx * k;
+            p.load_row(u, &mut acc);
+            for (a, d) in acc.iter_mut().zip(&dp[lo..lo + k]) {
+                *a += d;
+            }
+            p.store_row(u, &acc);
+            q.load_row(v, &mut acc);
+            for (a, d) in acc.iter_mut().zip(&dq[lo..lo + k]) {
+                *a += d;
+            }
+            q.store_row(v, &acc);
+        }
+        stats.updates += round.len() as u64;
+    }
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Real-thread Hogwild! (cross-validation executor)
+// ---------------------------------------------------------------------------
+
+/// Shared factor storage for lock-free multi-threaded updates: f32 values
+/// bit-cast into `AtomicU32` cells, read/written with relaxed ordering —
+/// exactly the memory semantics Hogwild! assumes.
+#[derive(Debug)]
+pub struct AtomicFactors {
+    rows: u32,
+    k: u32,
+    data: Vec<AtomicU32>,
+}
+
+impl AtomicFactors {
+    /// Builds atomic storage from a plain factor matrix.
+    pub fn from_matrix<E: Element>(m: &FactorMatrix<E>) -> Self {
+        AtomicFactors {
+            rows: m.rows(),
+            k: m.k(),
+            data: m
+                .as_slice()
+                .iter()
+                .map(|e| AtomicU32::new(e.to_f32().to_bits()))
+                .collect(),
+        }
+    }
+
+    /// Copies the atomic state back into a plain matrix.
+    pub fn to_matrix<E: Element>(&self) -> FactorMatrix<E> {
+        let vals: Vec<f32> = self
+            .data
+            .iter()
+            .map(|a| f32::from_bits(a.load(Ordering::Relaxed)))
+            .collect();
+        FactorMatrix::from_f32_slice(self.rows, self.k, &vals)
+    }
+
+    /// Reads row `r` into `out`.
+    pub fn load_row(&self, r: u32, out: &mut [f32]) {
+        let k = self.k as usize;
+        let base = r as usize * k;
+        for (o, cell) in out.iter_mut().zip(&self.data[base..base + k]) {
+            *o = f32::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Writes row `r` from `vals` (racy by design).
+    pub fn store_row(&self, r: u32, vals: &[f32]) {
+        let k = self.k as usize;
+        let base = r as usize * k;
+        for (cell, &v) in self.data[base..base + k].iter().zip(vals) {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one epoch of batch-Hogwild! on real OS threads. Each thread claims
+/// `batch`-sample chunks off a shared atomic counter and updates the shared
+/// atomic factors lock-free. Returns the number of updates executed.
+pub fn threaded_hogwild_epoch(
+    data: &CooMatrix,
+    p: &Arc<AtomicFactors>,
+    q: &Arc<AtomicFactors>,
+    threads: usize,
+    batch: usize,
+    gamma: f32,
+    lambda: f32,
+) -> u64 {
+    assert!(threads > 0 && batch > 0);
+    let counter = AtomicUsize::new(0);
+    let n = data.nnz();
+    let k = p.k as usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let counter = &counter;
+            let p = Arc::clone(p);
+            let q = Arc::clone(q);
+            handles.push(scope.spawn(move || {
+                let mut pu = vec![0.0f32; k];
+                let mut qv = vec![0.0f32; k];
+                let mut done = 0u64;
+                loop {
+                    let start = counter.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + batch).min(n);
+                    for i in start..end {
+                        let e = data.get(i);
+                        p.load_row(e.u, &mut pu);
+                        q.load_row(e.v, &mut qv);
+                        let err = e.r
+                            - pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
+                        for j in 0..k {
+                            let pj = pu[j];
+                            let qj = qv[j];
+                            pu[j] = pj + gamma * (err * qj - lambda * pj);
+                            qv[j] = qj + gamma * (err * pj - lambda * qj);
+                        }
+                        p.store_row(e.u, &pu);
+                        q.store_row(e.v, &qv);
+                        done += 1;
+                    }
+                }
+                done
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{BatchHogwildStream, SerialStream};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_data() -> CooMatrix {
+        let mut coo = CooMatrix::new(20, 20);
+        for i in 0..200u32 {
+            coo.push(i % 20, (i * 7) % 20, ((i % 5) as f32) - 2.0);
+        }
+        coo
+    }
+
+    fn init(m: u32, n: u32, k: u32) -> (FactorMatrix<f32>, FactorMatrix<f32>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        (
+            FactorMatrix::random_init(m, k, &mut rng),
+            FactorMatrix::random_init(n, k, &mut rng),
+        )
+    }
+
+    #[test]
+    fn sequential_mode_counts_updates() {
+        let data = tiny_data();
+        let (mut p, mut q) = init(20, 20, 4);
+        let mut stream = SerialStream::new(data.nnz());
+        let stats = run_epoch(
+            &data,
+            &mut p,
+            &mut q,
+            &mut stream,
+            0.05,
+            0.01,
+            ExecMode::Sequential,
+        );
+        assert_eq!(stats.updates, 200);
+        assert_eq!(stats.stalls, 0);
+        assert_eq!(stats.rounds, 201); // +1 round to observe exhaustion
+    }
+
+    #[test]
+    fn stale_additive_single_worker_equals_sequential() {
+        // With one worker there are no collisions: both modes must produce
+        // identical models.
+        let data = tiny_data();
+        let (mut p1, mut q1) = init(20, 20, 4);
+        let (mut p2, mut q2) = (p1.clone(), q1.clone());
+        let mut s1 = SerialStream::new(data.nnz());
+        let mut s2 = SerialStream::new(data.nnz());
+        run_epoch(&data, &mut p1, &mut q1, &mut s1, 0.05, 0.01, ExecMode::Sequential);
+        run_epoch(
+            &data,
+            &mut p2,
+            &mut q2,
+            &mut s2,
+            0.05,
+            0.01,
+            ExecMode::StaleAdditive,
+        );
+        for r in 0..20 {
+            for (a, b) in p1.row(r).iter().zip(p2.row(r)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+            for (a, b) in q1.row(r).iter().zip(q2.row(r)) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn collisions_are_detected() {
+        // 2 workers on a 1x1 matrix: every round collides on both axes.
+        let mut coo = CooMatrix::new(1, 1);
+        for _ in 0..10 {
+            coo.push(0, 0, 1.0);
+        }
+        let (mut p, mut q) = init(1, 1, 2);
+        let mut stream = BatchHogwildStream::new(coo.nnz(), 2, 1);
+        let stats = run_epoch(
+            &coo,
+            &mut p,
+            &mut q,
+            &mut stream,
+            0.01,
+            0.0,
+            ExecMode::StaleAdditive,
+        );
+        assert_eq!(stats.updates, 10);
+        assert!(stats.row_collisions >= 4, "{stats:?}");
+        assert!(stats.col_collisions >= 4);
+    }
+
+    #[test]
+    fn wide_matrix_has_rare_collisions() {
+        let mut coo = CooMatrix::new(1000, 1000);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        use rand::Rng;
+        for _ in 0..2000 {
+            coo.push(rng.gen_range(0..1000), rng.gen_range(0..1000), 1.0);
+        }
+        let (mut p, mut q) = init(1000, 1000, 2);
+        let mut stream = BatchHogwildStream::new(coo.nnz(), 4, 16);
+        let stats = run_epoch(
+            &coo,
+            &mut p,
+            &mut q,
+            &mut stream,
+            0.01,
+            0.0,
+            ExecMode::StaleAdditive,
+        );
+        // s=4 workers, 1000x1000: collision probability per round ~ 6/1000.
+        let frac = (stats.row_collisions + stats.col_collisions) as f64
+            / stats.rounds as f64;
+        assert!(frac < 0.05, "collision fraction {frac}");
+    }
+
+    #[test]
+    fn stall_fraction() {
+        let s = EpochStats {
+            updates: 75,
+            rounds: 100,
+            stalls: 25,
+            ..Default::default()
+        };
+        assert!((s.stall_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(EpochStats::default().stall_fraction(), 0.0);
+    }
+
+    #[test]
+    fn threaded_hogwild_runs_all_updates() {
+        let data = tiny_data();
+        let (p0, q0) = init(20, 20, 4);
+        let p = Arc::new(AtomicFactors::from_matrix(&p0));
+        let q = Arc::new(AtomicFactors::from_matrix(&q0));
+        let updates = threaded_hogwild_epoch(&data, &p, &q, 4, 16, 0.05, 0.01);
+        assert_eq!(updates, 200);
+        // The model must have moved.
+        let p_after: FactorMatrix<f32> = p.to_matrix();
+        assert_ne!(p_after, p0);
+    }
+
+    #[test]
+    fn atomic_factors_round_trip() {
+        let (p0, _) = init(5, 5, 3);
+        let a = AtomicFactors::from_matrix(&p0);
+        let back: FactorMatrix<f32> = a.to_matrix();
+        assert_eq!(back, p0);
+        let mut row = vec![0.0f32; 3];
+        a.load_row(2, &mut row);
+        assert_eq!(&row[..], p0.row(2));
+        a.store_row(2, &[9.0, 8.0, 7.0]);
+        a.load_row(2, &mut row);
+        assert_eq!(row, vec![9.0, 8.0, 7.0]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-striped multi-threaded executor (conflict-free by locking)
+// ---------------------------------------------------------------------------
+
+/// Shared f32 factor storage protected by striped row locks — the
+/// "just take locks" alternative to Hogwild! that shared-memory CPU
+/// implementations use when they cannot tolerate races. Each row maps to
+/// one of `shards` `parking_lot::Mutex` stripes; an update locks its P
+/// stripe and Q stripe in canonical order (P side first, then Q side,
+/// ties impossible since the matrices are distinct lock arrays), so no
+/// deadlock is possible.
+#[derive(Debug)]
+pub struct StripedFactors {
+    rows: u32,
+    k: u32,
+    shards: usize,
+    locks: Vec<parking_lot::Mutex<()>>,
+    data: Vec<std::cell::UnsafeCell<f32>>,
+}
+
+// SAFETY: all mutable access to `data` rows happens while holding the
+// stripe lock covering that row (enforced by the private API below).
+unsafe impl Sync for StripedFactors {}
+unsafe impl Send for StripedFactors {}
+
+impl StripedFactors {
+    /// Builds striped storage from a factor matrix.
+    pub fn from_matrix<E: Element>(m: &FactorMatrix<E>, shards: usize) -> Self {
+        assert!(shards > 0);
+        StripedFactors {
+            rows: m.rows(),
+            k: m.k(),
+            shards,
+            locks: (0..shards).map(|_| parking_lot::Mutex::new(())).collect(),
+            data: m
+                .as_slice()
+                .iter()
+                .map(|e| std::cell::UnsafeCell::new(e.to_f32()))
+                .collect(),
+        }
+    }
+
+    /// Copies back into a plain matrix (requires exclusive access: `&mut`).
+    pub fn into_matrix<E: Element>(self) -> FactorMatrix<E> {
+        let vals: Vec<f32> = self.data.into_iter().map(|c| c.into_inner()).collect();
+        FactorMatrix::from_f32_slice(self.rows, self.k, &vals)
+    }
+
+    #[inline]
+    fn stripe(&self, row: u32) -> usize {
+        row as usize % self.shards
+    }
+
+    /// Runs `f` with a mutable view of row `row` while holding its stripe
+    /// lock.
+    #[inline]
+    fn with_row_locked<R>(&self, row: u32, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        let _guard = self.locks[self.stripe(row)].lock();
+        let k = self.k as usize;
+        let base = row as usize * k;
+        // SAFETY: the stripe lock serialises all access to rows of this
+        // stripe; the returned slice does not escape `f`.
+        let slice = unsafe {
+            std::slice::from_raw_parts_mut(self.data[base].get(), k)
+        };
+        f(slice)
+    }
+}
+
+/// One epoch of lock-striped parallel SGD on real OS threads: each thread
+/// claims `batch`-sample chunks off a shared counter and performs each
+/// update under its rows' stripe locks (P row lock held, then Q row lock —
+/// canonical order, deadlock-free). Returns the number of updates.
+pub fn striped_locked_epoch(
+    data: &CooMatrix,
+    p: &StripedFactors,
+    q: &StripedFactors,
+    threads: usize,
+    batch: usize,
+    gamma: f32,
+    lambda: f32,
+) -> u64 {
+    assert!(threads > 0 && batch > 0);
+    assert_eq!(p.k, q.k, "P and Q must share k");
+    let counter = AtomicUsize::new(0);
+    let n = data.nnz();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let counter = &counter;
+            handles.push(scope.spawn(move || {
+                let mut done = 0u64;
+                loop {
+                    let start = counter.fetch_add(batch, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + batch).min(n) {
+                        let e = data.get(i);
+                        // Canonical order: P stripe, then Q stripe.
+                        p.with_row_locked(e.u, |pu| {
+                            q.with_row_locked(e.v, |qv| {
+                                crate::kernel::sgd_update(pu, qv, e.r, gamma, lambda);
+                            })
+                        });
+                        done += 1;
+                    }
+                }
+                done
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
+    })
+}
+
+#[cfg(test)]
+mod striped_tests {
+    use super::*;
+    use crate::metrics::rmse;
+    use cumf_data::synth::{generate, SynthConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn striped_epoch_runs_all_updates_and_converges() {
+        let d = generate(&SynthConfig {
+            m: 200,
+            n: 150,
+            k_true: 3,
+            train_samples: 10_000,
+            test_samples: 1_000,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 1.0,
+            seed: 8,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let p0: FactorMatrix<f32> = FactorMatrix::random_init(200, 5, &mut rng);
+        let q0: FactorMatrix<f32> = FactorMatrix::random_init(150, 5, &mut rng);
+        let p = StripedFactors::from_matrix(&p0, 64);
+        let q = StripedFactors::from_matrix(&q0, 64);
+        let mut total = 0;
+        for _ in 0..12 {
+            total += striped_locked_epoch(&d.train, &p, &q, 4, 64, 0.1, 0.02);
+        }
+        assert_eq!(total, 12 * 10_000);
+        let pm: FactorMatrix<f32> = p.into_matrix();
+        let qm: FactorMatrix<f32> = q.into_matrix();
+        let r = rmse(&d.test, &pm, &qm);
+        assert!(r < 0.25, "striped-lock SGD should converge, got {r}");
+    }
+
+    #[test]
+    fn striped_storage_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m: FactorMatrix<f32> = FactorMatrix::random_init(10, 3, &mut rng);
+        let s = StripedFactors::from_matrix(&m, 4);
+        s.with_row_locked(3, |row| {
+            row.copy_from_slice(&[7.0, 8.0, 9.0]);
+        });
+        let back: FactorMatrix<f32> = s.into_matrix();
+        assert_eq!(back.row(3), &[7.0, 8.0, 9.0]);
+        assert_eq!(back.row(0), m.row(0));
+    }
+
+    #[test]
+    fn heavy_contention_is_deadlock_free() {
+        // All samples share one row and one column: every update contends
+        // on the same two stripes. Must finish (canonical lock order).
+        let mut coo = CooMatrix::new(2, 2);
+        for _ in 0..2_000 {
+            coo.push(0, 0, 1.0);
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let p0: FactorMatrix<f32> = FactorMatrix::random_init(2, 3, &mut rng);
+        let q0: FactorMatrix<f32> = FactorMatrix::random_init(2, 3, &mut rng);
+        let p = StripedFactors::from_matrix(&p0, 2);
+        let q = StripedFactors::from_matrix(&q0, 2);
+        let done = striped_locked_epoch(&coo, &p, &q, 8, 16, 0.01, 0.0);
+        assert_eq!(done, 2_000);
+    }
+}

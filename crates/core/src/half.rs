@@ -1,0 +1,270 @@
+//! IEEE 754 binary16 ("half precision"), implemented from scratch.
+//!
+//! §4 of the paper: *"CuMF_SGD uses half-precision to store feature
+//! matrices, which halves the memory bandwidth need"*. On GPUs the
+//! conversion is a hardware instruction; here we implement the conversion
+//! pair in software with round-to-nearest-even, the same rounding CUDA's
+//! `__float2half_rn` performs.
+//!
+//! Only storage conversions are needed — all arithmetic happens in f32,
+//! exactly as in the CUDA kernel (loads widen to f32 registers, stores
+//! narrow back).
+
+/// An IEEE 754 binary16 value: 1 sign bit, 5 exponent bits, 10 mantissa
+/// bits. Range ±65504, ~3 decimal digits of precision.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// The largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// The smallest positive normal value, 2⁻¹⁴.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Creates from the raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from f32 with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve NaN-ness with a quiet-NaN payload bit.
+            return if mant == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                F16(sign | 0x7E00)
+            };
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow -> infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range: drop 13 mantissa bits with RNE.
+            let mant16 = (mant >> 13) as u16;
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let rest = mant & 0x1FFF;
+            let mut out = sign | half_exp | mant16;
+            // Round: up if remainder > half, or exactly half and LSB set.
+            if rest > 0x1000 || (rest == 0x1000 && (mant16 & 1) == 1) {
+                out += 1; // Carries correctly into the exponent on overflow.
+            }
+            return F16(out);
+        }
+        if unbiased >= -24 {
+            // Subnormal f16: the target is mant16 = round(value / 2^-24)
+            // = round(full_mant * 2^(unbiased+1)), i.e. a right shift of
+            // the 24-bit significand by (-unbiased - 1) ∈ 14..=23.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-1 - unbiased) as u32;
+            let mant16 = (full_mant >> shift) as u16;
+            let rest = full_mant & ((1u32 << shift) - 1);
+            let half = 1u32 << (shift - 1);
+            let mut out = sign | mant16;
+            if rest > half || (rest == half && (mant16 & 1) == 1) {
+                out += 1;
+            }
+            return F16(out);
+        }
+        // Underflow to (signed) zero.
+        F16(sign)
+    }
+
+    /// Converts to f32 exactly (every f16 value is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+        let bits = match (exp, mant) {
+            (0, 0) => sign, // signed zero
+            (0, m) => {
+                // Subnormal: renormalise. Zeros before the leading one
+                // within the 10-bit field = u32 leading zeros - 22.
+                let lz = m.leading_zeros() - 22;
+                let shifted = m << (lz + 1); // leading one lands at bit 10
+                let exp32 = 127 - 15 - lz; // = 112 - field_lz
+                sign | (exp32 << 23) | ((shifted & 0x03FF) << 13)
+            }
+            (0x1F, 0) => sign | 0x7F80_0000, // infinity
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13), // NaN
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if this value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True if the value is neither NaN nor infinite.
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Maximum relative quantisation error of a round trip through f16 for
+/// values in the normal range: half an ulp = 2⁻¹¹.
+pub const F16_MAX_RELATIVE_ERROR: f32 = 1.0 / 2048.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i}");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+        // 65520 rounds to inf (midpoint rounds to even = inf),
+        // 65519 rounds down to MAX.
+        assert!(F16::from_f32(65520.0).is_infinite());
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+        assert!(!F16::from_f32(1.0).is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal: 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        assert_eq!(F16::from_bits(0x0001).to_f32(), tiny);
+        // Largest subnormal: (1023/1024) * 2^-14.
+        let big_sub = (1023.0 / 1024.0) * 2.0f32.powi(-14);
+        assert_eq!(F16::from_f32(big_sub).to_bits(), 0x03FF);
+        assert_eq!(F16::from_bits(0x03FF).to_f32(), big_sub);
+        // Below half the smallest subnormal underflows to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)), F16::ZERO);
+        // MIN_POSITIVE normal round trips.
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16
+        // (1 + 2^-10); RNE keeps the even mantissa -> 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_bits(), 0x3C00);
+        // 1 + 3*2^-11 is halfway between (1+2^-10) and (1+2^-9); RNE picks
+        // the even mantissa (1+2^-9, bits ...10).
+        let halfway2 = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway2).to_bits(), 0x3C02);
+        // Just above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn relative_error_bound_on_normal_range() {
+        // Sweep pseudo-random values across the normal f16 range and check
+        // the round-trip error bound.
+        let mut x = 0.000_061_5f32; // just above min normal
+        while x < 60000.0 {
+            for sign in [1.0f32, -1.0] {
+                let v = x * sign;
+                let rt = F16::from_f32(v).to_f32();
+                let rel = ((rt - v) / v).abs();
+                assert!(
+                    rel <= F16_MAX_RELATIVE_ERROR,
+                    "x = {v}, round trip {rt}, rel err {rel}"
+                );
+            }
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn all_f16_bit_patterns_round_trip_exactly() {
+        // f16 -> f32 -> f16 must be the identity for every finite pattern.
+        for bits in 0..=0xFFFFu16 {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            let rt = F16::from_f32(h.to_f32());
+            assert_eq!(rt.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn feature_scale_values_are_well_represented() {
+        // Feature values live in roughly [-2, 2] after the paper's
+        // "parameter scaling"; quantisation there is harmless.
+        for i in 0..1000 {
+            let x = -2.0 + 4.0 * (i as f32) / 999.0;
+            let rt = F16::from_f32(x).to_f32();
+            assert!((rt - x).abs() <= 2.0 * F16_MAX_RELATIVE_ERROR * x.abs().max(0.25));
+        }
+    }
+}

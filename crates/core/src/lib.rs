@@ -1,0 +1,66 @@
+//! # cumf-core — cuMF_SGD in Rust
+//!
+//! The primary contribution of *CuMF_SGD: Parallelized Stochastic Gradient
+//! Descent for Matrix Factorization on GPUs* (HPDC'17), reproduced from
+//! scratch:
+//!
+//! * [`half`] — IEEE 754 binary16 storage (§4's half-precision feature
+//!   matrices), implemented from scratch;
+//! * [`feature`] — factor matrices generic over storage precision;
+//! * [`kernel`] — the SGD update (Algorithm 1) in scalar and ILP-unrolled
+//!   forms, plus ADAGRAD state;
+//! * [`lrate`] — learning-rate schedules, including the paper's Eq. 9;
+//! * [`sched`] — the scheduling-policy zoo: serial, Hogwild!,
+//!   batch-Hogwild! (§5.1), wavefront-update (§5.2), and LIBMF's global
+//!   table, all as deterministic update streams;
+//! * [`concurrent`] — execution engines: a deterministic round-based
+//!   Hogwild! conflict engine (stale reads, additive commits) and a real
+//!   OS-thread lock-free executor;
+//! * [`solver`] — the single-GPU training loop producing convergence
+//!   traces;
+//! * [`partition`] — §6.1's i×j workload grid, Eq. 6 independence, the
+//!   §7.5 convergence constraints, and Fig 15's feasible-order analysis;
+//! * [`multi_gpu`] — §6's staged multi-GPU solver with transfer/compute
+//!   overlap;
+//! * [`metrics`] — test RMSE, Eq. 2 loss, Eq. 7 throughput, traces.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cumf_core::solver::{train, Scheme, SolverConfig};
+//! use cumf_data::synth::{generate, SynthConfig};
+//!
+//! let data = generate(&SynthConfig {
+//!     m: 200, n: 150, k_true: 4, train_samples: 8_000, test_samples: 800,
+//!     ..SynthConfig::default()
+//! });
+//! let config = SolverConfig::new(6, Scheme::BatchHogwild { workers: 8, batch: 64 });
+//! let result = train::<f32>(&data.train, &data.test, &config, None);
+//! assert!(result.trace.final_rmse().unwrap() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bias;
+pub mod concurrent;
+pub mod feature;
+pub mod half;
+pub mod kernel;
+pub mod lrate;
+pub mod metrics;
+pub mod model_io;
+pub mod multi_gpu;
+pub mod partition;
+pub mod sched;
+pub mod solver;
+
+pub use bias::{train_biased, BiasedConfig, BiasedModel, BiasedResult};
+pub use concurrent::{AtomicFactors, EpochStats, ExecMode, StripedFactors};
+pub use feature::{Element, FactorMatrix};
+pub use half::F16;
+pub use lrate::{LearningRate, Schedule};
+pub use metrics::{rmse, updates_per_sec, Trace, TracePoint};
+pub use model_io::{load_model, load_model_file, save_model, save_model_file, Model};
+pub use multi_gpu::{train_partitioned, MultiGpuConfig, MultiGpuResult};
+pub use partition::{count_feasible_orders, schedule_epoch, BlockId, Grid, WaveSchedule};
+pub use solver::{train, Scheme, SolverConfig, TimeModel, TrainResult};

@@ -1,0 +1,148 @@
+//! Learning-rate schedules.
+//!
+//! The paper (§7.1) adopts NOMAD's decay schedule (its Eq. 9):
+//!
+//! ```text
+//! γ_t = α / (1 + β · t^1.5)
+//! ```
+//!
+//! LIBMF instead uses a *bold-driver*-style adaptive rule (Chin et al.,
+//! "A learning-rate schedule for stochastic gradient methods to matrix
+//! factorization"); we provide both, plus a fixed rate for testing.
+
+/// A per-epoch learning-rate schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Schedule {
+    /// Constant learning rate.
+    Fixed(f32),
+    /// The paper's Eq. 9: `γ_t = α / (1 + β t^1.5)` with epoch `t`
+    /// counted from 0.
+    NomadDecay {
+        /// Initial rate α.
+        alpha: f32,
+        /// Decay strength β.
+        beta: f32,
+    },
+    /// Bold driver: multiply by `up` after an epoch that improved the
+    /// monitored loss, by `down` after one that worsened it.
+    BoldDriver {
+        /// Initial rate.
+        initial: f32,
+        /// Multiplier on improvement (e.g. 1.05).
+        up: f32,
+        /// Multiplier on regression (e.g. 0.5).
+        down: f32,
+    },
+}
+
+impl Schedule {
+    /// The paper's per-dataset default (Table 3): `NomadDecay`.
+    pub fn paper_default(alpha: f32, beta: f32) -> Self {
+        Schedule::NomadDecay { alpha, beta }
+    }
+}
+
+/// Stateful evaluator of a [`Schedule`].
+#[derive(Debug, Clone)]
+pub struct LearningRate {
+    schedule: Schedule,
+    current: f32,
+    last_loss: Option<f64>,
+}
+
+impl LearningRate {
+    /// Creates the evaluator; `gamma(0)` is the initial rate.
+    pub fn new(schedule: Schedule) -> Self {
+        let current = match schedule {
+            Schedule::Fixed(g) => g,
+            Schedule::NomadDecay { alpha, .. } => alpha,
+            Schedule::BoldDriver { initial, .. } => initial,
+        };
+        LearningRate {
+            schedule,
+            current,
+            last_loss: None,
+        }
+    }
+
+    /// Learning rate for epoch `t` (0-based). For `BoldDriver`, feed epoch
+    /// losses through [`Self::observe`] between epochs.
+    pub fn gamma(&self, t: u32) -> f32 {
+        match self.schedule {
+            Schedule::Fixed(g) => g,
+            Schedule::NomadDecay { alpha, beta } => {
+                alpha / (1.0 + beta * (t as f32).powf(1.5))
+            }
+            Schedule::BoldDriver { .. } => self.current,
+        }
+    }
+
+    /// Reports the monitored loss after an epoch (drives `BoldDriver`).
+    pub fn observe(&mut self, loss: f64) {
+        if let Schedule::BoldDriver { up, down, .. } = self.schedule {
+            if let Some(prev) = self.last_loss {
+                if loss < prev {
+                    self.current *= up;
+                } else {
+                    self.current *= down;
+                }
+            }
+            self.last_loss = Some(loss);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let lr = LearningRate::new(Schedule::Fixed(0.05));
+        assert_eq!(lr.gamma(0), 0.05);
+        assert_eq!(lr.gamma(100), 0.05);
+    }
+
+    #[test]
+    fn nomad_decay_matches_eq9() {
+        // Netflix parameters (Table 3): alpha = 0.08, beta = 0.3.
+        let lr = LearningRate::new(Schedule::paper_default(0.08, 0.3));
+        assert_eq!(lr.gamma(0), 0.08);
+        let g1 = lr.gamma(1);
+        assert!((g1 - 0.08 / 1.3).abs() < 1e-7);
+        let g4 = lr.gamma(4);
+        assert!((g4 - 0.08 / (1.0 + 0.3 * 8.0)).abs() < 1e-7);
+        // Strictly decreasing.
+        let mut prev = f32::INFINITY;
+        for t in 0..50 {
+            let g = lr.gamma(t);
+            assert!(g < prev);
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn bold_driver_adapts() {
+        let mut lr = LearningRate::new(Schedule::BoldDriver {
+            initial: 0.1,
+            up: 1.05,
+            down: 0.5,
+        });
+        assert_eq!(lr.gamma(0), 0.1);
+        lr.observe(1.0); // first observation: no change
+        assert_eq!(lr.gamma(1), 0.1);
+        lr.observe(0.9); // improved
+        assert!((lr.gamma(2) - 0.105).abs() < 1e-7);
+        lr.observe(1.5); // regressed
+        assert!((lr.gamma(3) - 0.0525).abs() < 1e-7);
+    }
+
+    #[test]
+    fn observe_is_noop_for_decay() {
+        let mut lr = LearningRate::new(Schedule::paper_default(0.08, 0.3));
+        let before = lr.gamma(3);
+        lr.observe(10.0);
+        lr.observe(0.1);
+        assert_eq!(lr.gamma(3), before);
+    }
+}

@@ -1,0 +1,214 @@
+//! Evaluation metrics: test RMSE (Eq. 2's objective) and Eq. 7 throughput.
+
+use cumf_data::CooMatrix;
+
+use crate::feature::{Element, FactorMatrix};
+use crate::kernel::dot;
+
+/// Root-mean-square error of `P·Q` against the samples of `data` — the
+/// "Test RMSE" of every convergence figure in the paper.
+pub fn rmse<E: Element>(
+    data: &CooMatrix,
+    p: &FactorMatrix<E>,
+    q: &FactorMatrix<E>,
+) -> f64 {
+    assert_eq!(p.k(), q.k(), "P and Q must share k");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut se = 0.0f64;
+    for e in data.iter() {
+        let pred = dot(p.row(e.u), q.row(e.v));
+        let err = (e.r - pred) as f64;
+        se += err * err;
+    }
+    (se / data.nnz() as f64).sqrt()
+}
+
+/// The paper's full training objective (Eq. 2): squared error plus L2
+/// penalties over the *observed* samples.
+pub fn regularised_loss<E: Element>(
+    data: &CooMatrix,
+    p: &FactorMatrix<E>,
+    q: &FactorMatrix<E>,
+    lambda: f32,
+) -> f64 {
+    let mut loss = 0.0f64;
+    for e in data.iter() {
+        let pu = p.row(e.u);
+        let qv = q.row(e.v);
+        let err = (e.r - dot(pu, qv)) as f64;
+        let np: f64 = pu.iter().map(|x| (x.to_f32() as f64).powi(2)).sum();
+        let nq: f64 = qv.iter().map(|x| (x.to_f32() as f64).powi(2)).sum();
+        loss += err * err + lambda as f64 * (np + nq);
+    }
+    loss
+}
+
+/// Eq. 7: `#Updates/s = (#Iterations × N) / elapsed`.
+pub fn updates_per_sec(iterations: u64, n_samples: u64, elapsed_secs: f64) -> f64 {
+    assert!(elapsed_secs > 0.0, "elapsed time must be positive");
+    (iterations * n_samples) as f64 / elapsed_secs
+}
+
+/// One point of a convergence trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePoint {
+    /// Epoch number (1-based: after this many full passes).
+    pub epoch: u32,
+    /// Cumulative SGD updates executed.
+    pub updates: u64,
+    /// Test RMSE after the epoch.
+    pub rmse: f64,
+    /// Simulated training time in seconds (0 when no time model attached).
+    pub seconds: f64,
+}
+
+/// A convergence trace: RMSE after each epoch, plus helpers used by the
+/// benchmark harness (time-to-target, final RMSE).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Per-epoch points, in epoch order.
+    pub points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Appends a point; epochs must be recorded in order.
+    pub fn push(&mut self, point: TracePoint) {
+        if let Some(last) = self.points.last() {
+            assert!(point.epoch > last.epoch, "epochs must increase");
+        }
+        self.points.push(point);
+    }
+
+    /// RMSE after the final epoch, or `None` when empty.
+    pub fn final_rmse(&self) -> Option<f64> {
+        self.points.last().map(|p| p.rmse)
+    }
+
+    /// Best (lowest) finite RMSE over the trace. Non-finite points (a
+    /// diverged run's NaN tail) are skipped; `None` if nothing finite.
+    pub fn best_rmse(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|p| p.rmse)
+            .filter(|r| r.is_finite())
+            .min_by(|a, b| a.partial_cmp(b).expect("finite values compare"))
+    }
+
+    /// First simulated time at which the trace reaches `target` RMSE —
+    /// the "training time to converge" of Table 4.
+    pub fn time_to_rmse(&self, target: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.rmse <= target)
+            .map(|p| p.seconds)
+    }
+
+    /// First epoch at which the trace reaches `target` RMSE.
+    pub fn epochs_to_rmse(&self, target: f64) -> Option<u32> {
+        self.points
+            .iter()
+            .find(|p| p.rmse <= target)
+            .map(|p| p.epoch)
+    }
+
+    /// True if the trace ever produced a non-finite or clearly diverged
+    /// RMSE (> `ceiling`).
+    pub fn diverged(&self, ceiling: f64) -> bool {
+        self.points
+            .iter()
+            .any(|p| !p.rmse.is_finite() || p.rmse > ceiling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_exact_model() -> (CooMatrix, FactorMatrix<f32>, FactorMatrix<f32>) {
+        // P = [[1,0],[0,1]], Q = [[2,0],[0,3]] -> R = [[2,0],[0,3]].
+        let p = FactorMatrix::from_f32_slice(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let q = FactorMatrix::from_f32_slice(2, 2, &[2.0, 0.0, 0.0, 3.0]);
+        let mut r = CooMatrix::new(2, 2);
+        r.push(0, 0, 2.0);
+        r.push(1, 1, 3.0);
+        (r, p, q)
+    }
+
+    #[test]
+    fn rmse_zero_for_exact_model() {
+        let (r, p, q) = tiny_exact_model();
+        assert_eq!(rmse(&r, &p, &q), 0.0);
+    }
+
+    #[test]
+    fn rmse_of_constant_offset() {
+        let (_, p, q) = tiny_exact_model();
+        let mut r = CooMatrix::new(2, 2);
+        r.push(0, 0, 3.0); // off by 1
+        r.push(1, 1, 4.0); // off by 1
+        assert!((rmse(&r, &p, &q) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_empty_data_is_zero() {
+        let (_, p, q) = tiny_exact_model();
+        assert_eq!(rmse(&CooMatrix::new(2, 2), &p, &q), 0.0);
+    }
+
+    #[test]
+    fn loss_includes_regularisation() {
+        let (r, p, q) = tiny_exact_model();
+        // Errors are zero; loss is purely λ (|p|² + |q|²) per sample.
+        let loss = regularised_loss(&r, &p, &q, 0.5);
+        // Sample (0,0): |p0|²=1, |q0|²=4 -> 0.5*5 = 2.5
+        // Sample (1,1): |p1|²=1, |q1|²=9 -> 0.5*10 = 5.0
+        assert!((loss - 7.5).abs() < 1e-9);
+        assert_eq!(regularised_loss(&r, &p, &q, 0.0), 0.0);
+    }
+
+    #[test]
+    fn eq7_updates_per_sec() {
+        // 10 epochs of 1e6 samples in 2 seconds = 5 M updates/s.
+        assert_eq!(updates_per_sec(10, 1_000_000, 2.0), 5e6);
+    }
+
+    #[test]
+    fn trace_queries() {
+        let mut t = Trace::default();
+        for (e, r, s) in [(1, 1.2, 0.1), (2, 0.95, 0.2), (3, 0.91, 0.3)] {
+            t.push(TracePoint {
+                epoch: e,
+                updates: e as u64 * 100,
+                rmse: r,
+                seconds: s,
+            });
+        }
+        assert_eq!(t.final_rmse(), Some(0.91));
+        assert_eq!(t.best_rmse(), Some(0.91));
+        assert_eq!(t.time_to_rmse(0.92), Some(0.3));
+        assert_eq!(t.epochs_to_rmse(1.0), Some(2));
+        assert_eq!(t.time_to_rmse(0.5), None);
+        assert!(!t.diverged(10.0));
+        assert!(t.diverged(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs must increase")]
+    fn trace_rejects_out_of_order() {
+        let mut t = Trace::default();
+        t.push(TracePoint {
+            epoch: 2,
+            updates: 0,
+            rmse: 1.0,
+            seconds: 0.0,
+        });
+        t.push(TracePoint {
+            epoch: 1,
+            updates: 0,
+            rmse: 1.0,
+            seconds: 0.0,
+        });
+    }
+}

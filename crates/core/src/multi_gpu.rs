@@ -1,0 +1,438 @@
+//! Multi-GPU / out-of-core training (§6).
+//!
+//! For data sets that exceed one device's memory, the solver partitions R
+//! into an `i × j` [`Grid`], schedules waves of mutually-independent blocks
+//! across `g` (simulated) GPUs, executes each block's SGD updates with the
+//! single-GPU engine, and accounts time through the transfer/compute
+//! pipeline model of `cumf-gpu-sim` (H2D of the block + its P/Q segments,
+//! compute, D2H of the segments, with §6.2's copy/compute overlap).
+//!
+//! Because concurrently-scheduled blocks are independent (Eq. 6), their
+//! updates touch disjoint P/Q rows: executing them back-to-back in program
+//! order is *numerically identical* to executing them in parallel, so
+//! convergence results are exact while timing comes from the machine model.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cumf_data::CooMatrix;
+use cumf_gpu_sim::pipeline::{overlapped, serial, BlockJob};
+use cumf_gpu_sim::{GpuSpec, LinkSpec, SgdUpdateCost};
+
+use crate::concurrent::{run_epoch, ExecMode};
+use crate::feature::{Element, FactorMatrix};
+use crate::lrate::{LearningRate, Schedule};
+use crate::metrics::{rmse, Trace, TracePoint};
+use crate::partition::{schedule_epoch, BlockId, Grid};
+use crate::sched::{BatchHogwildStream, UpdateStream};
+
+/// Configuration of a partitioned multi-GPU run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuConfig {
+    /// Feature dimension.
+    pub k: u32,
+    /// Regularisation λ.
+    pub lambda: f32,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    /// Epochs to run.
+    pub epochs: u32,
+    /// Grid rows (P-segments).
+    pub grid_i: u32,
+    /// Grid columns (Q-segments).
+    pub grid_j: u32,
+    /// Number of GPUs.
+    pub gpus: u32,
+    /// Parallel workers (thread blocks) per GPU.
+    pub workers_per_gpu: u32,
+    /// Batch-Hogwild! fetch size within a block.
+    pub batch: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Abort when test RMSE exceeds this.
+    pub divergence_ceiling: f64,
+    /// If false, disable §6.2's transfer/compute overlap (ablation).
+    pub overlap: bool,
+    /// Enforce the §7.6 rule `grid ≥ gpus×gpus... (i ≥ 2·gpus and
+    /// j ≥ 2·gpus)` strictly; set false to reproduce the failure modes.
+    pub enforce_grid_rule: bool,
+}
+
+impl MultiGpuConfig {
+    /// Defaults mirroring the paper's Hugewiki single-GPU staging setup.
+    pub fn new(k: u32, grid_i: u32, grid_j: u32, gpus: u32) -> Self {
+        MultiGpuConfig {
+            k,
+            lambda: 0.05,
+            schedule: Schedule::paper_default(0.08, 0.3),
+            epochs: 10,
+            grid_i,
+            grid_j,
+            gpus,
+            workers_per_gpu: 64,
+            batch: 64,
+            seed: 42,
+            divergence_ceiling: 1e3,
+            overlap: true,
+            enforce_grid_rule: false,
+        }
+    }
+}
+
+/// Timing summary of one multi-GPU epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochTiming {
+    /// Simulated seconds for the epoch (max over GPUs, plus sync).
+    pub seconds: f64,
+    /// Pure compute seconds (max over GPUs).
+    pub compute_seconds: f64,
+    /// Pure transfer seconds (max over GPUs).
+    pub transfer_seconds: f64,
+    /// GPU-wave slots that idled for lack of independent blocks.
+    pub idle_slots: usize,
+}
+
+/// Result of a partitioned run.
+#[derive(Debug, Clone)]
+pub struct MultiGpuResult<E: Element> {
+    /// Learned row factors.
+    pub p: FactorMatrix<E>,
+    /// Learned column factors.
+    pub q: FactorMatrix<E>,
+    /// Convergence trace (RMSE vs simulated time).
+    pub trace: Trace,
+    /// Per-epoch timing breakdown.
+    pub timings: Vec<EpochTiming>,
+    /// True if training diverged.
+    pub diverged: bool,
+}
+
+/// Trains with the partitioned multi-GPU pipeline on the given (simulated)
+/// GPU and interconnect.
+pub fn train_partitioned<E: Element>(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &MultiGpuConfig,
+    gpu: &GpuSpec,
+    link: &LinkSpec,
+) -> MultiGpuResult<E> {
+    assert!(!train.is_empty(), "training set is empty");
+    assert!(config.gpus >= 1, "need at least one GPU");
+    if config.enforce_grid_rule && config.gpus > 1 {
+        // §7.6: "when cuMF_SGD uses two GPUs, R should at least be divided
+        // into 4×4 blocks".
+        assert!(
+            config.grid_i >= 2 * config.gpus && config.grid_j >= 2 * config.gpus,
+            "grid {}x{} too small for {} GPUs (need >= {}x{})",
+            config.grid_i,
+            config.grid_j,
+            config.gpus,
+            2 * config.gpus,
+            2 * config.gpus
+        );
+    }
+    let grid = Grid::build(train, config.grid_i, config.grid_j);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut p: FactorMatrix<E> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
+    let mut q: FactorMatrix<E> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
+
+    let cost = SgdUpdateCost {
+        k: config.k,
+        precision: if E::BYTES == 2 {
+            cumf_gpu_sim::Precision::F16
+        } else {
+            cumf_gpu_sim::Precision::F32
+        },
+        rating_access: cumf_gpu_sim::RatingAccess::Streamed,
+    };
+    let mut trace = Trace::default();
+    let mut timings = Vec::with_capacity(config.epochs as usize);
+    let mut lr = LearningRate::new(config.schedule.clone());
+    let mut seconds = 0.0f64;
+    let mut updates = 0u64;
+    let mut diverged = false;
+
+    for epoch in 0..config.epochs {
+        let gamma = lr.gamma(epoch);
+        let schedule = schedule_epoch(&grid, config.gpus, &mut rng);
+
+        // --- Convergence: execute every block's updates (wave by wave;
+        // independence makes program order exact).
+        for wave in &schedule.waves {
+            for &slot in wave {
+                if let Some(block_id) = slot {
+                    updates += execute_block(
+                        train,
+                        &grid,
+                        block_id,
+                        &mut p,
+                        &mut q,
+                        config,
+                        gamma,
+                        epoch,
+                    );
+                }
+            }
+        }
+
+        // --- Timing: per-GPU pipeline of its assigned blocks.
+        let timing = epoch_timing(&schedule.waves, &grid, config, &cost, gpu, link);
+        seconds += timing.seconds;
+        timings.push(timing);
+
+        let test_rmse = rmse(test, &p, &q);
+        lr.observe(test_rmse);
+        trace.push(TracePoint {
+            epoch: epoch + 1,
+            updates,
+            rmse: test_rmse,
+            seconds,
+        });
+        if !test_rmse.is_finite() || test_rmse > config.divergence_ceiling {
+            diverged = true;
+            break;
+        }
+    }
+
+    MultiGpuResult {
+        p,
+        q,
+        trace,
+        timings,
+        diverged,
+    }
+}
+
+/// Runs one block's SGD updates with batch-Hogwild! semantics confined to
+/// the block's coordinate window.
+#[allow(clippy::too_many_arguments)]
+fn execute_block<E: Element>(
+    train: &CooMatrix,
+    grid: &Grid,
+    id: BlockId,
+    p: &mut FactorMatrix<E>,
+    q: &mut FactorMatrix<E>,
+    config: &MultiGpuConfig,
+    gamma: f32,
+    epoch: u32,
+) -> u64 {
+    let samples = grid.block(id);
+    if samples.is_empty() {
+        return 0;
+    }
+    // Materialise the block as a COO window in *global* coordinates: the
+    // engine updates P/Q rows directly, mirroring the device-side segments
+    // being written back (§6.1).
+    let mut block = CooMatrix::with_capacity(train.rows(), train.cols(), samples.len());
+    for &s in samples {
+        let e = train.get(s);
+        block.push(e.u, e.v, e.r);
+    }
+    let workers = (config.workers_per_gpu as usize).min(samples.len().max(1));
+    let mut stream = BatchHogwildStream::new(block.nnz(), workers, config.batch as usize);
+    stream.begin_epoch(epoch);
+    let stats = run_epoch(
+        &block,
+        p,
+        q,
+        &mut stream,
+        gamma,
+        config.lambda,
+        ExecMode::StaleAdditive,
+    );
+    stats.updates
+}
+
+/// Computes the epoch's simulated time: each GPU pipelines its block
+/// sequence (H2D block+segments, compute, D2H segments); the epoch ends
+/// when the slowest GPU finishes.
+fn epoch_timing(
+    waves: &[Vec<Option<BlockId>>],
+    grid: &Grid,
+    config: &MultiGpuConfig,
+    cost: &SgdUpdateCost,
+    gpu: &GpuSpec,
+    link: &LinkSpec,
+) -> EpochTiming {
+    let elem_bytes = cost.precision.bytes() as f64;
+    let k = config.k as f64;
+    let mut worst = EpochTiming {
+        seconds: 0.0,
+        compute_seconds: 0.0,
+        transfer_seconds: 0.0,
+        idle_slots: 0,
+    };
+    for g in 0..config.gpus as usize {
+        let jobs: Vec<BlockJob> = waves
+            .iter()
+            .filter_map(|wave| wave[g])
+            .map(|id| {
+                let samples = grid.block(id).len() as f64;
+                let seg_bytes = (grid.row_range(id.bi).len() as f64
+                    + grid.col_range(id.bj).len() as f64)
+                    * k
+                    * elem_bytes;
+                BlockJob {
+                    h2d_bytes: samples * 12.0 + seg_bytes,
+                    compute_bytes: samples * cost.bytes() as f64,
+                    d2h_bytes: seg_bytes,
+                }
+            })
+            .collect();
+        let result = if config.overlap {
+            overlapped(&jobs, gpu, link, config.workers_per_gpu)
+        } else {
+            serial(&jobs, gpu, link, config.workers_per_gpu)
+        };
+        if result.makespan > worst.seconds {
+            worst.seconds = result.makespan;
+            worst.compute_seconds = result.compute_time;
+            worst.transfer_seconds = result.transfer_time;
+        }
+    }
+    worst.idle_slots = waves
+        .iter()
+        .flat_map(|w| w.iter())
+        .filter(|b| b.is_none())
+        .count();
+    // Inter-GPU synchronisation: segments exchanged through host memory at
+    // wave boundaries when more than one GPU runs (the sub-linear-scaling
+    // cost the paper reports in §7.7).
+    if config.gpus > 1 {
+        worst.seconds += waves.len() as f64 * link.latency_s * config.gpus as f64;
+    }
+    EpochTiming { ..worst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_data::synth::{generate, SynthConfig};
+    use cumf_gpu_sim::{PCIE3_X16, TITAN_X_MAXWELL};
+
+    fn dataset(m: u32, n: u32, train: usize) -> cumf_data::synth::SynthDataset {
+        generate(&SynthConfig {
+            m,
+            n,
+            k_true: 4,
+            train_samples: train,
+            test_samples: train / 10,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 1.0,
+            seed: 21,
+        })
+    }
+
+    fn config(i: u32, j: u32, gpus: u32) -> MultiGpuConfig {
+        let mut c = MultiGpuConfig::new(6, i, j, gpus);
+        c.epochs = 10;
+        c.workers_per_gpu = 8;
+        c.batch = 32;
+        c.schedule = Schedule::paper_default(0.1, 0.1);
+        c.lambda = 0.02;
+        c
+    }
+
+    #[test]
+    fn single_gpu_partitioned_converges() {
+        let d = dataset(400, 300, 20_000);
+        let r = train_partitioned::<f32>(
+            &d.train,
+            &d.test,
+            &config(4, 1, 1),
+            &TITAN_X_MAXWELL,
+            &PCIE3_X16,
+        );
+        assert!(!r.diverged);
+        assert!(
+            r.trace.final_rmse().unwrap() < 0.25,
+            "rmse {}",
+            r.trace.final_rmse().unwrap()
+        );
+        assert!(r.timings.iter().all(|t| t.seconds > 0.0));
+    }
+
+    #[test]
+    fn partitioned_matches_unpartitioned_quality() {
+        let d = dataset(400, 300, 20_000);
+        let part = train_partitioned::<f32>(
+            &d.train,
+            &d.test,
+            &config(4, 4, 1),
+            &TITAN_X_MAXWELL,
+            &PCIE3_X16,
+        );
+        let whole = train_partitioned::<f32>(
+            &d.train,
+            &d.test,
+            &config(1, 1, 1),
+            &TITAN_X_MAXWELL,
+            &PCIE3_X16,
+        );
+        let a = part.trace.final_rmse().unwrap();
+        let b = whole.trace.final_rmse().unwrap();
+        assert!((a - b).abs() < 0.08, "partitioned {a} vs whole {b}");
+    }
+
+    #[test]
+    fn two_gpus_same_quality_less_time_per_epoch() {
+        let d = dataset(600, 600, 30_000);
+        let one = train_partitioned::<f32>(
+            &d.train,
+            &d.test,
+            &config(8, 8, 1),
+            &TITAN_X_MAXWELL,
+            &PCIE3_X16,
+        );
+        let two = train_partitioned::<f32>(
+            &d.train,
+            &d.test,
+            &config(8, 8, 2),
+            &TITAN_X_MAXWELL,
+            &PCIE3_X16,
+        );
+        assert!(!two.diverged);
+        // Same convergence quality...
+        let a = one.trace.final_rmse().unwrap();
+        let b = two.trace.final_rmse().unwrap();
+        assert!((a - b).abs() < 0.08, "1-gpu {a} vs 2-gpu {b}");
+        // ...but faster epochs (sub-linear: transfers + sync, §7.7).
+        let t1: f64 = one.timings.iter().map(|t| t.seconds).sum();
+        let t2: f64 = two.timings.iter().map(|t| t.seconds).sum();
+        assert!(t2 < t1, "2 GPUs {t2}s should beat 1 GPU {t1}s");
+        assert!(t2 > t1 / 2.0, "scaling must be sub-linear, got {t1}/{t2}");
+    }
+
+    #[test]
+    fn overlap_beats_no_overlap() {
+        let d = dataset(400, 300, 20_000);
+        let mut on = config(8, 1, 1);
+        on.overlap = true;
+        let mut off = config(8, 1, 1);
+        off.overlap = false;
+        let r_on = train_partitioned::<f32>(&d.train, &d.test, &on, &TITAN_X_MAXWELL, &PCIE3_X16);
+        let r_off =
+            train_partitioned::<f32>(&d.train, &d.test, &off, &TITAN_X_MAXWELL, &PCIE3_X16);
+        let t_on: f64 = r_on.timings.iter().map(|t| t.seconds).sum();
+        let t_off: f64 = r_off.timings.iter().map(|t| t.seconds).sum();
+        assert!(t_on < t_off, "overlap {t_on} must beat serial {t_off}");
+        // Same numerics either way.
+        assert_eq!(
+            r_on.trace.final_rmse().unwrap(),
+            r_off.trace.final_rmse().unwrap()
+        );
+    }
+
+    #[test]
+    fn grid_rule_enforced_when_requested() {
+        let d = dataset(100, 100, 1000);
+        let mut c = config(2, 2, 2);
+        c.enforce_grid_rule = true;
+        let result = std::panic::catch_unwind(|| {
+            train_partitioned::<f32>(&d.train, &d.test, &c, &TITAN_X_MAXWELL, &PCIE3_X16)
+        });
+        assert!(result.is_err(), "2x2 grid with 2 GPUs must be rejected");
+    }
+}

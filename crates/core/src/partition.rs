@@ -1,0 +1,392 @@
+//! Workload partitioning (§6.1) and blocking convergence analysis (§7.6).
+//!
+//! For data sets exceeding device memory, cuMF_SGD divides the rating
+//! matrix into an `i × j` grid; feature matrices split into `i` P-segments
+//! and `j` Q-segments. Blocks sharing no grid row and no grid column are
+//! *independent* (Eq. 6) and can be dispatched to different GPUs.
+//!
+//! This module owns the grid, the independent-block scheduler, the
+//! convergence constraints of §7.5
+//! (`s ≪ min(⌊m/i⌋, ⌊n/j⌋)`, empirically `s < min/20`), and the
+//! feasible-update-order enumeration behind Fig 15.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use cumf_data::CooMatrix;
+
+/// Grid coordinates of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// Grid row (P-segment index), `0..i`.
+    pub bi: u32,
+    /// Grid column (Q-segment index), `0..j`.
+    pub bj: u32,
+}
+
+/// An `i × j` partition of a rating matrix.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    i: u32,
+    j: u32,
+    m: u32,
+    n: u32,
+    /// Sample indices per block, row-major (`bi * j + bj`).
+    blocks: Vec<Vec<usize>>,
+}
+
+impl Grid {
+    /// Partitions `data` into `i × j` equal coordinate ranges.
+    pub fn build(data: &CooMatrix, i: u32, j: u32) -> Self {
+        assert!(i > 0 && j > 0, "grid must be at least 1x1");
+        assert!(
+            i <= data.rows() && j <= data.cols(),
+            "grid {i}x{j} exceeds matrix {}x{}",
+            data.rows(),
+            data.cols()
+        );
+        let m = data.rows();
+        let n = data.cols();
+        let mut blocks = vec![Vec::new(); (i * j) as usize];
+        for (idx, e) in data.iter().enumerate() {
+            let bi = ((e.u as u64 * i as u64) / m as u64).min(i as u64 - 1) as u32;
+            let bj = ((e.v as u64 * j as u64) / n as u64).min(j as u64 - 1) as u32;
+            blocks[(bi * j + bj) as usize].push(idx);
+        }
+        Grid { i, j, m, n, blocks }
+    }
+
+    /// Grid rows.
+    pub fn i(&self) -> u32 {
+        self.i
+    }
+
+    /// Grid columns.
+    pub fn j(&self) -> u32 {
+        self.j
+    }
+
+    /// Total number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Sample indices of a block.
+    pub fn block(&self, id: BlockId) -> &[usize] {
+        &self.blocks[(id.bi * self.j + id.bj) as usize]
+    }
+
+    /// All block ids in row-major order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.i).flat_map(move |bi| (0..self.j).map(move |bj| BlockId { bi, bj }))
+    }
+
+    /// Row (user) range of grid row `bi`.
+    pub fn row_range(&self, bi: u32) -> std::ops::Range<u32> {
+        range_of(self.m, self.i, bi)
+    }
+
+    /// Column (item) range of grid column `bj`.
+    pub fn col_range(&self, bj: u32) -> std::ops::Range<u32> {
+        range_of(self.n, self.j, bj)
+    }
+
+    /// Eq. 6: two blocks can update concurrently iff they share neither a
+    /// grid row nor a grid column.
+    pub fn independent(a: BlockId, b: BlockId) -> bool {
+        a.bi != b.bi && a.bj != b.bj
+    }
+
+    /// §7.5: the Hogwild! convergence constraint inside one block —
+    /// `s ≪ min(⌊m/i⌋, ⌊n/j⌋)`, with the paper's empirical factor of 20.
+    pub fn hogwild_safe_workers(&self) -> u32 {
+        ((self.m / self.i).min(self.n / self.j) / 20).max(1)
+    }
+
+    /// Whether `s` workers per block satisfy the §7.5 convergence rule.
+    pub fn convergence_ok(&self, s: u32) -> bool {
+        s < (self.m / self.i).min(self.n / self.j) / 20
+    }
+}
+
+fn range_of(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
+    // Matches the block assignment rule `bi = u*i/m`: boundaries at
+    // ceil(b*m/i).
+    let start = ((idx as u64 * total as u64).div_ceil(parts as u64)) as u32;
+    let end = (((idx as u64 + 1) * total as u64).div_ceil(parts as u64)) as u32;
+    start..end.max(start)
+}
+
+/// A schedule of block *waves*: in each wave, `gpus` mutually independent
+/// blocks run concurrently (one per GPU); `None` means that GPU idles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaveSchedule {
+    /// waves[w][g] = block assigned to GPU `g` in wave `w`.
+    pub waves: Vec<Vec<Option<BlockId>>>,
+}
+
+impl WaveSchedule {
+    /// Total idle GPU-wave slots (load imbalance of the schedule).
+    pub fn idle_slots(&self) -> usize {
+        self.waves
+            .iter()
+            .flat_map(|w| w.iter())
+            .filter(|b| b.is_none())
+            .count()
+    }
+
+    /// Number of waves.
+    pub fn len(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+}
+
+/// Builds one epoch's wave schedule: step 2 of §6.1 — "when a GPU is idle,
+/// randomly select one matrix block from those independent blocks". Every
+/// block is scheduled exactly once per epoch.
+pub fn schedule_epoch<R: Rng>(grid: &Grid, gpus: u32, rng: &mut R) -> WaveSchedule {
+    assert!(gpus > 0);
+    let mut remaining: Vec<BlockId> = grid.block_ids().collect();
+    remaining.shuffle(rng);
+    let mut waves = Vec::new();
+    while !remaining.is_empty() {
+        let mut wave: Vec<Option<BlockId>> = Vec::with_capacity(gpus as usize);
+        let mut chosen: Vec<BlockId> = Vec::with_capacity(gpus as usize);
+        for _ in 0..gpus {
+            let pick = remaining
+                .iter()
+                .position(|&b| chosen.iter().all(|&c| Grid::independent(b, c)));
+            match pick {
+                Some(pos) => {
+                    let b = remaining.swap_remove(pos);
+                    chosen.push(b);
+                    wave.push(Some(b));
+                }
+                None => wave.push(None),
+            }
+        }
+        waves.push(wave);
+    }
+    WaveSchedule { waves }
+}
+
+/// Fig 15: counts feasible block start orders on an `a × a` grid with `s`
+/// always-busy workers.
+///
+/// A start order (a permutation of all blocks) is *feasible* if blocks can
+/// be started in that order such that (1) a block starts only when it is
+/// independent of all currently-running blocks and (2) no worker ever
+/// idles while unstarted blocks remain (all `s` workers busy whenever
+/// possible). Blocks are unit-duration; when a worker finishes it
+/// immediately starts the next block in the order. Returns
+/// `(feasible, total)` order counts.
+///
+/// For the paper's 2×2 grid with 2 workers this yields 8 of 24.
+pub fn count_feasible_orders(a: u32, s: u32) -> (u64, u64) {
+    assert!(a >= 1 && s >= 1);
+    assert!(a <= 3, "enumeration is factorial; a <= 3 only");
+    let blocks: Vec<BlockId> = (0..a)
+        .flat_map(|bi| (0..a).map(move |bj| BlockId { bi, bj }))
+        .collect();
+    let mut feasible = 0u64;
+    let mut total = 0u64;
+    permute(&mut blocks.clone(), 0, &mut |perm| {
+        total += 1;
+        if order_is_feasible(perm, s as usize) {
+            feasible += 1;
+        }
+    });
+    (feasible, total)
+}
+
+fn permute<F: FnMut(&[BlockId])>(items: &mut [BlockId], at: usize, f: &mut F) {
+    if at == items.len() {
+        f(items);
+        return;
+    }
+    for i in at..items.len() {
+        items.swap(at, i);
+        permute(items, at + 1, f);
+        items.swap(at, i);
+    }
+}
+
+/// Simulates unit-duration waves: in each wave the next blocks of the
+/// order start as long as (a) a worker is free and (b) the block is
+/// independent of the blocks already running in this wave. Because blocks
+/// are unit duration, all running blocks finish together at wave end.
+/// The order is feasible iff every wave (except possibly the last) keeps
+/// all `s` workers busy and blocks start exactly in the given order.
+fn order_is_feasible(order: &[BlockId], s: usize) -> bool {
+    let mut next = 0;
+    while next < order.len() {
+        // Start as many blocks of the order prefix as possible this wave.
+        let mut running: Vec<BlockId> = Vec::with_capacity(s);
+        while running.len() < s && next < order.len() {
+            let candidate = order[next];
+            if running.iter().all(|&r| Grid::independent(candidate, r)) {
+                running.push(candidate);
+                next += 1;
+            } else {
+                break;
+            }
+        }
+        if running.is_empty() {
+            return false; // Head of order conflicts with nothing running: impossible
+        }
+        let remaining = order.len() - next;
+        if running.len() < s && remaining > 0 {
+            // A worker idles while work remains: infeasible under the
+            // "all workers busy" requirement.
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn matrix(m: u32, n: u32, nnz: usize) -> CooMatrix {
+        let mut coo = CooMatrix::new(m, n);
+        for t in 0..nnz {
+            coo.push((t as u32 * 31) % m, (t as u32 * 17) % n, 1.0);
+        }
+        coo
+    }
+
+    #[test]
+    fn grid_covers_all_samples() {
+        let data = matrix(100, 80, 5000);
+        let grid = Grid::build(&data, 4, 5);
+        let total: usize = grid.block_ids().map(|b| grid.block(b).len()).sum();
+        assert_eq!(total, 5000);
+        assert_eq!(grid.block_count(), 20);
+    }
+
+    #[test]
+    fn blocks_respect_ranges() {
+        let data = matrix(100, 80, 5000);
+        let grid = Grid::build(&data, 4, 5);
+        for id in grid.block_ids() {
+            let rr = grid.row_range(id.bi);
+            let cr = grid.col_range(id.bj);
+            for &s in grid.block(id) {
+                let e = data.get(s);
+                assert!(rr.contains(&e.u), "sample row {} not in {rr:?}", e.u);
+                assert!(cr.contains(&e.v), "sample col {} not in {cr:?}", e.v);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_tile_the_matrix() {
+        let grid = Grid::build(&matrix(103, 77, 100), 4, 3);
+        let mut covered = 0;
+        for bi in 0..4 {
+            covered += grid.row_range(bi).len();
+        }
+        assert_eq!(covered, 103);
+        let mut covered = 0;
+        for bj in 0..3 {
+            covered += grid.col_range(bj).len();
+        }
+        assert_eq!(covered, 77);
+        // Ranges are contiguous and ordered.
+        assert_eq!(grid.row_range(0).start, 0);
+        for bi in 1..4 {
+            assert_eq!(grid.row_range(bi).start, grid.row_range(bi - 1).end);
+        }
+    }
+
+    #[test]
+    fn independence_rule() {
+        let a = BlockId { bi: 0, bj: 0 };
+        assert!(Grid::independent(a, BlockId { bi: 1, bj: 1 }));
+        assert!(!Grid::independent(a, BlockId { bi: 0, bj: 1 })); // same row
+        assert!(!Grid::independent(a, BlockId { bi: 1, bj: 0 })); // same col
+        assert!(!Grid::independent(a, a));
+    }
+
+    #[test]
+    fn convergence_constraint() {
+        let data = matrix(40_000, 4_000, 100);
+        let grid = Grid::build(&data, 1, 1);
+        // min(m, n)/20 = 200.
+        assert_eq!(grid.hogwild_safe_workers(), 200);
+        assert!(grid.convergence_ok(100));
+        assert!(!grid.convergence_ok(200));
+        let grid4 = Grid::build(&data, 1, 4);
+        // min(40000, 1000)/20 = 50.
+        assert!(!grid4.convergence_ok(96));
+        assert!(grid4.convergence_ok(49));
+    }
+
+    #[test]
+    fn schedule_covers_each_block_once() {
+        let data = matrix(64, 64, 1000);
+        let grid = Grid::build(&data, 4, 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let sched = schedule_epoch(&grid, 2, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for wave in &sched.waves {
+            let blocks: Vec<BlockId> = wave.iter().flatten().copied().collect();
+            for pair in blocks.windows(2) {
+                assert!(Grid::independent(pair[0], pair[1]));
+            }
+            for b in blocks {
+                assert!(seen.insert(b), "block {b:?} scheduled twice");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn single_gpu_schedule_has_no_idles() {
+        let data = matrix(64, 64, 1000);
+        let grid = Grid::build(&data, 4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sched = schedule_epoch(&grid, 1, &mut rng);
+        assert_eq!(sched.len(), 4);
+        assert_eq!(sched.idle_slots(), 0);
+    }
+
+    /// §7.6 / Fig 15: a 2×2 grid with 2 workers admits only 8 of 24 orders.
+    #[test]
+    fn fig15_two_by_two_grid() {
+        let (feasible, total) = count_feasible_orders(2, 2);
+        assert_eq!(total, 24);
+        assert_eq!(feasible, 8);
+    }
+
+    #[test]
+    fn single_worker_makes_every_order_feasible() {
+        let (feasible, total) = count_feasible_orders(2, 1);
+        assert_eq!(feasible, total);
+    }
+
+    #[test]
+    fn three_by_three_grid_restricts_orders() {
+        let (feasible, total) = count_feasible_orders(3, 3);
+        assert_eq!(total, 362_880); // 9!
+        assert!(feasible > 0);
+        // The fraction of feasible orders shrinks as s approaches a.
+        let (feasible2, _) = count_feasible_orders(3, 2);
+        assert!(feasible < feasible2);
+        assert!(feasible2 < total);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds matrix")]
+    fn grid_larger_than_matrix_rejected() {
+        let _ = Grid::build(&matrix(4, 4, 10), 8, 2);
+    }
+}

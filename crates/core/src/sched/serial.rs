@@ -1,0 +1,72 @@
+//! The textbook serial SGD order: one worker, samples in storage order
+//! (the matrix is pre-shuffled per Algorithm 1 line 2, so storage order is
+//! a uniform random permutation).
+
+use super::{StreamItem, UpdateStream};
+
+/// Serial SGD: the correctness and convergence reference.
+#[derive(Debug, Clone)]
+pub struct SerialStream {
+    n: usize,
+    cursor: usize,
+}
+
+impl SerialStream {
+    /// Creates a serial stream over `n` samples.
+    pub fn new(n: usize) -> Self {
+        SerialStream { n, cursor: 0 }
+    }
+}
+
+impl UpdateStream for SerialStream {
+    fn workers(&self) -> usize {
+        1
+    }
+
+    fn next(&mut self, worker: usize) -> StreamItem {
+        debug_assert_eq!(worker, 0);
+        if self.cursor >= self.n {
+            StreamItem::Exhausted
+        } else {
+            let i = self.cursor;
+            self.cursor += 1;
+            StreamItem::Sample(i)
+        }
+    }
+
+    fn begin_epoch(&mut self, _epoch: u32) {
+        self.cursor = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::drain_epoch;
+
+    #[test]
+    fn visits_every_sample_once_in_order() {
+        let mut s = SerialStream::new(5);
+        let seq = drain_epoch(&mut s, 100);
+        assert_eq!(seq, vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn epoch_reset() {
+        let mut s = SerialStream::new(3);
+        let _ = drain_epoch(&mut s, 100);
+        s.begin_epoch(1);
+        let seq = drain_epoch(&mut s, 100);
+        assert_eq!(seq[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_stream_exhausts_immediately() {
+        let mut s = SerialStream::new(0);
+        assert_eq!(s.next(0), StreamItem::Exhausted);
+    }
+}

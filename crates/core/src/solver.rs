@@ -1,0 +1,443 @@
+//! The single-GPU cuMF_SGD training loop.
+//!
+//! Composes a scheduling policy ([`crate::sched`]), an execution engine
+//! ([`crate::concurrent`]), a learning-rate schedule ([`crate::lrate`]) and
+//! an optional machine-time model into per-epoch convergence traces — the
+//! raw material of every RMSE-vs-time figure in the paper.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use cumf_data::CooMatrix;
+use cumf_gpu_sim::SgdUpdateCost;
+
+use crate::concurrent::{run_epoch, EpochStats, ExecMode};
+use crate::feature::{Element, FactorMatrix};
+use crate::lrate::{LearningRate, Schedule};
+use crate::metrics::{rmse, Trace, TracePoint};
+use crate::sched::{
+    BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream, UpdateStream,
+    WavefrontStream,
+};
+
+/// Which scheduling policy the solver runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// One worker, storage order. The convergence reference.
+    Serial,
+    /// Plain Hogwild! with uniformly random picks.
+    Hogwild {
+        /// Parallel workers.
+        workers: u32,
+    },
+    /// §5.1 batch-Hogwild! — the paper's single-GPU default.
+    BatchHogwild {
+        /// Parallel workers (thread blocks).
+        workers: u32,
+        /// Consecutive samples per grab (`f`, default 256).
+        batch: u32,
+    },
+    /// §5.2 wavefront-update.
+    Wavefront {
+        /// Parallel workers (grid rows).
+        workers: u32,
+        /// Grid columns (≥ 2 × workers).
+        cols: u32,
+    },
+    /// LIBMF's global-table blocking (the baseline policy).
+    LibmfTable {
+        /// Parallel workers (CPU threads).
+        workers: u32,
+        /// Grid dimension (a×a blocks).
+        a: u32,
+    },
+}
+
+impl Scheme {
+    /// Number of parallel workers the scheme runs.
+    pub fn workers(&self) -> u32 {
+        match *self {
+            Scheme::Serial => 1,
+            Scheme::Hogwild { workers }
+            | Scheme::BatchHogwild { workers, .. }
+            | Scheme::Wavefront { workers, .. }
+            | Scheme::LibmfTable { workers, .. } => workers,
+        }
+    }
+
+    /// The execution semantics the scheme needs: lock-free policies race
+    /// (stale-additive); blocking policies are conflict-free (sequential).
+    pub fn default_mode(&self) -> ExecMode {
+        match self {
+            Scheme::Serial | Scheme::Wavefront { .. } | Scheme::LibmfTable { .. } => {
+                ExecMode::Sequential
+            }
+            Scheme::Hogwild { .. } | Scheme::BatchHogwild { .. } => ExecMode::StaleAdditive,
+        }
+    }
+
+    /// Policy name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Serial => "serial",
+            Scheme::Hogwild { .. } => "hogwild",
+            Scheme::BatchHogwild { .. } => "batch-hogwild",
+            Scheme::Wavefront { .. } => "wavefront",
+            Scheme::LibmfTable { .. } => "libmf-table",
+        }
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Feature dimension of the model.
+    pub k: u32,
+    /// Regularisation λ (shared by P and Q, as in the paper).
+    pub lambda: f32,
+    /// Learning-rate schedule.
+    pub schedule: Schedule,
+    /// Epochs (full passes) to run.
+    pub epochs: u32,
+    /// Scheduling policy.
+    pub scheme: Scheme,
+    /// Seed for initialisation and policy randomness.
+    pub seed: u64,
+    /// Execution-mode override (defaults to [`Scheme::default_mode`]).
+    pub mode: Option<ExecMode>,
+    /// Abort and flag divergence when test RMSE exceeds this ceiling.
+    pub divergence_ceiling: f64,
+}
+
+impl SolverConfig {
+    /// A sensible default configuration for a given scheme.
+    pub fn new(k: u32, scheme: Scheme) -> Self {
+        SolverConfig {
+            k,
+            lambda: 0.05,
+            schedule: Schedule::paper_default(0.08, 0.3),
+            epochs: 20,
+            scheme,
+            seed: 42,
+            mode: None,
+            divergence_ceiling: 1e3,
+        }
+    }
+}
+
+/// Converts epoch round counts into simulated seconds on a modelled
+/// machine: one round = one update per worker at its fair bandwidth share.
+#[derive(Debug, Clone)]
+pub struct TimeModel {
+    /// Per-update memory traffic model.
+    pub cost: SgdUpdateCost,
+    /// Total effective bandwidth of the worker ensemble, bytes/s.
+    pub total_bandwidth: f64,
+    /// Fixed per-epoch overhead (kernel launches, scheduling), seconds.
+    pub epoch_overhead: f64,
+}
+
+impl TimeModel {
+    /// Seconds one epoch takes given its observed round structure.
+    pub fn epoch_seconds(&self, stats: &EpochStats, workers: u32) -> f64 {
+        let per_round = self.cost.bytes() as f64 * workers as f64 / self.total_bandwidth;
+        self.epoch_overhead + stats.rounds as f64 * per_round
+    }
+}
+
+/// Output of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult<E: Element> {
+    /// Learned row factors.
+    pub p: FactorMatrix<E>,
+    /// Learned column factors.
+    pub q: FactorMatrix<E>,
+    /// Per-epoch convergence trace.
+    pub trace: Trace,
+    /// Per-epoch execution statistics.
+    pub epoch_stats: Vec<EpochStats>,
+    /// True if training hit the divergence ceiling and stopped early.
+    pub diverged: bool,
+}
+
+impl<E: Element> TrainResult<E> {
+    /// Total updates across all executed epochs.
+    pub fn total_updates(&self) -> u64 {
+        self.epoch_stats.iter().map(|s| s.updates).sum()
+    }
+}
+
+/// Trains a factorization of `train`, evaluating test RMSE after every
+/// epoch. Generic over the storage element: `f32`, or `F16` for the
+/// paper's half-precision mode.
+pub fn train<E: Element>(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &SolverConfig,
+    time: Option<&TimeModel>,
+) -> TrainResult<E> {
+    assert!(config.k > 0, "k must be positive");
+    assert!(!train.is_empty(), "training set is empty");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut p: FactorMatrix<E> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
+    let mut q: FactorMatrix<E> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
+
+    let mut stream: Box<dyn UpdateStream> = match config.scheme {
+        Scheme::Serial => Box::new(SerialStream::new(train.nnz())),
+        Scheme::Hogwild { workers } => Box::new(HogwildStream::new(
+            train.nnz(),
+            workers as usize,
+            config.seed ^ 0x5eed,
+        )),
+        Scheme::BatchHogwild { workers, batch } => Box::new(BatchHogwildStream::new(
+            train.nnz(),
+            workers as usize,
+            batch as usize,
+        )),
+        Scheme::Wavefront { workers, cols } => Box::new(WavefrontStream::new(
+            train,
+            workers as usize,
+            cols as usize,
+            config.seed ^ 0x3afe,
+        )),
+        Scheme::LibmfTable { workers, a } => Box::new(LibmfTableStream::new(
+            train,
+            workers as usize,
+            a as usize,
+            config.seed ^ 0x71b,
+        )),
+    };
+
+    let mode = config.mode.unwrap_or_else(|| config.scheme.default_mode());
+    let mut lr = LearningRate::new(config.schedule.clone());
+    let mut trace = Trace::default();
+    let mut epoch_stats = Vec::with_capacity(config.epochs as usize);
+    let mut seconds = 0.0f64;
+    let mut updates = 0u64;
+    let mut diverged = false;
+
+    for epoch in 0..config.epochs {
+        stream.begin_epoch(epoch);
+        let gamma = lr.gamma(epoch);
+        let stats = run_epoch(train, &mut p, &mut q, stream.as_mut(), gamma, config.lambda, mode);
+        updates += stats.updates;
+        if let Some(tm) = time {
+            seconds += tm.epoch_seconds(&stats, config.scheme.workers());
+        }
+        let test_rmse = rmse(test, &p, &q);
+        lr.observe(test_rmse);
+        trace.push(TracePoint {
+            epoch: epoch + 1,
+            updates,
+            rmse: test_rmse,
+            seconds,
+        });
+        epoch_stats.push(stats);
+        if !test_rmse.is_finite() || test_rmse > config.divergence_ceiling {
+            diverged = true;
+            break;
+        }
+    }
+
+    TrainResult {
+        p,
+        q,
+        trace,
+        epoch_stats,
+        diverged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::half::F16;
+    use cumf_data::synth::{generate, SynthConfig};
+
+    fn small_dataset() -> cumf_data::synth::SynthDataset {
+        generate(&SynthConfig {
+            m: 300,
+            n: 200,
+            k_true: 4,
+            train_samples: 15_000,
+            test_samples: 1_500,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 1.0,
+            seed: 11,
+        })
+    }
+
+    fn base_config(scheme: Scheme) -> SolverConfig {
+        SolverConfig {
+            k: 6,
+            lambda: 0.02,
+            schedule: Schedule::paper_default(0.1, 0.1),
+            epochs: 15,
+            scheme,
+            seed: 1,
+            mode: None,
+            divergence_ceiling: 1e3,
+        }
+    }
+
+    #[test]
+    fn serial_sgd_converges_towards_noise_floor() {
+        let d = small_dataset();
+        let r = train::<f32>(&d.train, &d.test, &base_config(Scheme::Serial), None);
+        assert!(!r.diverged);
+        let final_rmse = r.trace.final_rmse().unwrap();
+        assert!(
+            final_rmse < 0.2,
+            "serial SGD should approach the 0.1 floor, got {final_rmse}"
+        );
+        // RMSE decreased substantially from epoch 1.
+        assert!(r.trace.points[0].rmse > final_rmse);
+        assert_eq!(r.total_updates(), 15_000 * 15);
+    }
+
+    #[test]
+    fn batch_hogwild_matches_serial_convergence() {
+        let d = small_dataset();
+        let serial = train::<f32>(&d.train, &d.test, &base_config(Scheme::Serial), None);
+        let bh = train::<f32>(
+            &d.train,
+            &d.test,
+            &base_config(Scheme::BatchHogwild {
+                workers: 8,
+                batch: 64,
+            }),
+            None,
+        );
+        assert!(!bh.diverged);
+        let s = serial.trace.final_rmse().unwrap();
+        let b = bh.trace.final_rmse().unwrap();
+        assert!(
+            (b - s).abs() < 0.05,
+            "batch-hogwild {b} should track serial {s} when s << min(m,n)"
+        );
+    }
+
+    #[test]
+    fn wavefront_converges() {
+        let d = small_dataset();
+        let r = train::<f32>(
+            &d.train,
+            &d.test,
+            &base_config(Scheme::Wavefront {
+                workers: 4,
+                cols: 10,
+            }),
+            None,
+        );
+        assert!(!r.diverged);
+        assert!(r.trace.final_rmse().unwrap() < 0.25);
+        // Conflict-free: sequential mode used, so stalls are the only
+        // parallel artefact.
+        assert!(r.epoch_stats.iter().all(|s| s.updates == 15_000));
+    }
+
+    #[test]
+    fn libmf_table_converges() {
+        let d = small_dataset();
+        let r = train::<f32>(
+            &d.train,
+            &d.test,
+            &base_config(Scheme::LibmfTable { workers: 4, a: 10 }),
+            None,
+        );
+        assert!(!r.diverged);
+        assert!(r.trace.final_rmse().unwrap() < 0.25);
+    }
+
+    #[test]
+    fn f16_storage_converges_like_f32() {
+        // §4: half-precision storage "does not incur accuracy loss".
+        let d = small_dataset();
+        let cfg = base_config(Scheme::BatchHogwild {
+            workers: 4,
+            batch: 64,
+        });
+        let r32 = train::<f32>(&d.train, &d.test, &cfg, None);
+        let r16 = train::<F16>(&d.train, &d.test, &cfg, None);
+        let a = r32.trace.final_rmse().unwrap();
+        let b = r16.trace.final_rmse().unwrap();
+        assert!(
+            (a - b).abs() < 0.03,
+            "f16 RMSE {b} must track f32 RMSE {a}"
+        );
+    }
+
+    #[test]
+    fn massive_oversubscription_degrades_convergence() {
+        // §7.5: convergence needs s << min(m, n). Crank s up to the matrix
+        // dimension and conflicts must visibly hurt (slower convergence or
+        // divergence) relative to the serial reference.
+        let d = generate(&SynthConfig {
+            m: 60,
+            n: 40,
+            k_true: 4,
+            train_samples: 20_000,
+            test_samples: 2_000,
+            noise_std: 0.1,
+            row_skew: 1.0,
+            col_skew: 1.0,
+            rating_offset: 0.0,
+            seed: 12,
+        });
+        let mut cfg = base_config(Scheme::BatchHogwild {
+            workers: 40,
+            batch: 8,
+        });
+        cfg.schedule = Schedule::Fixed(0.5);
+        let racy = train::<f32>(&d.train, &d.test, &cfg, None);
+        let mut serial_cfg = base_config(Scheme::Serial);
+        serial_cfg.schedule = Schedule::Fixed(0.5);
+        let serial = train::<f32>(&d.train, &d.test, &serial_cfg, None);
+        // A fully-diverged trace has no finite point (best_rmse = None).
+        let serial_final = serial.trace.best_rmse().unwrap();
+        let hurt = racy.diverged
+            || racy
+                .trace
+                .best_rmse()
+                .is_none_or(|best| best > serial_final * 1.05);
+        assert!(
+            hurt,
+            "s=40 on a 60x40 matrix must hurt: racy {:?} vs serial {serial_final}",
+            racy.trace.best_rmse()
+        );
+    }
+
+    #[test]
+    fn time_model_accumulates() {
+        let d = small_dataset();
+        let tm = TimeModel {
+            cost: SgdUpdateCost::cumf(16),
+            total_bandwidth: 1e9,
+            epoch_overhead: 0.001,
+        };
+        let r = train::<f32>(
+            &d.train,
+            &d.test,
+            &base_config(Scheme::Serial),
+            Some(&tm),
+        );
+        let pts = &r.trace.points;
+        assert!(pts[0].seconds > 0.0);
+        for w in pts.windows(2) {
+            assert!(w[1].seconds > w[0].seconds);
+        }
+        // Serial: rounds = N+1, bytes = 12 + 4*16*2 = 140.
+        let expected_epoch = 0.001 + (15_000.0 + 1.0) * 140.0 / 1e9;
+        assert!((pts[0].seconds - expected_epoch).abs() / expected_epoch < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_set_rejected() {
+        let d = small_dataset();
+        let empty = CooMatrix::new(5, 5);
+        let _ = train::<f32>(&empty, &d.test, &base_config(Scheme::Serial), None);
+    }
+}

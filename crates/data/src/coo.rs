@@ -1,0 +1,326 @@
+//! COO (coordinate) sparse rating matrices.
+//!
+//! The paper assumes COO storage throughout: one sample `r_{u,v}` is two
+//! `u32` coordinates plus an `f32` rating — 12 bytes (§2.3). We store the
+//! three components in separate arrays (structure-of-arrays) so that the
+//! CPU kernels stream them exactly as a GPU would coalesce them.
+
+use rand::Rng;
+
+/// One observed sample of the rating matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Row (user) index `u`.
+    pub u: u32,
+    /// Column (item) index `v`.
+    pub v: u32,
+    /// Rating `r_{u,v}`.
+    pub r: f32,
+}
+
+/// A sparse m×n rating matrix in COO format.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CooMatrix {
+    m: u32,
+    n: u32,
+    us: Vec<u32>,
+    vs: Vec<u32>,
+    rs: Vec<f32>,
+}
+
+impl CooMatrix {
+    /// Creates an empty m×n matrix.
+    pub fn new(m: u32, n: u32) -> Self {
+        CooMatrix {
+            m,
+            n,
+            us: Vec::new(),
+            vs: Vec::new(),
+            rs: Vec::new(),
+        }
+    }
+
+    /// Creates an empty m×n matrix with capacity for `cap` samples.
+    pub fn with_capacity(m: u32, n: u32, cap: usize) -> Self {
+        CooMatrix {
+            m,
+            n,
+            us: Vec::with_capacity(cap),
+            vs: Vec::with_capacity(cap),
+            rs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows (users).
+    pub fn rows(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of columns (items).
+    pub fn cols(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of observed samples (`N` in the paper).
+    pub fn nnz(&self) -> usize {
+        self.rs.len()
+    }
+
+    /// True if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rs.is_empty()
+    }
+
+    /// Appends one sample. Panics if the coordinates are out of bounds.
+    pub fn push(&mut self, u: u32, v: u32, r: f32) {
+        assert!(u < self.m, "row {u} out of bounds (m = {})", self.m);
+        assert!(v < self.n, "col {v} out of bounds (n = {})", self.n);
+        assert!(r.is_finite(), "rating must be finite");
+        self.us.push(u);
+        self.vs.push(v);
+        self.rs.push(r);
+    }
+
+    /// The `i`-th sample.
+    #[inline]
+    pub fn get(&self, i: usize) -> Entry {
+        Entry {
+            u: self.us[i],
+            v: self.vs[i],
+            r: self.rs[i],
+        }
+    }
+
+    /// Row-coordinate array.
+    #[inline]
+    pub fn us(&self) -> &[u32] {
+        &self.us
+    }
+
+    /// Column-coordinate array.
+    #[inline]
+    pub fn vs(&self) -> &[u32] {
+        &self.vs
+    }
+
+    /// Rating array.
+    #[inline]
+    pub fn rs(&self) -> &[f32] {
+        &self.rs
+    }
+
+    /// Iterates over all samples in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = Entry> + '_ {
+        (0..self.nnz()).map(move |i| self.get(i))
+    }
+
+    /// Fisher–Yates shuffle of the sample order (Algorithm 1, line 2:
+    /// `random_shuffle(R)`). Storage order becomes random, which is what
+    /// lets batch-Hogwild! read *consecutively* while updating *randomly*
+    /// (§5.1: "samples are consecutive in their memory storage; because we
+    /// shuffle samples, they are still random in terms of coordinates").
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        let n = self.nnz();
+        if n < 2 {
+            return;
+        }
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            self.us.swap(i, j);
+            self.vs.swap(i, j);
+            self.rs.swap(i, j);
+        }
+    }
+
+    /// Mean rating.
+    pub fn mean_rating(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.rs.iter().map(|&r| r as f64).sum::<f64>() / self.nnz() as f64
+    }
+
+    /// Per-row sample counts (degree of each user).
+    pub fn row_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.m as usize];
+        for &u in &self.us {
+            deg[u as usize] += 1;
+        }
+        deg
+    }
+
+    /// Per-column sample counts (degree of each item).
+    pub fn col_degrees(&self) -> Vec<u32> {
+        let mut deg = vec![0u32; self.n as usize];
+        for &v in &self.vs {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Bytes of one stored sample (2 × u32 + f32), as assumed in Eq. 5.
+    pub const SAMPLE_BYTES: usize = 12;
+
+    /// Total payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.nnz() * Self::SAMPLE_BYTES
+    }
+
+    /// Selects the sub-matrix of samples falling inside the half-open
+    /// coordinate window `rows × cols`, re-based to the window's origin.
+    pub fn window(
+        &self,
+        rows: std::ops::Range<u32>,
+        cols: std::ops::Range<u32>,
+    ) -> CooMatrix {
+        let mut out = CooMatrix::new(rows.end - rows.start, cols.end - cols.start);
+        for e in self.iter() {
+            if rows.contains(&e.u) && cols.contains(&e.v) {
+                out.push(e.u - rows.start, e.v - cols.start, e.r);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Entry> for CooMatrix {
+    /// Collects entries, sizing the matrix to the max coordinates seen.
+    fn from_iter<T: IntoIterator<Item = Entry>>(iter: T) -> Self {
+        let entries: Vec<Entry> = iter.into_iter().collect();
+        let m = entries.iter().map(|e| e.u + 1).max().unwrap_or(0);
+        let n = entries.iter().map(|e| e.v + 1).max().unwrap_or(0);
+        let mut coo = CooMatrix::with_capacity(m, n, entries.len());
+        for e in entries {
+            coo.push(e.u, e.v, e.r);
+        }
+        coo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_matrix() -> CooMatrix {
+        let mut coo = CooMatrix::new(4, 4);
+        // The 9-sample example of the paper's Figure 1.
+        for (u, v, r) in [
+            (0, 1, 5.0),
+            (0, 2, 3.0),
+            (1, 0, 4.0),
+            (1, 3, 1.0),
+            (2, 1, 2.0),
+            (2, 2, 5.0),
+            (3, 0, 3.0),
+            (3, 2, 4.0),
+            (3, 3, 2.0),
+        ] {
+            coo.push(u, v, r);
+        }
+        coo
+    }
+
+    #[test]
+    fn push_and_get() {
+        let coo = sample_matrix();
+        assert_eq!(coo.nnz(), 9);
+        assert_eq!(coo.rows(), 4);
+        assert_eq!(coo.cols(), 4);
+        assert_eq!(
+            coo.get(0),
+            Entry {
+                u: 0,
+                v: 1,
+                r: 5.0
+            }
+        );
+        assert_eq!(coo.payload_bytes(), 9 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_rejects_bad_row() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn push_rejects_nan() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, f32::NAN);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut coo = sample_matrix();
+        let before: Vec<(u32, u32, u32)> = coo
+            .iter()
+            .map(|e| (e.u, e.v, e.r.to_bits()))
+            .collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        coo.shuffle(&mut rng);
+        let mut after: Vec<(u32, u32, u32)> = coo
+            .iter()
+            .map(|e| (e.u, e.v, e.r.to_bits()))
+            .collect();
+        assert_ne!(before, after, "9! orderings; a fixed seed must move something");
+        after.sort_unstable();
+        let mut sorted_before = before;
+        sorted_before.sort_unstable();
+        assert_eq!(sorted_before, after);
+    }
+
+    #[test]
+    fn degrees() {
+        let coo = sample_matrix();
+        assert_eq!(coo.row_degrees(), vec![2, 2, 2, 3]);
+        assert_eq!(coo.col_degrees(), vec![2, 2, 3, 2]);
+    }
+
+    #[test]
+    fn mean_rating() {
+        let coo = sample_matrix();
+        let expect = (5.0 + 3.0 + 4.0 + 1.0 + 2.0 + 5.0 + 3.0 + 4.0 + 2.0) / 9.0;
+        assert!((coo.mean_rating() - expect).abs() < 1e-12);
+        assert_eq!(CooMatrix::new(3, 3).mean_rating(), 0.0);
+    }
+
+    #[test]
+    fn window_extracts_and_rebases() {
+        let coo = sample_matrix();
+        let w = coo.window(2..4, 0..2);
+        assert_eq!(w.rows(), 2);
+        assert_eq!(w.cols(), 2);
+        // In-range samples: (2,1,2.0) and (3,0,3.0).
+        let entries: Vec<Entry> = w.iter().collect();
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&Entry { u: 0, v: 1, r: 2.0 }));
+        assert!(entries.contains(&Entry { u: 1, v: 0, r: 3.0 }));
+    }
+
+    #[test]
+    fn from_iterator_sizes_matrix() {
+        let coo: CooMatrix = [
+            Entry { u: 3, v: 1, r: 1.0 },
+            Entry { u: 0, v: 5, r: 2.0 },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(coo.rows(), 4);
+        assert_eq!(coo.cols(), 6);
+        assert_eq!(coo.nnz(), 2);
+    }
+
+    #[test]
+    fn shuffle_of_tiny_matrices_is_safe() {
+        let mut coo = CooMatrix::new(1, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        coo.shuffle(&mut rng); // empty
+        coo.push(0, 0, 1.0);
+        coo.shuffle(&mut rng); // single
+        assert_eq!(coo.nnz(), 1);
+    }
+}

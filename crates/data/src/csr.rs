@@ -1,0 +1,154 @@
+//! CSR (compressed sparse row) views, for per-row traversal.
+//!
+//! The ALS baseline needs all samples of one user (row) or one item
+//! (column) at a time; CSR over R and over Rᵀ provides exactly that.
+
+use crate::coo::CooMatrix;
+
+/// A sparse matrix in CSR format (immutable, built from COO).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    m: u32,
+    n: u32,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds CSR from a COO matrix (counting sort by row; O(N + m)).
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let m = coo.rows();
+        let n = coo.cols();
+        let nnz = coo.nnz();
+        let mut row_ptr = vec![0usize; m as usize + 1];
+        for &u in coo.us() {
+            row_ptr[u as usize + 1] += 1;
+        }
+        for i in 1..row_ptr.len() {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0f32; nnz];
+        let mut next = row_ptr.clone();
+        for i in 0..nnz {
+            let e = coo.get(i);
+            let slot = next[e.u as usize];
+            col_idx[slot] = e.v;
+            values[slot] = e.r;
+            next[e.u as usize] += 1;
+        }
+        CsrMatrix {
+            m,
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// CSR of the transpose (i.e. CSC of the original): per-column access.
+    pub fn from_coo_transposed(coo: &CooMatrix) -> Self {
+        let mut t = CooMatrix::with_capacity(coo.cols(), coo.rows(), coo.nnz());
+        for e in coo.iter() {
+            t.push(e.v, e.u, e.r);
+        }
+        Self::from_coo(&t)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.m
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.n
+    }
+
+    /// Number of stored samples.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The (column, value) pairs of row `u`.
+    pub fn row(&self, u: u32) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[u as usize];
+        let hi = self.row_ptr[u as usize + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of samples in row `u`.
+    pub fn row_nnz(&self, u: u32) -> usize {
+        self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]
+    }
+
+    /// Iterates `(row, cols, values)` over all non-empty rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (u32, &[u32], &[f32])> + '_ {
+        (0..self.m).filter_map(move |u| {
+            let (c, v) = self.row(u);
+            if c.is_empty() {
+                None
+            } else {
+                Some((u, c, v))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(2, 0, 1.0);
+        coo.push(0, 3, 2.0);
+        coo.push(2, 2, 3.0);
+        coo.push(0, 1, 4.0);
+        coo
+    }
+
+    #[test]
+    fn csr_rows_match_coo() {
+        let csr = CsrMatrix::from_coo(&sample());
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 0);
+        assert_eq!(csr.row_nnz(2), 2);
+        let (cols, vals) = csr.row(0);
+        // Storage order within a row follows COO order.
+        assert_eq!(cols, &[3, 1]);
+        assert_eq!(vals, &[2.0, 4.0]);
+        let (cols, vals) = csr.row(2);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_gives_column_access() {
+        let csc = CsrMatrix::from_coo_transposed(&sample());
+        assert_eq!(csc.rows(), 4); // original columns
+        assert_eq!(csc.cols(), 3);
+        let (rows, vals) = csc.row(3); // original column 3
+        assert_eq!(rows, &[0]);
+        assert_eq!(vals, &[2.0]);
+        let (rows, _) = csc.row(2);
+        assert_eq!(rows, &[2]);
+    }
+
+    #[test]
+    fn iter_rows_skips_empty() {
+        let csr = CsrMatrix::from_coo(&sample());
+        let rows: Vec<u32> = csr.iter_rows().map(|(u, _, _)| u).collect();
+        assert_eq!(rows, vec![0, 2]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from_coo(&CooMatrix::new(2, 2));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.row_nnz(0), 0);
+        assert_eq!(csr.iter_rows().count(), 0);
+    }
+}

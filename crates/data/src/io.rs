@@ -1,0 +1,346 @@
+//! Reading and writing rating matrices.
+//!
+//! Two formats:
+//!
+//! * **Text** — one `u v r` triple per line, whitespace-separated, `#`
+//!   comments allowed. This is the LIBMF / NOMAD interchange format, so the
+//!   real Netflix/Yahoo/Hugewiki files can be loaded if present.
+//! * **Binary** — a compact little-endian format (`CUMF` magic, header,
+//!   then the three COO arrays back to back), used for fast round-trips of
+//!   generated data.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+
+/// Errors raised by the loaders.
+#[derive(Debug)]
+pub enum DataError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Malformed content, with a line number (1-based) where applicable.
+    Parse {
+        /// Line at which the problem was found (0 when not line-oriented).
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::Io(e) => write!(f, "io error: {e}"),
+            DataError::Parse { line, message } => {
+                if *line > 0 {
+                    write!(f, "parse error at line {line}: {message}")
+                } else {
+                    write!(f, "parse error: {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io(e) => Some(e),
+            DataError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DataError {
+    fn from(e: io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DataError {
+    DataError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a text rating file from any `BufRead` source.
+///
+/// Dimensions grow to fit the data; pass `min_m`/`min_n` = 0 unless the
+/// matrix must be at least a given shape.
+pub fn read_text<R: BufRead>(reader: R, min_m: u32, min_n: u32) -> Result<CooMatrix, DataError> {
+    let mut us = Vec::new();
+    let mut vs = Vec::new();
+    let mut rs = Vec::new();
+    let mut m = min_m;
+    let mut n = min_n;
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut parts = body.split_whitespace();
+        let u: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing row index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad row index: {e}")))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing column index"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad column index: {e}")))?;
+        let r: f32 = parts
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing rating"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad rating: {e}")))?;
+        if !r.is_finite() {
+            return Err(parse_err(lineno, "rating must be finite"));
+        }
+        if parts.next().is_some() {
+            return Err(parse_err(lineno, "trailing tokens after `u v r`"));
+        }
+        m = m.max(u + 1);
+        n = n.max(v + 1);
+        us.push(u);
+        vs.push(v);
+        rs.push(r);
+    }
+    let mut coo = CooMatrix::with_capacity(m, n, rs.len());
+    for i in 0..rs.len() {
+        coo.push(us[i], vs[i], rs[i]);
+    }
+    Ok(coo)
+}
+
+/// Reads a text rating file from disk.
+pub fn read_text_file(path: impl AsRef<Path>) -> Result<CooMatrix, DataError> {
+    let file = File::open(path)?;
+    read_text(BufReader::new(file), 0, 0)
+}
+
+/// Writes a matrix in text format.
+pub fn write_text<W: Write>(writer: W, coo: &CooMatrix) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    for e in coo.iter() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.r)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a matrix in text format to disk.
+pub fn write_text_file(path: impl AsRef<Path>, coo: &CooMatrix) -> Result<(), DataError> {
+    write_text(File::create(path)?, coo)
+}
+
+const MAGIC: &[u8; 4] = b"CUMF";
+const VERSION: u32 = 1;
+
+/// Writes the compact binary format.
+pub fn write_binary<W: Write>(writer: W, coo: &CooMatrix) -> Result<(), DataError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&coo.rows().to_le_bytes())?;
+    w.write_all(&coo.cols().to_le_bytes())?;
+    w.write_all(&(coo.nnz() as u64).to_le_bytes())?;
+    for &u in coo.us() {
+        w.write_all(&u.to_le_bytes())?;
+    }
+    for &v in coo.vs() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for &r in coo.rs() {
+        w.write_all(&r.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the binary format to disk.
+pub fn write_binary_file(path: impl AsRef<Path>, coo: &CooMatrix) -> Result<(), DataError> {
+    write_binary(File::create(path)?, coo)
+}
+
+/// Reads the compact binary format.
+pub fn read_binary<R: Read>(reader: R) -> Result<CooMatrix, DataError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(parse_err(0, "bad magic: not a CUMF binary file"));
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let version = u32::from_le_bytes(buf4);
+    if version != VERSION {
+        return Err(parse_err(0, format!("unsupported version {version}")));
+    }
+    r.read_exact(&mut buf4)?;
+    let m = u32::from_le_bytes(buf4);
+    r.read_exact(&mut buf4)?;
+    let n = u32::from_le_bytes(buf4);
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let nnz = u64::from_le_bytes(buf8) as usize;
+    // `nnz` is untrusted: never pre-allocate more than a bounded amount up
+    // front — a corrupt header must fail with a read error, not an OOM
+    // abort. Vec growth beyond the cap is amortised as data actually
+    // arrives.
+    const PREALLOC_CAP: usize = 1 << 20;
+    let cap = nnz.min(PREALLOC_CAP);
+    let read_u32s = |r: &mut BufReader<R>, out: &mut Vec<u32>| -> Result<(), DataError> {
+        let mut buf = [0u8; 4];
+        for _ in 0..nnz {
+            r.read_exact(&mut buf)?;
+            out.push(u32::from_le_bytes(buf));
+        }
+        Ok(())
+    };
+    let mut us = Vec::with_capacity(cap);
+    let mut vs = Vec::with_capacity(cap);
+    read_u32s(&mut r, &mut us)?;
+    read_u32s(&mut r, &mut vs)?;
+    let mut rs = Vec::with_capacity(cap);
+    let mut buf = [0u8; 4];
+    for _ in 0..nnz {
+        r.read_exact(&mut buf)?;
+        rs.push(f32::from_le_bytes(buf));
+    }
+    let mut coo = CooMatrix::with_capacity(m, n, nnz.min(PREALLOC_CAP));
+    for i in 0..nnz {
+        if us[i] >= m || vs[i] >= n {
+            return Err(parse_err(0, format!("sample {i} out of bounds")));
+        }
+        if !rs[i].is_finite() {
+            return Err(parse_err(0, format!("sample {i} has non-finite rating")));
+        }
+        coo.push(us[i], vs[i], rs[i]);
+    }
+    Ok(coo)
+}
+
+/// Reads the binary format from disk.
+pub fn read_binary_file(path: impl AsRef<Path>) -> Result<CooMatrix, DataError> {
+    read_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> CooMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 4.5);
+        coo.push(2, 0, 1.0);
+        coo.push(1, 2, 3.25);
+        coo
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let coo = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &coo).unwrap();
+        let loaded = read_text(Cursor::new(buf), 0, 0).unwrap();
+        assert_eq!(loaded, coo);
+    }
+
+    #[test]
+    fn text_tolerates_comments_and_blanks() {
+        let input = "# header\n\n0 1 4.5 # inline comment\n\n2 0 1\n";
+        let coo = read_text(Cursor::new(input), 0, 0).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.rows(), 3);
+        assert_eq!(coo.cols(), 2);
+    }
+
+    #[test]
+    fn text_min_dims_respected() {
+        let coo = read_text(Cursor::new("0 0 1.0\n"), 10, 20).unwrap();
+        assert_eq!(coo.rows(), 10);
+        assert_eq!(coo.cols(), 20);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let err = read_text(Cursor::new("0 x 1.0\n"), 0, 0).unwrap_err();
+        assert!(matches!(err, DataError::Parse { line: 1, .. }), "{err}");
+        let err = read_text(Cursor::new("1 2\n"), 0, 0).unwrap_err();
+        assert!(err.to_string().contains("missing rating"));
+        let err = read_text(Cursor::new("1 2 3 4\n"), 0, 0).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        let err = read_text(Cursor::new("1 2 inf\n"), 0, 0).unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let coo = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        let loaded = read_binary(Cursor::new(buf)).unwrap();
+        assert_eq!(loaded, coo);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(Cursor::new(b"NOPE....".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let coo = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)));
+    }
+
+    #[test]
+    fn binary_rejects_out_of_bounds_payload() {
+        let coo = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        // Header is 24 bytes (magic+version+m+n+nnz); corrupt the first row
+        // index to exceed m=3.
+        buf[24] = 200;
+        let err = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn binary_corrupt_nnz_header_fails_cleanly() {
+        // A corrupted sample count must produce a read error, not attempt a
+        // terabyte-scale allocation.
+        let coo = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &coo).unwrap();
+        buf[20] = 200; // high byte of the little-endian u64 nnz
+        let err = read_binary(Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, DataError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("cumf_data_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let coo = sample();
+        write_binary_file(&path, &coo).unwrap();
+        assert_eq!(read_binary_file(&path).unwrap(), coo);
+        let tpath = dir.join("sample.txt");
+        write_text_file(&tpath, &coo).unwrap();
+        assert_eq!(read_text_file(&tpath).unwrap(), coo);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

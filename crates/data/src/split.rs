@@ -1,0 +1,113 @@
+//! Train/test splitting.
+//!
+//! Hugewiki ships without a test set; the paper "randomly sample[s] and
+//! extract[s] out 1% of the data as the test set" (§2.2). This module
+//! implements that holdout split.
+
+use rand::Rng;
+
+use crate::coo::CooMatrix;
+
+/// Randomly splits `fraction` of the samples into a held-out test set;
+/// the remainder becomes the training set. Both matrices keep the parent's
+/// dimensions.
+pub fn holdout_split<R: Rng>(
+    coo: &CooMatrix,
+    fraction: f64,
+    rng: &mut R,
+) -> (CooMatrix, CooMatrix) {
+    assert!(
+        (0.0..1.0).contains(&fraction),
+        "holdout fraction must be in [0, 1), got {fraction}"
+    );
+    let n = coo.nnz();
+    let test_target = (n as f64 * fraction).round() as usize;
+    // Reservoir-free exact sampling: choose test indices via partial
+    // Fisher-Yates over an index array.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..test_target.min(n) {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let mut is_test = vec![false; n];
+    for &i in &idx[..test_target.min(n)] {
+        is_test[i] = true;
+    }
+    let mut train = CooMatrix::with_capacity(coo.rows(), coo.cols(), n - test_target);
+    let mut test = CooMatrix::with_capacity(coo.rows(), coo.cols(), test_target);
+    for (i, e) in coo.iter().enumerate() {
+        if is_test[i] {
+            test.push(e.u, e.v, e.r);
+        } else {
+            train.push(e.u, e.v, e.r);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn matrix(n: usize) -> CooMatrix {
+        let mut coo = CooMatrix::new(100, 100);
+        for i in 0..n {
+            coo.push((i % 100) as u32, ((i * 7) % 100) as u32, i as f32);
+        }
+        coo
+    }
+
+    #[test]
+    fn split_sizes_are_exact() {
+        let coo = matrix(10_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let (train, test) = holdout_split(&coo, 0.01, &mut rng);
+        assert_eq!(test.nnz(), 100);
+        assert_eq!(train.nnz(), 9_900);
+        assert_eq!(train.rows(), 100);
+        assert_eq!(test.cols(), 100);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let coo = matrix(1_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let (train, test) = holdout_split(&coo, 0.2, &mut rng);
+        let mut all: Vec<u32> = train
+            .iter()
+            .chain(test.iter())
+            .map(|e| e.r.to_bits())
+            .collect();
+        all.sort_unstable();
+        let mut orig: Vec<u32> = coo.iter().map(|e| e.r.to_bits()).collect();
+        orig.sort_unstable();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn zero_fraction_keeps_everything() {
+        let coo = matrix(50);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let (train, test) = holdout_split(&coo, 0.0, &mut rng);
+        assert_eq!(train.nnz(), 50);
+        assert_eq!(test.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_one_rejected() {
+        let coo = matrix(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = holdout_split(&coo, 1.0, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let coo = matrix(500);
+        let (a, _) = holdout_split(&coo, 0.1, &mut ChaCha8Rng::seed_from_u64(9));
+        let (b, _) = holdout_split(&coo, 0.1, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

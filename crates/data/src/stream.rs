@@ -1,0 +1,300 @@
+//! Streaming (out-of-core) access to binary rating files.
+//!
+//! Hugewiki's 3.07 B samples (~37 GB of COO) cannot be materialised in
+//! host memory on most machines, let alone device memory; §6 of the paper
+//! stages *blocks* of the rating matrix through the GPU. This module
+//! provides the host side of that workflow:
+//!
+//! * [`ChunkReader`] — iterate a `CUMF` binary file (see [`crate::io`])
+//!   in bounded-memory chunks;
+//! * [`partition_to_files`] — split a rating file into per-grid-row block
+//!   files on disk (the preprocessing step before staged training).
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::coo::CooMatrix;
+use crate::io::DataError;
+
+const HEADER_BYTES: u64 = 24; // magic + version + m + n + nnz
+
+/// Header of a `CUMF` binary file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryHeader {
+    /// Rows.
+    pub m: u32,
+    /// Columns.
+    pub n: u32,
+    /// Stored samples.
+    pub nnz: u64,
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<BinaryHeader, DataError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != b"CUMF" {
+        return Err(DataError::Parse {
+            line: 0,
+            message: "bad magic: not a CUMF binary file".into(),
+        });
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let version = u32::from_le_bytes(b4);
+    if version != 1 {
+        return Err(DataError::Parse {
+            line: 0,
+            message: format!("unsupported version {version}"),
+        });
+    }
+    r.read_exact(&mut b4)?;
+    let m = u32::from_le_bytes(b4);
+    r.read_exact(&mut b4)?;
+    let n = u32::from_le_bytes(b4);
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    Ok(BinaryHeader {
+        m,
+        n,
+        nnz: u64::from_le_bytes(b8),
+    })
+}
+
+/// Reads a `CUMF` binary file chunk by chunk with bounded memory.
+///
+/// The on-disk layout stores the three COO arrays *separately* (all `u`s,
+/// then all `v`s, then all `r`s), so the reader seeks between three
+/// cursors per chunk — one pass, three sequential streams.
+#[derive(Debug)]
+pub struct ChunkReader {
+    file: BufReader<File>,
+    header: BinaryHeader,
+    chunk: usize,
+    next: u64,
+}
+
+impl ChunkReader {
+    /// Opens a binary rating file for chunked reading.
+    pub fn open(path: impl AsRef<Path>, chunk: usize) -> Result<Self, DataError> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut file = BufReader::new(File::open(path)?);
+        let header = read_header(&mut file)?;
+        Ok(ChunkReader {
+            file,
+            header,
+            chunk,
+            next: 0,
+        })
+    }
+
+    /// The file's header.
+    pub fn header(&self) -> BinaryHeader {
+        self.header
+    }
+
+    /// Samples not yet read.
+    pub fn remaining(&self) -> u64 {
+        self.header.nnz - self.next
+    }
+
+    /// Reads the next chunk, or `None` at end of data.
+    pub fn next_chunk(&mut self) -> Result<Option<CooMatrix>, DataError> {
+        if self.next >= self.header.nnz {
+            return Ok(None);
+        }
+        let count = (self.chunk as u64).min(self.header.nnz - self.next) as usize;
+        let nnz = self.header.nnz;
+        let base_u = HEADER_BYTES + self.next * 4;
+        let base_v = HEADER_BYTES + nnz * 4 + self.next * 4;
+        let base_r = HEADER_BYTES + nnz * 8 + self.next * 4;
+
+        let mut us = vec![0u32; count];
+        let mut vs = vec![0u32; count];
+        let mut rs = vec![0f32; count];
+        self.read_u32s_at(base_u, &mut us)?;
+        self.read_u32s_at(base_v, &mut vs)?;
+        self.read_f32s_at(base_r, &mut rs)?;
+
+        let mut coo = CooMatrix::with_capacity(self.header.m, self.header.n, count);
+        for i in 0..count {
+            if us[i] >= self.header.m || vs[i] >= self.header.n {
+                return Err(DataError::Parse {
+                    line: 0,
+                    message: format!("sample {} out of bounds", self.next + i as u64),
+                });
+            }
+            coo.push(us[i], vs[i], rs[i]);
+        }
+        self.next += count as u64;
+        Ok(Some(coo))
+    }
+
+    fn read_u32s_at(&mut self, offset: u64, out: &mut [u32]) -> Result<(), DataError> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = [0u8; 4];
+        for slot in out {
+            self.file.read_exact(&mut buf)?;
+            *slot = u32::from_le_bytes(buf);
+        }
+        Ok(())
+    }
+
+    fn read_f32s_at(&mut self, offset: u64, out: &mut [f32]) -> Result<(), DataError> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = [0u8; 4];
+        for slot in out {
+            self.file.read_exact(&mut buf)?;
+            *slot = f32::from_le_bytes(buf);
+        }
+        Ok(())
+    }
+}
+
+/// Splits a binary rating file into `parts` per-grid-row block files
+/// (`<stem>.block<i>.bin`), streaming with bounded memory — the
+/// preprocessing step of the paper's §6.1 partitioning for data sets that
+/// never fit in memory. Returns the written paths.
+pub fn partition_to_files(
+    input: impl AsRef<Path>,
+    out_dir: impl AsRef<Path>,
+    parts: u32,
+    chunk: usize,
+) -> Result<Vec<PathBuf>, DataError> {
+    assert!(parts > 0);
+    let mut reader = ChunkReader::open(&input, chunk)?;
+    let header = reader.header();
+    std::fs::create_dir_all(&out_dir)?;
+    let stem = input
+        .as_ref()
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("data")
+        .to_string();
+
+    // Accumulate per-part triples in memory per *chunk*, appending to
+    // temporary raw files; then assemble headers at the end.
+    let mut buffers: Vec<(Vec<u32>, Vec<u32>, Vec<f32>)> =
+        (0..parts).map(|_| Default::default()).collect();
+    while let Some(chunk_coo) = reader.next_chunk()? {
+        for e in chunk_coo.iter() {
+            let part = ((e.u as u64 * parts as u64) / header.m as u64).min(parts as u64 - 1);
+            let (us, vs, rs) = &mut buffers[part as usize];
+            us.push(e.u);
+            vs.push(e.v);
+            rs.push(e.r);
+        }
+    }
+    let mut paths = Vec::with_capacity(parts as usize);
+    for (i, (us, vs, rs)) in buffers.iter().enumerate() {
+        let path = out_dir
+            .as_ref()
+            .join(format!("{stem}.block{i}.bin"));
+        let mut w = BufWriter::new(File::create(&path)?);
+        w.write_all(b"CUMF")?;
+        w.write_all(&1u32.to_le_bytes())?;
+        w.write_all(&header.m.to_le_bytes())?;
+        w.write_all(&header.n.to_le_bytes())?;
+        w.write_all(&(us.len() as u64).to_le_bytes())?;
+        for &u in us {
+            w.write_all(&u.to_le_bytes())?;
+        }
+        for &v in vs {
+            w.write_all(&v.to_le_bytes())?;
+        }
+        for &r in rs {
+            w.write_all(&r.to_le_bytes())?;
+        }
+        w.flush()?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{read_binary_file, write_binary_file};
+
+    fn sample(n: usize) -> CooMatrix {
+        let mut coo = CooMatrix::new(64, 32);
+        for i in 0..n {
+            coo.push((i % 64) as u32, ((i * 7) % 32) as u32, i as f32 * 0.5);
+        }
+        coo
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cumf_stream_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn chunked_read_reassembles_file() {
+        let coo = sample(1000);
+        let path = tmp("chunked.bin");
+        write_binary_file(&path, &coo).unwrap();
+        let mut reader = ChunkReader::open(&path, 128).unwrap();
+        assert_eq!(
+            reader.header(),
+            BinaryHeader {
+                m: 64,
+                n: 32,
+                nnz: 1000
+            }
+        );
+        let mut rebuilt = CooMatrix::new(64, 32);
+        let mut chunks = 0;
+        while let Some(chunk) = reader.next_chunk().unwrap() {
+            for e in chunk.iter() {
+                rebuilt.push(e.u, e.v, e.r);
+            }
+            chunks += 1;
+        }
+        assert_eq!(chunks, 8); // ceil(1000/128)
+        assert_eq!(rebuilt, coo);
+        assert_eq!(reader.remaining(), 0);
+    }
+
+    #[test]
+    fn chunk_larger_than_file_is_one_shot() {
+        let coo = sample(10);
+        let path = tmp("oneshot.bin");
+        write_binary_file(&path, &coo).unwrap();
+        let mut reader = ChunkReader::open(&path, 1_000_000).unwrap();
+        let chunk = reader.next_chunk().unwrap().unwrap();
+        assert_eq!(chunk, coo);
+        assert!(reader.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn partition_covers_everything_by_row_stripe() {
+        let coo = sample(500);
+        let path = tmp("topart.bin");
+        write_binary_file(&path, &coo).unwrap();
+        let outdir = tmp("parts");
+        let paths = partition_to_files(&path, &outdir, 4, 64).unwrap();
+        assert_eq!(paths.len(), 4);
+        let mut total = 0;
+        for (i, p) in paths.iter().enumerate() {
+            let block = read_binary_file(p).unwrap();
+            total += block.nnz();
+            let lo = (i as u64 * 64 / 4) as u32;
+            let hi = ((i as u64 + 1) * 64 / 4) as u32;
+            for e in block.iter() {
+                assert!(e.u >= lo && e.u < hi, "row {} outside stripe {i}", e.u);
+            }
+        }
+        assert_eq!(total, 500);
+        let _ = std::fs::remove_dir_all(tmp(""));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, b"NOPE12345678901234567890").unwrap();
+        let err = ChunkReader::open(&path, 8).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Future-event list.
+//!
+//! A classic discrete-event calendar: a min-heap ordered by `(time, seq)`.
+//! The monotonically increasing sequence number gives **stable FIFO
+//! tie-breaking** for simultaneous events, which makes every simulation in
+//! this workspace fully deterministic for a given input.
+
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+/// An entry in the future-event list carrying a caller-defined payload.
+#[derive(Debug)]
+struct Entry<P> {
+    time: SimTime,
+    seq: u64,
+    payload: P,
+    cancelled: bool,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Entry<P> {}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The future-event list: a deterministic priority queue of timed payloads.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    next_seq: u64,
+    // Cancelled event ids; lazily dropped when popped. Kept sorted-free in a
+    // small vec because cancellations are rare in our models.
+    cancelled: Vec<u64>,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: P) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            time,
+            seq,
+            payload,
+            cancelled: false,
+        });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.push(id.0);
+    }
+
+    /// Pops the earliest non-cancelled event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, P)> {
+        while let Some(entry) = self.heap.pop() {
+            if entry.cancelled || self.take_cancelled(entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily discard cancelled entries from the top.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.take_cancelled(seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (possibly including lazily-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    fn take_cancelled(&mut self, seq: u64) -> bool {
+        if let Some(pos) = self.cancelled.iter().position(|&c| c == seq) {
+            self.cancelled.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(3.0), "c");
+        q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert_eq!(q.pop(), Some((t(3.0), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(1.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(1.0), i)));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(2.0), "b");
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        assert!(q.is_empty());
+        // Double-cancel is a no-op.
+        q.cancel(a);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_sees_earliest_live_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        q.schedule(t(5.0), "b");
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+    }
+
+    #[test]
+    fn len_accounts_for_cancellations() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), 1);
+        q.schedule(t(2.0), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+    }
+}

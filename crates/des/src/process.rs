@@ -1,0 +1,100 @@
+//! The process abstraction.
+//!
+//! A simulated entity (a GPU thread block, a NOMAD node, a copy engine
+//! client, …) is a [`Process`]: an explicit state machine whose `resume`
+//! method is called whenever its previous blocking request completes. The
+//! returned [`Block`] tells the engine what the process waits for next.
+//!
+//! This design avoids coroutines/async entirely: the borrow checker sees a
+//! plain `&mut self` call, and determinism is trivial to audit.
+
+use crate::resource::{LinkId, LockId, ServerId};
+use crate::time::SimTime;
+
+/// Identifier of a spawned process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Pid(pub(crate) usize);
+
+impl Pid {
+    /// The raw index of this process (stable for the simulation lifetime).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What a process blocks on after a `resume` call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Block {
+    /// Sleep for a duration, then resume.
+    Delay(SimTime),
+    /// Enter the FCFS queue of `server`; once a slot is granted, hold it for
+    /// `hold` and resume when the hold completes (acquire + serve + release).
+    Service {
+        /// Target server resource.
+        server: ServerId,
+        /// Service (hold) time once a slot is granted.
+        hold: SimTime,
+    },
+    /// Move `bytes` over a processor-sharing link; resume at completion.
+    Transfer {
+        /// Target link resource.
+        link: LinkId,
+        /// Payload size in bytes.
+        bytes: f64,
+    },
+    /// Acquire exclusive ownership of `key` within a keyed-lock resource;
+    /// resume once granted. Release explicitly via [`Ctx::release_key`].
+    AcquireKey {
+        /// Target keyed-lock resource.
+        lock: LockId,
+        /// Which key to lock.
+        key: usize,
+    },
+    /// The process has finished; it is dropped.
+    Done,
+}
+
+/// Context handed to a process on every resume.
+///
+/// Provides the current simulated time and immediate (non-blocking) actions.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) immediate: &'a mut Vec<Immediate>,
+}
+
+/// Deferred non-blocking actions executed by the engine right after the
+/// process yields (same simulated instant).
+pub(crate) enum Immediate {
+    ReleaseKey { lock: LockId, key: usize },
+    Spawn(Box<dyn Process>),
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Releases a key previously acquired with [`Block::AcquireKey`]. The
+    /// next waiter (if any) is granted the key at the current instant.
+    pub fn release_key(&mut self, lock: LockId, key: usize) {
+        self.immediate.push(Immediate::ReleaseKey { lock, key });
+    }
+
+    /// Spawns a new process at the current instant.
+    pub fn spawn(&mut self, process: Box<dyn Process>) {
+        self.immediate.push(Immediate::Spawn(process));
+    }
+}
+
+/// A simulated entity. See the module docs.
+pub trait Process {
+    /// Called when the process starts and whenever its blocking request
+    /// completes. Returns the next thing to block on.
+    fn resume(&mut self, ctx: &mut Ctx<'_>) -> Block;
+
+    /// Optional human-readable label used in traces and panics.
+    fn label(&self) -> &str {
+        "process"
+    }
+}

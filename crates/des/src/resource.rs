@@ -1,0 +1,357 @@
+//! Simulated resources.
+//!
+//! Three resource families cover everything the GPU/cluster models need:
+//!
+//! * [`Server`] — an FCFS queue with `c` identical servers and per-job
+//!   service times. Models critical sections (LIBMF's global scheduling
+//!   table), kernel-launch queues, and copy engines.
+//! * [`SharedBandwidth`] — a processor-sharing link: `n` concurrent
+//!   transfers each progress at `capacity / n`. Models GPU DRAM, CPU memory
+//!   controllers, PCIe/NVLink, and cluster networks.
+//! * [`KeyedLocks`] — an array of independent exclusive locks with FIFO
+//!   waiters. Models the wavefront-update column-lock array.
+//!
+//! Resources are passive data structures; the [`crate::engine::Simulation`]
+//! drives them and owns the event calendar.
+
+use std::collections::VecDeque;
+
+use crate::process::Pid;
+use crate::stats::{Tally, TimeWeighted};
+use crate::time::SimTime;
+
+/// Handle to an FCFS server resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ServerId(pub(crate) usize);
+
+/// Handle to a shared-bandwidth link resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LinkId(pub(crate) usize);
+
+/// Handle to a keyed-lock resource.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockId(pub(crate) usize);
+
+// ---------------------------------------------------------------------------
+// FCFS server
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) struct Server {
+    pub(crate) name: String,
+    capacity: usize,
+    busy: usize,
+    queue: VecDeque<(Pid, SimTime, SimTime)>, // (pid, hold, enqueue_time)
+    pub(crate) busy_tw: TimeWeighted,
+    pub(crate) queue_tw: TimeWeighted,
+    pub(crate) waits: Tally,
+    pub(crate) completed: u64,
+}
+
+impl Server {
+    pub(crate) fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "server needs at least one slot");
+        Server {
+            name: name.into(),
+            capacity,
+            busy: 0,
+            queue: VecDeque::new(),
+            busy_tw: TimeWeighted::new(0.0),
+            queue_tw: TimeWeighted::new(0.0),
+            waits: Tally::new(),
+            completed: 0,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A job requests service. Returns `true` if a slot was granted
+    /// immediately (caller schedules the completion); otherwise the job is
+    /// queued.
+    pub(crate) fn request(&mut self, now: SimTime, pid: Pid, hold: SimTime) -> bool {
+        if self.busy < self.capacity {
+            self.busy += 1;
+            self.busy_tw.set(now, self.busy as f64);
+            self.waits.record(0.0);
+            true
+        } else {
+            self.queue.push_back((pid, hold, now));
+            self.queue_tw.set(now, self.queue.len() as f64);
+            false
+        }
+    }
+
+    /// A job finished service. Returns the next queued job to start, if any
+    /// (the caller schedules its completion event).
+    pub(crate) fn complete(&mut self, now: SimTime) -> Option<(Pid, SimTime)> {
+        debug_assert!(self.busy > 0);
+        self.completed += 1;
+        if let Some((pid, hold, enq)) = self.queue.pop_front() {
+            self.queue_tw.set(now, self.queue.len() as f64);
+            self.waits.record(now.as_secs() - enq.as_secs());
+            // Busy count unchanged: one leaves, one enters.
+            self.busy_tw.advance(now);
+            Some((pid, hold))
+        } else {
+            self.busy -= 1;
+            self.busy_tw.set(now, self.busy as f64);
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Processor-sharing shared-bandwidth link
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct TransferJob {
+    pid: Pid,
+    remaining: f64, // bytes
+}
+
+#[derive(Debug)]
+pub(crate) struct SharedBandwidth {
+    pub(crate) name: String,
+    capacity: f64, // bytes per second
+    jobs: Vec<TransferJob>,
+    last_update: SimTime,
+    pub(crate) busy_time: f64,
+    pub(crate) bytes_done: f64,
+    pub(crate) completed: u64,
+}
+
+/// Byte threshold under which a transfer counts as finished (guards against
+/// floating-point residue).
+const EPS_BYTES: f64 = 1e-6;
+
+impl SharedBandwidth {
+    pub(crate) fn new(name: impl Into<String>, capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive"
+        );
+        SharedBandwidth {
+            name: name.into(),
+            capacity,
+            jobs: Vec::new(),
+            last_update: SimTime::ZERO,
+            busy_time: 0.0,
+            bytes_done: 0.0,
+            completed: 0,
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Per-job rate under processor sharing.
+    fn rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.capacity / self.jobs.len() as f64
+        }
+    }
+
+    /// Advances all in-flight transfers to `now`.
+    pub(crate) fn update(&mut self, now: SimTime) {
+        let dt = now.as_secs() - self.last_update.as_secs();
+        debug_assert!(dt >= -1e-15, "link time went backwards");
+        if dt > 0.0 && !self.jobs.is_empty() {
+            let progress = self.rate() * dt;
+            for job in &mut self.jobs {
+                job.remaining -= progress;
+            }
+            self.busy_time += dt;
+            self.bytes_done += progress * self.jobs.len() as f64;
+        }
+        self.last_update = now;
+    }
+
+    /// Adds a transfer. Caller must `update(now)` first (the engine does).
+    pub(crate) fn add(&mut self, pid: Pid, bytes: f64) {
+        debug_assert!(bytes > 0.0 && bytes.is_finite());
+        self.jobs.push(TransferJob {
+            pid,
+            remaining: bytes,
+        });
+    }
+
+    /// Time until the next transfer completes, if any transfer is active.
+    pub(crate) fn next_completion_in(&self) -> Option<SimTime> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let min_rem = self
+            .jobs
+            .iter()
+            .map(|j| j.remaining)
+            .fold(f64::INFINITY, f64::min);
+        let dt = (min_rem.max(0.0)) / self.rate();
+        Some(SimTime::from_secs(dt))
+    }
+
+    /// Removes and returns all finished transfers. Caller must have called
+    /// `update(now)` first.
+    pub(crate) fn take_finished(&mut self) -> Vec<Pid> {
+        let mut done = Vec::new();
+        self.jobs.retain(|job| {
+            if job.remaining <= EPS_BYTES {
+                done.push(job.pid);
+                false
+            } else {
+                true
+            }
+        });
+        self.completed += done.len() as u64;
+        done
+    }
+
+    pub(crate) fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keyed locks
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct KeySlot {
+    held: bool,
+    waiters: VecDeque<Pid>,
+}
+
+#[derive(Debug)]
+pub(crate) struct KeyedLocks {
+    pub(crate) name: String,
+    slots: Vec<KeySlot>,
+    pub(crate) acquisitions: u64,
+    pub(crate) contended: u64,
+}
+
+impl KeyedLocks {
+    pub(crate) fn new(name: impl Into<String>, keys: usize) -> Self {
+        KeyedLocks {
+            name: name.into(),
+            slots: (0..keys).map(|_| KeySlot::default()).collect(),
+            acquisitions: 0,
+            contended: 0,
+        }
+    }
+
+    /// Attempts to acquire `key` for `pid`. Returns `true` if granted
+    /// immediately; otherwise queues the pid as a waiter.
+    pub(crate) fn acquire(&mut self, pid: Pid, key: usize) -> bool {
+        let slot = &mut self.slots[key];
+        if slot.held {
+            slot.waiters.push_back(pid);
+            self.contended += 1;
+            false
+        } else {
+            slot.held = true;
+            self.acquisitions += 1;
+            true
+        }
+    }
+
+    /// Releases `key`, handing it to the next FIFO waiter if present.
+    /// Returns the pid to wake, if any.
+    pub(crate) fn release(&mut self, key: usize) -> Option<Pid> {
+        let slot = &mut self.slots[key];
+        assert!(slot.held, "releasing a key that is not held (key {key})");
+        if let Some(next) = slot.waiters.pop_front() {
+            self.acquisitions += 1;
+            Some(next) // Lock stays held, ownership transfers.
+        } else {
+            slot.held = false;
+            None
+        }
+    }
+
+    pub(crate) fn keys(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn server_grants_up_to_capacity() {
+        let mut s = Server::new("s", 2);
+        assert!(s.request(t(0.0), Pid(0), t(1.0)));
+        assert!(s.request(t(0.0), Pid(1), t(1.0)));
+        assert!(!s.request(t(0.0), Pid(2), t(1.0)));
+        // First completion hands the slot to the queued job.
+        let next = s.complete(t(1.0));
+        assert_eq!(next, Some((Pid(2), t(1.0))));
+        assert_eq!(s.complete(t(1.0)), None);
+        assert_eq!(s.completed, 2);
+    }
+
+    #[test]
+    fn server_records_waits() {
+        let mut s = Server::new("s", 1);
+        assert!(s.request(t(0.0), Pid(0), t(2.0)));
+        assert!(!s.request(t(0.5), Pid(1), t(2.0)));
+        let _ = s.complete(t(2.0));
+        assert_eq!(s.waits.count(), 2);
+        assert!((s.waits.max() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_processor_sharing() {
+        let mut l = SharedBandwidth::new("dram", 100.0); // 100 B/s
+        l.update(t(0.0));
+        l.add(Pid(0), 100.0);
+        // Alone: 1 second to finish.
+        assert_eq!(l.next_completion_in(), Some(t(1.0)));
+        // Second job arrives halfway: each now gets 50 B/s.
+        l.update(t(0.5));
+        l.add(Pid(1), 100.0);
+        // Job 0 has 50 B left at 50 B/s -> 1 s.
+        assert_eq!(l.next_completion_in(), Some(t(1.0)));
+        l.update(t(1.5));
+        let done = l.take_finished();
+        assert_eq!(done, vec![Pid(0)]);
+        // Job 1 has 50 B left, now alone at 100 B/s -> 0.5 s.
+        assert_eq!(l.next_completion_in(), Some(t(0.5)));
+        l.update(t(2.0));
+        assert_eq!(l.take_finished(), vec![Pid(1)]);
+        assert_eq!(l.active_jobs(), 0);
+        assert!((l.bytes_done - 200.0).abs() < 1e-6);
+        assert!((l.busy_time - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keyed_locks_fifo_handoff() {
+        let mut k = KeyedLocks::new("cols", 4);
+        assert!(k.acquire(Pid(0), 2));
+        assert!(!k.acquire(Pid(1), 2));
+        assert!(!k.acquire(Pid(2), 2));
+        assert!(k.acquire(Pid(3), 3)); // independent key unaffected
+        assert_eq!(k.release(2), Some(Pid(1)));
+        assert_eq!(k.release(2), Some(Pid(2)));
+        assert_eq!(k.release(2), None);
+        assert_eq!(k.release(3), None);
+        assert_eq!(k.acquisitions, 4);
+        assert_eq!(k.contended, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not held")]
+    fn releasing_free_key_panics() {
+        let mut k = KeyedLocks::new("cols", 1);
+        k.release(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the DES engine: determinism, clock
+//! monotonicity, and conservation laws under randomized process mixes.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use cumf_des::{Block, Ctx, LinkId, Process, ServerId, SimTime, Simulation};
+
+/// A randomized process: a scripted sequence of blocking actions.
+#[derive(Debug, Clone)]
+enum Step {
+    Delay(u32),          // microseconds
+    Service(u32),        // hold microseconds on the shared server
+    Transfer(u32),       // kilobytes over the shared link
+}
+
+struct Scripted {
+    steps: Vec<Step>,
+    at: usize,
+    server: ServerId,
+    link: LinkId,
+    wake_times: Rc<RefCell<Vec<f64>>>,
+    done: Rc<RefCell<u32>>,
+}
+
+impl Process for Scripted {
+    fn resume(&mut self, ctx: &mut Ctx<'_>) -> Block {
+        self.wake_times.borrow_mut().push(ctx.now().as_secs());
+        if self.at >= self.steps.len() {
+            *self.done.borrow_mut() += 1;
+            return Block::Done;
+        }
+        let step = self.steps[self.at].clone();
+        self.at += 1;
+        match step {
+            Step::Delay(us) => Block::Delay(SimTime::from_micros(us as f64 + 1.0)),
+            Step::Service(us) => Block::Service {
+                server: self.server,
+                hold: SimTime::from_micros(us as f64 + 1.0),
+            },
+            Step::Transfer(kb) => Block::Transfer {
+                link: self.link,
+                bytes: (kb as f64 + 1.0) * 1024.0,
+            },
+        }
+    }
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u32..500).prop_map(Step::Delay),
+        (0u32..200).prop_map(Step::Service),
+        (0u32..300).prop_map(Step::Transfer),
+    ]
+}
+
+fn run_mix(scripts: &[Vec<Step>], server_slots: usize, link_bw: f64) -> (Vec<f64>, u32, f64, u64) {
+    let mut sim = Simulation::new();
+    let server = sim.add_server("srv", server_slots);
+    let link = sim.add_link("lnk", link_bw);
+    let wake_times = Rc::new(RefCell::new(Vec::new()));
+    let done = Rc::new(RefCell::new(0u32));
+    for steps in scripts {
+        sim.spawn(Box::new(Scripted {
+            steps: steps.clone(),
+            at: 0,
+            server,
+            link,
+            wake_times: wake_times.clone(),
+            done: done.clone(),
+        }));
+    }
+    let report = sim.run(None);
+    let times = wake_times.borrow().clone();
+    let finished = *done.borrow();
+    (times, finished, report.end_time.as_secs(), report.events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every process completes, wake-ups never go back in time, and a
+    /// rerun of the same script is bit-identical (determinism).
+    #[test]
+    fn engine_is_monotone_deterministic_and_complete(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 0..12), 1..10),
+        slots in 1usize..4,
+    ) {
+        let (times_a, done_a, end_a, events_a) = run_mix(&scripts, slots, 1e6);
+        prop_assert_eq!(done_a as usize, scripts.len(), "every process finishes");
+        // The per-process wake sequence is recorded interleaved; global
+        // monotonicity is too strong (wakes interleave across processes),
+        // but the engine clock itself must be monotone, which we check by
+        // asserting no wake exceeds the end time and the end time bounds
+        // the total scripted work.
+        for &t in &times_a {
+            prop_assert!(t <= end_a + 1e-12);
+            prop_assert!(t >= 0.0);
+        }
+        // Determinism: identical rerun.
+        let (times_b, done_b, end_b, events_b) = run_mix(&scripts, slots, 1e6);
+        prop_assert_eq!(&times_a, &times_b);
+        prop_assert_eq!(done_a, done_b);
+        prop_assert!((end_a - end_b).abs() == 0.0);
+        prop_assert_eq!(events_a, events_b);
+    }
+
+    /// Work conservation: the makespan is at least the critical-path lower
+    /// bound (longest single process) and at most the fully-serialised
+    /// upper bound (sum of all work).
+    #[test]
+    fn makespan_is_bounded_by_serial_and_critical_path(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(step_strategy(), 1..10), 1..8),
+    ) {
+        let bw = 1e6;
+        let step_secs = |s: &Step| match *s {
+            Step::Delay(us) | Step::Service(us) => (us as f64 + 1.0) * 1e-6,
+            Step::Transfer(kb) => (kb as f64 + 1.0) * 1024.0 / bw,
+        };
+        let longest: f64 = scripts
+            .iter()
+            .map(|p| p.iter().map(step_secs).sum::<f64>())
+            .fold(0.0, f64::max);
+        let total: f64 = scripts.iter().flatten().map(step_secs).sum();
+        let (_, _, end, _) = run_mix(&scripts, 1, bw);
+        prop_assert!(end >= longest - 1e-9, "end {end} < critical path {longest}");
+        prop_assert!(end <= total + 1e-9, "end {end} > serial bound {total}");
+    }
+}

@@ -1,0 +1,43 @@
+//! # cumf-gpu-sim — a GPU machine model for memory-bound SGD
+//!
+//! The cuMF_SGD paper (HPDC'17) is evaluated on NVIDIA Maxwell/Pascal GPUs.
+//! This crate substitutes that hardware with a first-principles performance
+//! model, driven by the paper's own characterisation (§2.3): SGD-based
+//! matrix factorization has ~0.43 flops/byte and therefore sits on the
+//! *bandwidth roof* of every platform it runs on. Consequently:
+//!
+//! * throughput = achieved bandwidth ÷ bytes-per-update ([`kernel`]),
+//! * achieved bandwidth is a function of occupancy ([`arch`]),
+//! * CPU baselines are cache-amplified versions of the same law
+//!   ([`memory`]),
+//! * scheduler saturation is queueing on critical sections ([`executor`],
+//!   built on the `cumf-des` discrete-event engine),
+//! * out-of-core staging is a three-stage flow-shop over the CPU↔GPU link
+//!   ([`pipeline`]).
+//!
+//! All specs are calibrated against numbers the paper itself reports
+//! (Fig 2, Fig 5, Fig 10, Fig 11, Table 5) and every calibration is
+//! unit-tested against the corresponding paper figure.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod executor;
+pub mod kernel;
+pub mod memory;
+pub mod occupancy;
+pub mod pipeline;
+pub mod roofline;
+pub mod warp;
+
+pub use arch::{
+    maxwell_platform, pascal_platform, CpuSpec, GpuSpec, LinkSpec, Platform, HPC_NETWORK,
+    NOMAD_HPC_NODE, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL, XEON_E5_2670X2,
+};
+pub use executor::{simulate_throughput, SchedulerModel, ThroughputConfig, ThroughputResult};
+pub use kernel::{Precision, RatingAccess, SgdUpdateCost, COO_SAMPLE_BYTES};
+pub use memory::CpuCacheModel;
+pub use occupancy::{blocks_per_sm, max_workers, KernelFootprint, SmResources, SM_MAXWELL, SM_PASCAL};
+pub use pipeline::{overlapped, serial, BlockJob, PipelineResult};
+pub use roofline::Roofline;
+pub use warp::{warp_dot, warp_reduce_sum, warp_sgd_update, WARP_SIZE};

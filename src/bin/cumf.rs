@@ -1,0 +1,268 @@
+//! `cumf` — the command-line front end of the cuMF_SGD reproduction.
+//!
+//! ```text
+//! cumf generate --preset netflix --scale 0.01 --out train.bin --test-out test.bin
+//! cumf train    --data train.bin --test test.bin --k 16 --epochs 20 \
+//!               --scheme batch-hogwild --workers 16 --save model.cmfm [--f16]
+//! cumf evaluate --model model.cmfm --data test.bin
+//! cumf predict  --model model.cmfm --user 3 --item 17
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency); every flag has a
+//! default so `cumf generate` / `cumf train` work out of the box.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use cumf_sgd::core::model_io::{load_model_file, save_model_file, Model};
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::{rmse, Schedule, F16};
+use cumf_sgd::data::io::{read_binary_file, read_text_file, write_binary_file};
+use cumf_sgd::data::{CooMatrix, HUGEWIKI, NETFLIX, YAHOO_MUSIC};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "train" => cmd_train(&flags),
+        "evaluate" => cmd_evaluate(&flags),
+        "predict" => cmd_predict(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cumf — parallelized SGD matrix factorization (cuMF_SGD reproduction)
+
+USAGE:
+  cumf generate [--preset netflix|yahoo|hugewiki] [--scale 0.01] [--k 16]
+                [--seed 42] [--out train.bin] [--test-out test.bin]
+  cumf train    [--data train.bin] [--test test.bin] [--k 16] [--epochs 20]
+                [--lambda 0.02] [--alpha 0.1] [--beta 0.1]
+                [--scheme serial|hogwild|batch-hogwild|wavefront|libmf]
+                [--workers 16] [--batch 256] [--f16] [--save model.cmfm]
+  cumf evaluate [--model model.cmfm] [--data test.bin] [--f16]
+  cumf predict  [--model model.cmfm] [--user U] [--item V] [--f16]
+
+Data files may be .bin (compact binary) or text (`u v r` per line).";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{arg}`"));
+        };
+        // Boolean flags take no value.
+        if name == "f16" {
+            flags.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a Flags, name: &str, default: &'a str) -> &'a str {
+    flags.get(name).map(String::as_str).unwrap_or(default)
+}
+
+fn get_parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|e| format!("bad value for --{name}: {e}")),
+    }
+}
+
+fn load_data(path: &str) -> Result<CooMatrix, String> {
+    let loader = if path.ends_with(".bin") {
+        read_binary_file(path)
+    } else {
+        read_text_file(path)
+    };
+    loader.map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let preset = match get(flags, "preset", "netflix") {
+        "netflix" => &NETFLIX,
+        "yahoo" => &YAHOO_MUSIC,
+        "hugewiki" => &HUGEWIKI,
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    let scale: f64 = get_parse(flags, "scale", 0.01)?;
+    let k: u32 = get_parse(flags, "k", 16)?;
+    let seed: u64 = get_parse(flags, "seed", 42)?;
+    let out = get(flags, "out", "train.bin");
+    let test_out = get(flags, "test-out", "test.bin");
+    let d = preset.scaled(scale, k, seed);
+    write_binary_file(out, &d.train).map_err(|e| e.to_string())?;
+    write_binary_file(test_out, &d.test).map_err(|e| e.to_string())?;
+    println!(
+        "generated {}-shaped data: {}x{}, {} train -> {out}, {} test -> {test_out} \
+         (noise floor RMSE {:.3})",
+        preset.name,
+        d.train.rows(),
+        d.train.cols(),
+        d.train.nnz(),
+        d.test.nnz(),
+        d.rmse_floor
+    );
+    Ok(())
+}
+
+fn parse_scheme(flags: &Flags) -> Result<Scheme, String> {
+    let workers: u32 = get_parse(flags, "workers", 16)?;
+    let batch: u32 = get_parse(flags, "batch", 256)?;
+    Ok(match get(flags, "scheme", "batch-hogwild") {
+        "serial" => Scheme::Serial,
+        "hogwild" => Scheme::Hogwild { workers },
+        "batch-hogwild" => Scheme::BatchHogwild { workers, batch },
+        "wavefront" => Scheme::Wavefront {
+            workers,
+            cols: workers * 4,
+        },
+        "libmf" => Scheme::LibmfTable {
+            workers,
+            a: get_parse(flags, "grid", 32)?,
+        },
+        other => return Err(format!("unknown scheme `{other}`")),
+    })
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let train_data = load_data(get(flags, "data", "train.bin"))?;
+    let test_path = get(flags, "test", "test.bin");
+    let test_data = if std::path::Path::new(test_path).exists() {
+        load_data(test_path)?
+    } else {
+        CooMatrix::new(train_data.rows(), train_data.cols())
+    };
+    let config = SolverConfig {
+        k: get_parse(flags, "k", 16)?,
+        lambda: get_parse(flags, "lambda", 0.02)?,
+        schedule: Schedule::NomadDecay {
+            alpha: get_parse(flags, "alpha", 0.1)?,
+            beta: get_parse(flags, "beta", 0.1)?,
+        },
+        epochs: get_parse(flags, "epochs", 20)?,
+        scheme: parse_scheme(flags)?,
+        seed: get_parse(flags, "seed", 42)?,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let save = get(flags, "save", "model.cmfm");
+    println!(
+        "training: {}x{}, {} samples, k={}, scheme={}, {} epochs",
+        train_data.rows(),
+        train_data.cols(),
+        train_data.nnz(),
+        config.k,
+        config.scheme.name(),
+        config.epochs
+    );
+    if flags.contains_key("f16") {
+        let result = train::<F16>(&train_data, &test_data, &config, None);
+        report_and_save(result.trace.final_rmse(), result.diverged, save, || {
+            save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
+                .map_err(|e| e.to_string())
+        })
+    } else {
+        let result = train::<f32>(&train_data, &test_data, &config, None);
+        report_and_save(result.trace.final_rmse(), result.diverged, save, || {
+            save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
+                .map_err(|e| e.to_string())
+        })
+    }
+}
+
+fn report_and_save(
+    final_rmse: Option<f64>,
+    diverged: bool,
+    save: &str,
+    do_save: impl FnOnce() -> Result<(), String>,
+) -> Result<(), String> {
+    if diverged {
+        return Err("training diverged (try a lower --alpha or fewer --workers)".into());
+    }
+    match final_rmse {
+        Some(r) if r > 0.0 => println!("final test RMSE: {r:.4}"),
+        _ => println!("trained (no test set provided)"),
+    }
+    do_save()?;
+    println!("model saved to {save}");
+    Ok(())
+}
+
+fn cmd_evaluate(flags: &Flags) -> Result<(), String> {
+    let data = load_data(get(flags, "data", "test.bin"))?;
+    let path = get(flags, "model", "model.cmfm");
+    let r = if flags.contains_key("f16") {
+        let model: Model<F16> = load_model_file(path).map_err(|e| e.to_string())?;
+        rmse(&data, &model.p, &model.q)
+    } else {
+        let model: Model<f32> = load_model_file(path).map_err(|e| e.to_string())?;
+        rmse(&data, &model.p, &model.q)
+    };
+    println!("RMSE over {} samples: {r:.4}", data.nnz());
+    Ok(())
+}
+
+fn cmd_predict(flags: &Flags) -> Result<(), String> {
+    let path = get(flags, "model", "model.cmfm");
+    let u: u32 = get_parse(flags, "user", 0)?;
+    let v: u32 = get_parse(flags, "item", 0)?;
+    let pred = if flags.contains_key("f16") {
+        let model: Model<F16> = load_model_file(path).map_err(|e| e.to_string())?;
+        check_bounds(&model, u, v)?;
+        model.predict(u, v)
+    } else {
+        let model: Model<f32> = load_model_file(path).map_err(|e| e.to_string())?;
+        check_bounds(&model, u, v)?;
+        model.predict(u, v)
+    };
+    println!("predicted rating for (user {u}, item {v}): {pred:.3}");
+    Ok(())
+}
+
+fn check_bounds<E: cumf_sgd::core::Element>(model: &Model<E>, u: u32, v: u32) -> Result<(), String> {
+    if u >= model.p.rows() {
+        return Err(format!("user {u} out of range (m = {})", model.p.rows()));
+    }
+    if v >= model.q.rows() {
+        return Err(format!("item {v} out of range (n = {})", model.q.rows()));
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # cumf-sgd — umbrella crate
+//!
+//! Re-exports the whole cuMF_SGD reproduction (HPDC'17) under one roof so
+//! examples and integration tests can reach every layer:
+//!
+//! * [`core`] — the paper's contribution: kernels, schedulers, solvers,
+//!   partitioning, multi-GPU pipeline, binary16 storage;
+//! * [`baselines`] — LIBMF, NOMAD, BIDMach-style mini-batch ADAGRAD, ALS;
+//! * [`data`] — matrices, planted generators, presets, IO;
+//! * [`gpu_sim`] — the calibrated GPU/CPU/interconnect machine models;
+//! * [`des`] — the discrete-event simulation engine beneath them.
+//!
+//! Depend on the individual crates directly in downstream projects; this
+//! crate exists for the repository's own examples and tests.
+
+#![warn(missing_docs)]
+
+pub use cumf_baselines as baselines;
+pub use cumf_core as core;
+pub use cumf_data as data;
+pub use cumf_des as des;
+pub use cumf_gpu_sim as gpu_sim;

@@ -1,0 +1,166 @@
+//! Cross-validation of the concurrent executors: the deterministic
+//! round-based engine, the lock-free atomic Hogwild! threads, the
+//! lock-striped threads, and the message-passing NOMAD ring must all
+//! solve the same problem to the same quality.
+
+use std::sync::Arc;
+
+use cumf_sgd::baselines::{train_nomad_threaded, NomadConfig};
+use cumf_sgd::core::concurrent::{
+    striped_locked_epoch, threaded_hogwild_epoch, AtomicFactors, StripedFactors,
+};
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::{rmse, FactorMatrix, Schedule};
+use cumf_sgd::data::synth::{generate, SynthConfig, SynthDataset};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const K: u32 = 6;
+const EPOCHS: u32 = 12;
+const GAMMA: f32 = 0.1;
+const LAMBDA: f32 = 0.02;
+const QUALITY: f64 = 0.22;
+
+fn dataset() -> SynthDataset {
+    generate(&SynthConfig {
+        m: 400,
+        n: 300,
+        k_true: 4,
+        train_samples: 24_000,
+        test_samples: 2_400,
+        noise_std: 0.1,
+        row_skew: 0.4,
+        col_skew: 0.4,
+        rating_offset: 1.0,
+        seed: 1234,
+    })
+}
+
+fn init_factors(d: &SynthDataset) -> (FactorMatrix<f32>, FactorMatrix<f32>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    (
+        FactorMatrix::random_init(d.train.rows(), K, &mut rng),
+        FactorMatrix::random_init(d.train.cols(), K, &mut rng),
+    )
+}
+
+#[test]
+fn round_engine_reaches_quality() {
+    let d = dataset();
+    let cfg = SolverConfig {
+        k: K,
+        lambda: LAMBDA,
+        schedule: Schedule::Fixed(GAMMA),
+        epochs: EPOCHS,
+        scheme: Scheme::BatchHogwild {
+            workers: 8,
+            batch: 64,
+        },
+        seed: 9,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let r = train::<f32>(&d.train, &d.test, &cfg, None);
+    assert!(r.trace.final_rmse().unwrap() < QUALITY);
+}
+
+#[test]
+fn atomic_threads_reach_quality() {
+    let d = dataset();
+    let (p0, q0) = init_factors(&d);
+    let p = Arc::new(AtomicFactors::from_matrix(&p0));
+    let q = Arc::new(AtomicFactors::from_matrix(&q0));
+    for _ in 0..EPOCHS {
+        threaded_hogwild_epoch(&d.train, &p, &q, 4, 128, GAMMA, LAMBDA);
+    }
+    let pm: FactorMatrix<f32> = p.to_matrix();
+    let qm: FactorMatrix<f32> = q.to_matrix();
+    let r = rmse(&d.test, &pm, &qm);
+    assert!(r < QUALITY, "atomic hogwild rmse {r}");
+}
+
+#[test]
+fn striped_locks_reach_quality() {
+    let d = dataset();
+    let (p0, q0) = init_factors(&d);
+    let p = StripedFactors::from_matrix(&p0, 128);
+    let q = StripedFactors::from_matrix(&q0, 128);
+    for _ in 0..EPOCHS {
+        striped_locked_epoch(&d.train, &p, &q, 4, 128, GAMMA, LAMBDA);
+    }
+    let pm: FactorMatrix<f32> = p.into_matrix();
+    let qm: FactorMatrix<f32> = q.into_matrix();
+    let r = rmse(&d.test, &pm, &qm);
+    assert!(r < QUALITY, "striped-lock rmse {r}");
+}
+
+#[test]
+fn nomad_ring_reaches_quality() {
+    let d = dataset();
+    let mut cfg = NomadConfig::new(K, 3);
+    cfg.lambda = LAMBDA;
+    cfg.schedule = Schedule::Fixed(GAMMA);
+    cfg.epochs = EPOCHS;
+    cfg.seed = 9;
+    let r = train_nomad_threaded(&d.train, &d.test, &cfg);
+    assert!(
+        r.trace.final_rmse().unwrap() < QUALITY,
+        "nomad ring rmse {}",
+        r.trace.final_rmse().unwrap()
+    );
+}
+
+/// All four executors land in a tight quality band of each other — the
+/// parallelisation strategy must not change what is learned.
+#[test]
+fn all_executors_agree_on_quality() {
+    let d = dataset();
+
+    // Round engine.
+    let cfg = SolverConfig {
+        k: K,
+        lambda: LAMBDA,
+        schedule: Schedule::Fixed(GAMMA),
+        epochs: EPOCHS,
+        scheme: Scheme::BatchHogwild {
+            workers: 8,
+            batch: 64,
+        },
+        seed: 9,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let round = train::<f32>(&d.train, &d.test, &cfg, None)
+        .trace
+        .final_rmse()
+        .unwrap();
+
+    // Striped locks.
+    let (p0, q0) = init_factors(&d);
+    let p = StripedFactors::from_matrix(&p0, 64);
+    let q = StripedFactors::from_matrix(&q0, 64);
+    for _ in 0..EPOCHS {
+        striped_locked_epoch(&d.train, &p, &q, 4, 64, GAMMA, LAMBDA);
+    }
+    let pm: FactorMatrix<f32> = p.into_matrix();
+    let qm: FactorMatrix<f32> = q.into_matrix();
+    let striped = rmse(&d.test, &pm, &qm);
+
+    // NOMAD ring.
+    let mut ncfg = NomadConfig::new(K, 3);
+    ncfg.lambda = LAMBDA;
+    ncfg.schedule = Schedule::Fixed(GAMMA);
+    ncfg.epochs = EPOCHS;
+    ncfg.seed = 9;
+    let nomad = train_nomad_threaded(&d.train, &d.test, &ncfg)
+        .trace
+        .final_rmse()
+        .unwrap();
+
+    for (name, value) in [("striped", striped), ("nomad", nomad)] {
+        assert!(
+            (value - round).abs() < 0.05,
+            "{name} rmse {value} strays from round-engine {round}"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Cross-solver consistency: every system in the workspace — the cuMF_SGD
+//! schemes, LIBMF, NOMAD, BIDMach, ALS, and the partitioned multi-GPU
+//! path — must solve the same planted problem to comparable quality.
+
+use cumf_sgd::baselines::{
+    train_als, train_bidmach, train_libmf, train_nomad, AlsConfig, BidmachConfig, LibmfConfig,
+    NomadConfig,
+};
+use cumf_sgd::core::multi_gpu::{train_partitioned, MultiGpuConfig};
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::{Schedule, F16};
+use cumf_sgd::data::synth::{generate, SynthConfig, SynthDataset};
+use cumf_sgd::gpu_sim::{PCIE3_X16, TITAN_X_MAXWELL, XEON_E5_2670X2};
+
+fn dataset() -> SynthDataset {
+    generate(&SynthConfig {
+        m: 500,
+        n: 400,
+        k_true: 4,
+        train_samples: 30_000,
+        test_samples: 3_000,
+        noise_std: 0.1,
+        row_skew: 0.5,
+        col_skew: 0.5,
+        rating_offset: 1.5,
+        seed: 2024,
+    })
+}
+
+const QUALITY: f64 = 0.22; // all solvers should get below this (floor 0.1)
+
+fn sgd_config(scheme: Scheme, epochs: u32) -> SolverConfig {
+    SolverConfig {
+        k: 6,
+        lambda: 0.02,
+        schedule: Schedule::NomadDecay {
+            alpha: 0.1,
+            beta: 0.1,
+        },
+        epochs,
+        scheme,
+        seed: 5,
+        mode: None,
+        divergence_ceiling: 1e3,
+    }
+}
+
+#[test]
+fn all_sgd_schemes_reach_quality() {
+    let d = dataset();
+    for scheme in [
+        Scheme::Serial,
+        Scheme::Hogwild { workers: 8 },
+        Scheme::BatchHogwild {
+            workers: 8,
+            batch: 128,
+        },
+        Scheme::Wavefront {
+            workers: 8,
+            cols: 20,
+        },
+        Scheme::LibmfTable { workers: 8, a: 20 },
+    ] {
+        let r = train::<f32>(&d.train, &d.test, &sgd_config(scheme, 20), None);
+        assert!(!r.diverged, "{} diverged", scheme.name());
+        let rmse = r.trace.final_rmse().unwrap();
+        assert!(rmse < QUALITY, "{}: rmse {rmse}", scheme.name());
+    }
+}
+
+#[test]
+fn half_precision_matches_single_precision() {
+    let d = dataset();
+    let cfg = sgd_config(
+        Scheme::BatchHogwild {
+            workers: 8,
+            batch: 128,
+        },
+        20,
+    );
+    let f32r = train::<f32>(&d.train, &d.test, &cfg, None);
+    let f16r = train::<F16>(&d.train, &d.test, &cfg, None);
+    let a = f32r.trace.final_rmse().unwrap();
+    let b = f16r.trace.final_rmse().unwrap();
+    assert!(
+        (a - b).abs() < 0.02,
+        "§4's no-accuracy-loss claim: f32 {a} vs f16 {b}"
+    );
+}
+
+#[test]
+fn baselines_reach_quality() {
+    let d = dataset();
+
+    let mut libmf_cfg = LibmfConfig::new(6, 8, 20);
+    libmf_cfg.lambda = 0.02;
+    libmf_cfg.epochs = 25;
+    let libmf = train_libmf(&d.train, &d.test, &libmf_cfg, XEON_E5_2670X2);
+    assert!(
+        libmf.trace().final_rmse().unwrap() < QUALITY,
+        "libmf {}",
+        libmf.trace().final_rmse().unwrap()
+    );
+
+    let mut nomad_cfg = NomadConfig::new(6, 4);
+    nomad_cfg.lambda = 0.02;
+    nomad_cfg.schedule = Schedule::NomadDecay {
+        alpha: 0.1,
+        beta: 0.1,
+    };
+    nomad_cfg.epochs = 25;
+    let nomad = train_nomad(&d.train, &d.test, &nomad_cfg, None);
+    assert!(
+        nomad.trace.final_rmse().unwrap() < QUALITY,
+        "nomad {}",
+        nomad.trace.final_rmse().unwrap()
+    );
+
+    let mut bid_cfg = BidmachConfig::new(6);
+    bid_cfg.epochs = 40;
+    let bid = train_bidmach(&d.train, &d.test, &bid_cfg, None);
+    assert!(
+        bid.trace.final_rmse().unwrap() < QUALITY * 1.3,
+        "bidmach {}",
+        bid.trace.final_rmse().unwrap()
+    );
+
+    let als = train_als(
+        &d.train,
+        &d.test,
+        &AlsConfig {
+            lambda: 0.01,
+            epochs: 10,
+            ..AlsConfig::new(6)
+        },
+        None,
+    );
+    assert!(
+        als.trace.final_rmse().unwrap() < QUALITY,
+        "als {}",
+        als.trace.final_rmse().unwrap()
+    );
+}
+
+#[test]
+fn partitioned_path_matches_flat_path() {
+    let d = dataset();
+    let flat = train::<f32>(
+        &d.train,
+        &d.test,
+        &sgd_config(
+            Scheme::BatchHogwild {
+                workers: 8,
+                batch: 128,
+            },
+            12,
+        ),
+        None,
+    );
+    let mut cfg = MultiGpuConfig::new(6, 4, 4, 1);
+    cfg.workers_per_gpu = 8;
+    cfg.batch = 128;
+    cfg.epochs = 12;
+    cfg.lambda = 0.02;
+    cfg.schedule = Schedule::NomadDecay {
+        alpha: 0.1,
+        beta: 0.1,
+    };
+    let part = train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16);
+    let a = flat.trace.final_rmse().unwrap();
+    let b = part.trace.final_rmse().unwrap();
+    assert!(
+        (a - b).abs() < 0.06,
+        "flat {a} vs partitioned {b} should agree"
+    );
+}
+
+#[test]
+fn als_needs_fewest_epochs_sgd_cheapest_epochs() {
+    // §7.4's trade-off, verified end to end: ALS reaches quality in fewer
+    // epochs; SGD does ~k times less work per epoch.
+    let d = dataset();
+    let als = train_als(
+        &d.train,
+        &d.test,
+        &AlsConfig {
+            lambda: 0.01,
+            epochs: 20,
+            ..AlsConfig::new(6)
+        },
+        None,
+    );
+    let sgd = train::<f32>(&d.train, &d.test, &sgd_config(Scheme::Serial, 30), None);
+    let als_epochs = als
+        .trace
+        .points
+        .iter()
+        .find(|p| p.rmse < QUALITY)
+        .map(|p| p.epoch)
+        .expect("als converges");
+    let sgd_epochs = sgd
+        .trace
+        .points
+        .iter()
+        .find(|p| p.rmse < QUALITY)
+        .map(|p| p.epoch)
+        .expect("sgd converges");
+    assert!(
+        als_epochs <= sgd_epochs,
+        "ALS epochs {als_epochs} vs SGD epochs {sgd_epochs}"
+    );
+}

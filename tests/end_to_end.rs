@@ -1,0 +1,125 @@
+//! End-to-end integration: data generation → IO round trip → split →
+//! training → evaluation, across crates.
+
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::{rmse, Schedule};
+use cumf_sgd::data::io::{read_binary_file, write_binary_file};
+use cumf_sgd::data::synth::{generate, SynthConfig};
+use cumf_sgd::data::{holdout_split, CooMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn small_config() -> SynthConfig {
+    SynthConfig {
+        m: 400,
+        n: 300,
+        k_true: 4,
+        train_samples: 25_000,
+        test_samples: 2_500,
+        noise_std: 0.1,
+        row_skew: 0.5,
+        col_skew: 0.5,
+        rating_offset: 2.0,
+        seed: 77,
+    }
+}
+
+fn solver_config(scheme: Scheme) -> SolverConfig {
+    SolverConfig {
+        k: 6,
+        lambda: 0.02,
+        schedule: Schedule::NomadDecay {
+            alpha: 0.1,
+            beta: 0.1,
+        },
+        epochs: 15,
+        scheme,
+        seed: 3,
+        mode: None,
+        divergence_ceiling: 1e3,
+    }
+}
+
+#[test]
+fn generate_persist_reload_split_train() {
+    let data = generate(&small_config());
+
+    // Persist and reload the training matrix through the binary format.
+    let dir = std::env::temp_dir().join("cumf_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("train.bin");
+    write_binary_file(&path, &data.train).unwrap();
+    let reloaded = read_binary_file(&path).unwrap();
+    assert_eq!(reloaded, data.train);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Re-split the reloaded data (Hugewiki protocol: 1% random holdout).
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (train_set, holdout) = holdout_split(&reloaded, 0.01, &mut rng);
+    assert_eq!(holdout.nnz(), 250);
+
+    // Train on the re-split data; evaluate on both holdouts.
+    let result = train::<f32>(
+        &train_set,
+        &data.test,
+        &solver_config(Scheme::BatchHogwild {
+            workers: 8,
+            batch: 128,
+        }),
+        None,
+    );
+    assert!(!result.diverged);
+    let test_rmse = result.trace.final_rmse().unwrap();
+    assert!(test_rmse < 0.2, "test rmse {test_rmse}");
+    let holdout_rmse = rmse(&holdout, &result.p, &result.q);
+    assert!(
+        (holdout_rmse - test_rmse).abs() < 0.1,
+        "holdout {holdout_rmse} vs test {test_rmse}"
+    );
+}
+
+#[test]
+fn trained_model_generalises_not_memorises() {
+    let data = generate(&small_config());
+    let result = train::<f32>(
+        &data.train,
+        &data.test,
+        &solver_config(Scheme::Serial),
+        None,
+    );
+    let train_rmse = rmse(&data.train, &result.p, &result.q);
+    let test_rmse = result.trace.final_rmse().unwrap();
+    // Both near the floor; mild overfit allowed, pathological gap is a bug.
+    assert!(train_rmse < test_rmse, "train should fit better");
+    assert!(
+        test_rmse < train_rmse + 0.1,
+        "generalisation gap too large: {train_rmse} vs {test_rmse}"
+    );
+}
+
+#[test]
+fn empty_test_set_is_tolerated() {
+    let data = generate(&small_config());
+    let empty = CooMatrix::new(data.train.rows(), data.train.cols());
+    let result = train::<f32>(
+        &data.train,
+        &empty,
+        &solver_config(Scheme::Serial),
+        None,
+    );
+    // RMSE of an empty set is defined as 0; training proceeds.
+    assert_eq!(result.trace.final_rmse(), Some(0.0));
+}
+
+#[test]
+fn deterministic_training_given_seed() {
+    let data = generate(&small_config());
+    let cfg = solver_config(Scheme::BatchHogwild {
+        workers: 4,
+        batch: 64,
+    });
+    let a = train::<f32>(&data.train, &data.test, &cfg, None);
+    let b = train::<f32>(&data.train, &data.test, &cfg, None);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.p, b.p);
+}

@@ -1,0 +1,166 @@
+//! Failure injection: every documented error path across the workspace
+//! fires (and fires with the documented message), so misuse is loud.
+
+use cumf_sgd::core::multi_gpu::{train_partitioned, MultiGpuConfig};
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::Schedule;
+use cumf_sgd::data::io::{read_binary, read_text, DataError};
+use cumf_sgd::data::synth::{generate, SynthConfig};
+use cumf_sgd::data::CooMatrix;
+use cumf_sgd::gpu_sim::{PCIE3_X16, TITAN_X_MAXWELL};
+use std::io::Cursor;
+
+fn catch<R>(f: impl FnOnce() -> R + std::panic::UnwindSafe) -> Option<String> {
+    match std::panic::catch_unwind(f) {
+        Ok(_) => None,
+        Err(e) => Some(
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default(),
+        ),
+    }
+}
+
+fn small() -> cumf_sgd::data::synth::SynthDataset {
+    generate(&SynthConfig {
+        m: 60,
+        n: 50,
+        k_true: 3,
+        train_samples: 1_000,
+        test_samples: 100,
+        ..SynthConfig::default()
+    })
+}
+
+#[test]
+fn solver_misconfigurations_panic_with_clear_messages() {
+    let d = small();
+    // k = 0.
+    let mut cfg = SolverConfig::new(0, Scheme::Serial);
+    cfg.epochs = 1;
+    let msg = catch(|| train::<f32>(&d.train, &d.test, &cfg, None)).expect("must panic");
+    assert!(msg.contains("k must be positive"), "{msg}");
+
+    // Empty training set.
+    let cfg = SolverConfig::new(4, Scheme::Serial);
+    let empty = CooMatrix::new(3, 3);
+    let msg = catch(|| train::<f32>(&empty, &d.test, &cfg, None)).expect("must panic");
+    assert!(msg.contains("training set is empty"), "{msg}");
+
+    // Wavefront with too few columns for deadlock freedom.
+    let mut cfg = SolverConfig::new(4, Scheme::Wavefront { workers: 8, cols: 8 });
+    cfg.epochs = 1;
+    let msg = catch(|| train::<f32>(&d.train, &d.test, &cfg, None)).expect("must panic");
+    assert!(msg.contains("deadlock freedom"), "{msg}");
+
+    // LIBMF grid larger than the matrix.
+    let mut cfg = SolverConfig::new(4, Scheme::LibmfTable { workers: 2, a: 500 });
+    cfg.epochs = 1;
+    let msg = catch(|| train::<f32>(&d.train, &d.test, &cfg, None)).expect("must panic");
+    assert!(msg.contains("exceeds matrix"), "{msg}");
+}
+
+#[test]
+fn partitioned_misconfigurations_panic() {
+    let d = small();
+    // Grid rule enforcement for multi-GPU.
+    let mut cfg = MultiGpuConfig::new(4, 2, 2, 2);
+    cfg.enforce_grid_rule = true;
+    cfg.epochs = 1;
+    let msg = catch(|| {
+        train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16)
+    })
+    .expect("must panic");
+    assert!(msg.contains("too small for"), "{msg}");
+
+    // Grid larger than the matrix.
+    let cfg = MultiGpuConfig::new(4, 100, 100, 1);
+    let msg = catch(|| {
+        train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16)
+    })
+    .expect("must panic");
+    assert!(msg.contains("exceeds matrix"), "{msg}");
+}
+
+#[test]
+fn data_loading_rejects_corruption_gracefully() {
+    // Text: each malformed shape is an Err, never a panic.
+    for (input, needle) in [
+        ("1 2\n", "missing rating"),
+        ("x 2 3\n", "bad row index"),
+        ("1 2 3 4\n", "trailing"),
+        ("1 2 nan\n", "finite"),
+    ] {
+        let err = read_text(Cursor::new(input), 0, 0).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "input {input:?}: {err}"
+        );
+    }
+    // Binary: truncation at every prefix of a valid file must produce an
+    // error (IO or parse), never a panic or a silent success.
+    let mut coo = CooMatrix::new(4, 4);
+    coo.push(0, 1, 1.5);
+    coo.push(3, 2, -0.5);
+    let mut buf = Vec::new();
+    cumf_sgd::data::io::write_binary(&mut buf, &coo).unwrap();
+    for cut in 0..buf.len() {
+        let result = read_binary(Cursor::new(buf[..cut].to_vec()));
+        assert!(
+            result.is_err(),
+            "truncation at {cut}/{} must fail",
+            buf.len()
+        );
+        // And the error formats without panicking.
+        let _ = result.unwrap_err().to_string();
+    }
+}
+
+#[test]
+fn data_error_source_chain() {
+    let err = read_binary(Cursor::new(Vec::new())).unwrap_err();
+    match &err {
+        DataError::Io(_) => {
+            use std::error::Error;
+            assert!(err.source().is_some(), "io errors carry a source");
+        }
+        other => panic!("empty file should be an io error, got {other}"),
+    }
+}
+
+#[test]
+fn divergence_is_flagged_not_hidden() {
+    // A learning rate far past stability must be reported as divergence,
+    // with the trace retained up to the blow-up.
+    let d = generate(&SynthConfig {
+        m: 40,
+        n: 30,
+        k_true: 3,
+        train_samples: 3_000,
+        test_samples: 300,
+        rating_offset: 0.0,
+        ..SynthConfig::default()
+    });
+    let cfg = SolverConfig {
+        k: 4,
+        lambda: 0.0,
+        schedule: Schedule::Fixed(5.0), // wildly unstable
+        epochs: 10,
+        scheme: Scheme::Serial,
+        seed: 0,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let r = train::<f32>(&d.train, &d.test, &cfg, None);
+    assert!(r.diverged, "gamma=5 must diverge");
+    assert!(!r.trace.points.is_empty(), "trace retained");
+    assert!(r.trace.points.len() < 10, "stopped early");
+}
+
+#[test]
+fn model_io_errors_are_typed() {
+    use cumf_sgd::core::model_io::{load_model, ModelIoError};
+    let err = load_model::<f32, _>(Cursor::new(b"JUNKJUNKJUNK".to_vec())).unwrap_err();
+    assert!(matches!(err, ModelIoError::Format(_)), "{err}");
+}
