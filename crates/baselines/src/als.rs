@@ -92,8 +92,8 @@ pub fn train_als(
     time: Option<&AlsTimeModel>,
 ) -> AlsResult {
     assert!(!train.is_empty(), "training set is empty");
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+    use cumf_rng::SeedableRng;
+    let mut rng = cumf_rng::ChaCha8Rng::seed_from_u64(config.seed);
     let mut p: FactorMatrix<f32> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
     let mut q: FactorMatrix<f32> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
 
@@ -101,7 +101,14 @@ pub fn train_als(
     let by_col = CsrMatrix::from_coo_transposed(train);
 
     let epoch_secs = time
-        .map(|t| t.epoch_seconds(train.rows() as u64, train.cols() as u64, train.nnz() as u64, config.k))
+        .map(|t| {
+            t.epoch_seconds(
+                train.rows() as u64,
+                train.cols() as u64,
+                train.nnz() as u64,
+                config.k,
+            )
+        })
         .unwrap_or(0.0);
 
     let mut trace = Trace::default();
@@ -139,9 +146,7 @@ fn solve_side(
         b.iter_mut().for_each(|v| *v = 0.0);
         for (&v, &r) in cols.iter().zip(vals) {
             let qv = fixed.row(v);
-            x.iter_mut()
-                .zip(qv)
-                .for_each(|(xe, qe)| *xe = *qe as f64);
+            x.iter_mut().zip(qv).for_each(|(xe, qe)| *xe = *qe as f64);
             syrk_accumulate(&mut a, k, &x);
             for (be, &qe) in b.iter_mut().zip(qv) {
                 *be += r as f64 * qe as f64;

@@ -74,9 +74,9 @@ pub fn train_ccd(
 ) -> CcdResult {
     assert!(!train.is_empty(), "training set is empty");
     assert!(config.k > 0 && config.inner > 0);
-    use rand::Rng;
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+    use cumf_rng::Rng;
+    use cumf_rng::SeedableRng;
+    let mut rng = cumf_rng::ChaCha8Rng::seed_from_u64(config.seed);
 
     let m = train.rows() as usize;
     let n = train.cols() as usize;
@@ -103,9 +103,9 @@ pub fn train_ccd(
     for epoch in 0..config.epochs {
         for t in 0..k {
             // Fold component t back into the residual: res += u_t v_t.
-            for i in 0..nnz {
+            for (i, r) in res.iter_mut().enumerate() {
                 let e = train.get(i);
-                res[i] += u[t][e.u as usize] * v[t][e.v as usize];
+                *r += u[t][e.u as usize] * v[t][e.v as usize];
             }
             for _ in 0..config.inner {
                 // CCD++ order (Yu et al.): refresh v_t against the
@@ -117,9 +117,9 @@ pub fn train_ccd(
                 solve_side(&by_row, &res, &v[t], &mut u[t], config.lambda, train, true);
             }
             // Remove the refreshed component from the residual.
-            for i in 0..nnz {
+            for (i, r) in res.iter_mut().enumerate() {
                 let e = train.get(i);
-                res[i] -= u[t][e.u as usize] * v[t][e.v as usize];
+                *r -= u[t][e.u as usize] * v[t][e.v as usize];
             }
             updates += 2 * nnz as u64 * config.inner as u64;
         }
@@ -192,7 +192,7 @@ fn solve_side(
     // component (it was folded back before the inner loop), so the 1-D
     // solve is: argmin_x Σ (res_i − x·other_i)² + λx².
     debug_assert_eq!(mine.len(), index.buckets());
-    for b in 0..index.buckets() {
+    for (b, x) in mine.iter_mut().enumerate() {
         let mut num = 0.0f64;
         let mut den = lambda as f64;
         for &i in index.bucket(b) {
@@ -201,7 +201,7 @@ fn solve_side(
             num += res[i] as f64 * o;
             den += o * o;
         }
-        mine[b] = (num / den) as f32;
+        *x = (num / den) as f32;
     }
 }
 

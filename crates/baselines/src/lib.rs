@@ -9,7 +9,7 @@
 //! * [`nomad`] — NOMAD: decentralised distributed SGD with circulating
 //!   item ownership and a cluster network cost model;
 //! * [`nomad_threaded`] — the same architecture as a real message-passing
-//!   concurrent program (node threads + crossbeam channels);
+//!   concurrent program (node threads + mpsc channels);
 //! * [`bidmach`] — BIDMach-style mini-batch SGD with ADAGRAD on GPU;
 //! * [`ccd`] — CCD++ cyclic coordinate descent (the paper's third
 //!   algorithm family, refs [60, 61]);

@@ -181,8 +181,7 @@ mod tests {
         let r_lean = train_libmf(&d.train, &d.test, &lean, XEON_E5_2670X2);
         let r_starved = train_libmf(&d.train, &d.test, &starved, XEON_E5_2670X2);
         let stalls_lean: u64 = r_lean.result.epoch_stats.iter().map(|s| s.stalls).sum();
-        let stalls_starved: u64 =
-            r_starved.result.epoch_stats.iter().map(|s| s.stalls).sum();
+        let stalls_starved: u64 = r_starved.result.epoch_stats.iter().map(|s| s.stalls).sum();
         assert!(
             stalls_starved > stalls_lean * 2,
             "starved {stalls_starved} vs lean {stalls_lean}"

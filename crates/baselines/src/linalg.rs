@@ -102,9 +102,9 @@ pub fn syrk_accumulate(a: &mut [f64], k: usize, x: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::Rng;
+    use cumf_rng::SeedableRng;
 
     fn random_spd(rng: &mut ChaCha8Rng, k: usize) -> Vec<f64> {
         // A = B Bᵀ + k·I is SPD with probability 1.

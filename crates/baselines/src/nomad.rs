@@ -18,9 +18,9 @@
 //!   ~5.6X speedup on 32 nodes and the collapsing memory efficiency of
 //!   Fig 2(b).
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::seq::SliceRandom;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::{CooMatrix, CsrMatrix};
 use cumf_gpu_sim::{CpuCacheModel, LinkSpec, SgdUpdateCost};
@@ -115,8 +115,7 @@ impl NomadPerfModel {
         // Circulation: each item visits every node once per epoch; each
         // node therefore sends/receives ~n messages of one q-vector.
         let hop_bytes = k as f64 * 4.0 + 16.0;
-        let comm = n as f64
-            * (self.per_message_overhead + hop_bytes / self.link.achieved_bw);
+        let comm = n as f64 * (self.per_message_overhead + hop_bytes / self.link.achieved_bw);
         // Compute and communication overlap; imbalance keeps the epoch
         // from hiding the longer one completely.
         compute.max(comm) + 0.1 * compute.min(comm)
@@ -167,10 +166,7 @@ pub fn train_nomad(
             stripe
         })
         .collect();
-    let by_col: Vec<CsrMatrix> = stripes
-        .iter()
-        .map(CsrMatrix::from_coo_transposed)
-        .collect();
+    let by_col: Vec<CsrMatrix> = stripes.iter().map(CsrMatrix::from_coo_transposed).collect();
 
     let epoch_secs = perf.map(|pm| {
         pm.epoch_seconds(

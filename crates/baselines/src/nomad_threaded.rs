@@ -12,7 +12,7 @@
 //! single lock; messages are the only synchronisation, exactly as in the
 //! paper's description of NOMAD (§2.3, §7.2).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use cumf_data::{CooMatrix, CsrMatrix};
 
@@ -51,8 +51,8 @@ pub fn train_nomad_threaded(
     let m = train.rows();
     let k = config.k;
 
-    use rand::SeedableRng;
-    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(config.seed);
+    use cumf_rng::SeedableRng;
+    let mut rng = cumf_rng::ChaCha8Rng::seed_from_u64(config.seed);
     let mut p: FactorMatrix<f32> = FactorMatrix::random_init(m, k, &mut rng);
     let mut q: FactorMatrix<f32> = FactorMatrix::random_init(train.cols(), k, &mut rng);
 
@@ -117,10 +117,13 @@ fn run_ring_epoch(
     lambda: f32,
 ) -> (u64, Vec<FactorMatrix<f32>>, FactorMatrix<f32>) {
     let n_items = q.rows();
-    // Channels: one inbox per node, plus the coordinator's completion inbox.
+    // Channels: one inbox per node, plus the coordinator's completion
+    // inbox. `std::sync::mpsc` receivers cannot be cloned, but each inbox
+    // is consumed by exactly one node thread, so every receiver simply
+    // moves into its thread.
     let (inboxes, receivers): (Vec<Sender<ItemMsg>>, Vec<Receiver<ItemMsg>>) =
-        (0..nodes).map(|_| unbounded()).unzip();
-    let (done_tx, done_rx) = unbounded::<ItemMsg>();
+        (0..nodes).map(|_| channel()).unzip();
+    let (done_tx, done_rx) = channel::<ItemMsg>();
 
     // Seed items round-robin across the ring.
     for v in 0..n_items {
@@ -134,8 +137,7 @@ fn run_ring_epoch(
 
     let stripes_and_counts: Vec<(FactorMatrix<f32>, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for node in 0..nodes {
-            let rx = receivers[node].clone();
+        for (node, rx) in receivers.into_iter().enumerate() {
             let next = inboxes[(node + 1) % nodes].clone();
             let done = done_tx.clone();
             let (lo, hi) = bounds[node];

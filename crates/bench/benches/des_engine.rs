@@ -1,8 +1,7 @@
-//! Criterion microbenchmarks of the discrete-event engine: raw event
-//! throughput, contended-server queueing, and processor-sharing links.
+//! Microbenchmarks of the discrete-event engine: raw event throughput,
+//! contended-server queueing, and processor-sharing links.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
+use cumf_bench::micro::{bench, black_box};
 use cumf_des::{Block, Ctx, LinkId, Process, ServerId, SimTime, Simulation};
 
 struct Sleeper {
@@ -52,43 +51,30 @@ impl Process for Mover {
     }
 }
 
-fn bench_des(c: &mut Criterion) {
+fn main() {
     const EVENTS: u64 = 64 * 500;
-    let mut group = c.benchmark_group("des_engine");
-    group.throughput(Throughput::Elements(EVENTS));
-    group.sample_size(20);
 
-    group.bench_function("delays_64_procs", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            for _ in 0..64 {
-                sim.spawn(Box::new(Sleeper { left: 500 }));
-            }
-            black_box(sim.run(None).events)
-        })
+    bench("des_engine/delays_64_procs", EVENTS, || {
+        let mut sim = Simulation::new();
+        for _ in 0..64 {
+            sim.spawn(Box::new(Sleeper { left: 500 }));
+        }
+        black_box(sim.run(None).events);
     });
-    group.bench_function("contended_server_64_procs", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let server = sim.add_server("cs", 4);
-            for _ in 0..64 {
-                sim.spawn(Box::new(Contender { left: 500, server }));
-            }
-            black_box(sim.run(None).events)
-        })
+    bench("des_engine/contended_server_64_procs", EVENTS, || {
+        let mut sim = Simulation::new();
+        let server = sim.add_server("cs", 4);
+        for _ in 0..64 {
+            sim.spawn(Box::new(Contender { left: 500, server }));
+        }
+        black_box(sim.run(None).events);
     });
-    group.bench_function("shared_link_64_procs", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let link = sim.add_link("dram", 1e9);
-            for _ in 0..64 {
-                sim.spawn(Box::new(Mover { left: 500, link }));
-            }
-            black_box(sim.run(None).events)
-        })
+    bench("des_engine/shared_link_64_procs", EVENTS, || {
+        let mut sim = Simulation::new();
+        let link = sim.add_link("dram", 1e9);
+        for _ in 0..64 {
+            sim.spawn(Box::new(Mover { left: 500, link }));
+        }
+        black_box(sim.run(None).events);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_des);
-criterion_main!(benches);

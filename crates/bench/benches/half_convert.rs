@@ -1,47 +1,34 @@
-//! Criterion microbenchmarks of the from-scratch binary16 conversions —
-//! the half-precision storage path of §4 narrows/widens on every feature
+//! Microbenchmarks of the from-scratch binary16 conversions — the
+//! half-precision storage path of §4 narrows/widens on every feature
 //! load and store, so these conversions sit on the kernel's hot path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-
+use cumf_bench::micro::{bench, black_box};
 use cumf_core::half::F16;
 
-fn bench_half(c: &mut Criterion) {
+fn main() {
     const N: usize = 4096;
     let floats: Vec<f32> = (0..N).map(|i| ((i as f32) * 0.173).sin() * 2.0).collect();
     let halves: Vec<F16> = floats.iter().map(|&x| F16::from_f32(x)).collect();
 
-    let mut group = c.benchmark_group("half_convert");
-    group.throughput(Throughput::Elements(N as u64));
-    group.bench_function("from_f32_bulk", |b| {
-        b.iter(|| {
-            let mut acc = 0u16;
-            for &x in black_box(&floats) {
-                acc ^= F16::from_f32(x).to_bits();
-            }
-            acc
-        })
+    bench("half_convert/from_f32_bulk", N as u64, || {
+        let mut acc = 0u16;
+        for &x in black_box(&floats) {
+            acc ^= F16::from_f32(x).to_bits();
+        }
+        black_box(acc);
     });
-    group.bench_function("to_f32_bulk", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for &h in black_box(&halves) {
-                acc += h.to_f32();
-            }
-            acc
-        })
+    bench("half_convert/to_f32_bulk", N as u64, || {
+        let mut acc = 0.0f32;
+        for &h in black_box(&halves) {
+            acc += h.to_f32();
+        }
+        black_box(acc);
     });
-    group.bench_function("round_trip", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for &x in black_box(&floats) {
-                acc += F16::from_f32(x).to_f32();
-            }
-            acc
-        })
+    bench("half_convert/round_trip", N as u64, || {
+        let mut acc = 0.0f32;
+        for &x in black_box(&floats) {
+            acc += F16::from_f32(x).to_f32();
+        }
+        black_box(acc);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_half);
-criterion_main!(benches);

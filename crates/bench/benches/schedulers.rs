@@ -1,8 +1,7 @@
-//! Criterion microbenchmarks of the scheduling-policy streams (§5): the
-//! per-item cost of handing work to parallel workers, policy by policy.
+//! Microbenchmarks of the scheduling-policy streams (§5): the per-item
+//! cost of handing work to parallel workers, policy by policy.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use cumf_bench::micro::{bench, black_box};
 use cumf_core::sched::{
     BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream, StreamItem, UpdateStream,
     WavefrontStream,
@@ -31,8 +30,8 @@ fn drain<S: UpdateStream>(stream: &mut S) -> usize {
     let mut done = vec![false; s];
     let mut live = s;
     while live > 0 {
-        for w in 0..s {
-            if done[w] {
+        for (w, d) in done.iter_mut().enumerate() {
+            if *d {
                 continue;
             }
             match stream.next(w) {
@@ -42,7 +41,7 @@ fn drain<S: UpdateStream>(stream: &mut S) -> usize {
                 }
                 StreamItem::Stall => {}
                 StreamItem::Exhausted => {
-                    done[w] = true;
+                    *d = true;
                     live -= 1;
                 }
             }
@@ -51,44 +50,27 @@ fn drain<S: UpdateStream>(stream: &mut S) -> usize {
     served
 }
 
-fn bench_schedulers(c: &mut Criterion) {
+fn main() {
     let coo = matrix();
-    let mut group = c.benchmark_group("scheduler_epoch");
-    group.throughput(Throughput::Elements(N as u64));
-    group.sample_size(20);
 
-    group.bench_function(BenchmarkId::new("serial", N), |b| {
-        b.iter(|| {
-            let mut s = SerialStream::new(N);
-            drain(&mut s)
-        })
+    bench("scheduler_epoch/serial", N as u64, || {
+        let mut s = SerialStream::new(N);
+        black_box(drain(&mut s));
     });
-    group.bench_function(BenchmarkId::new("hogwild", N), |b| {
-        b.iter(|| {
-            let mut s = HogwildStream::new(N, WORKERS, 1);
-            drain(&mut s)
-        })
+    bench("scheduler_epoch/hogwild", N as u64, || {
+        let mut s = HogwildStream::new(N, WORKERS, 1);
+        black_box(drain(&mut s));
     });
-    group.bench_function(BenchmarkId::new("batch_hogwild", N), |b| {
-        b.iter(|| {
-            let mut s = BatchHogwildStream::new(N, WORKERS, 256);
-            drain(&mut s)
-        })
+    bench("scheduler_epoch/batch_hogwild", N as u64, || {
+        let mut s = BatchHogwildStream::new(N, WORKERS, 256);
+        black_box(drain(&mut s));
     });
-    group.bench_function(BenchmarkId::new("wavefront", N), |b| {
-        b.iter(|| {
-            let mut s = WavefrontStream::new(&coo, WORKERS, WORKERS * 4, 1);
-            drain(&mut s)
-        })
+    bench("scheduler_epoch/wavefront", N as u64, || {
+        let mut s = WavefrontStream::new(&coo, WORKERS, WORKERS * 4, 1);
+        black_box(drain(&mut s));
     });
-    group.bench_function(BenchmarkId::new("libmf_table", N), |b| {
-        b.iter(|| {
-            let mut s = LibmfTableStream::new(&coo, WORKERS, 32, 1);
-            drain(&mut s)
-        })
+    bench("scheduler_epoch/libmf_table", N as u64, || {
+        let mut s = LibmfTableStream::new(&coo, WORKERS, 32, 1);
+        black_box(drain(&mut s));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_schedulers);
-criterion_main!(benches);

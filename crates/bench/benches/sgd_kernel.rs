@@ -1,69 +1,53 @@
-//! Criterion microbenchmarks of the SGD update kernel (§4): dot product
-//! and full update, f32 vs f16 storage, across feature dimensions.
+//! Microbenchmarks of the SGD update kernel (§4): dot product and full
+//! update, f32 vs f16 storage, across feature dimensions.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use cumf_bench::micro::{bench, black_box};
 use cumf_core::half::F16;
 use cumf_core::kernel::{dot, dot_scalar, sgd_update};
 
-fn bench_dot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dot");
+fn main() {
     for k in [32usize, 64, 128] {
         let p: Vec<f32> = (0..k).map(|i| (i as f32 * 0.37).sin()).collect();
         let q: Vec<f32> = (0..k).map(|i| (i as f32 * 0.11).cos()).collect();
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::new("unrolled_f32", k), &k, |b, _| {
-            b.iter(|| dot(black_box(&p[..]), black_box(&q[..])))
+        bench(&format!("dot/unrolled_f32/{k}"), k as u64, || {
+            black_box(dot(black_box(&p[..]), black_box(&q[..])));
         });
-        group.bench_with_input(BenchmarkId::new("scalar_f32", k), &k, |b, _| {
-            b.iter(|| dot_scalar(black_box(&p[..]), black_box(&q[..])))
+        bench(&format!("dot/scalar_f32/{k}"), k as u64, || {
+            black_box(dot_scalar(black_box(&p[..]), black_box(&q[..])));
         });
         let p16: Vec<F16> = p.iter().map(|&x| F16::from_f32(x)).collect();
         let q16: Vec<F16> = q.iter().map(|&x| F16::from_f32(x)).collect();
-        group.bench_with_input(BenchmarkId::new("unrolled_f16", k), &k, |b, _| {
-            b.iter(|| dot(black_box(&p16[..]), black_box(&q16[..])))
+        bench(&format!("dot/unrolled_f16/{k}"), k as u64, || {
+            black_box(dot(black_box(&p16[..]), black_box(&q16[..])));
         });
     }
-    group.finish();
-}
 
-fn bench_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sgd_update");
     for k in [32usize, 128] {
-        group.throughput(Throughput::Elements(k as u64));
-        group.bench_with_input(BenchmarkId::new("f32", k), &k, |b, &k| {
-            let mut p: Vec<f32> = (0..k).map(|i| (i as f32 * 0.37).sin() * 0.3).collect();
-            let mut q: Vec<f32> = (0..k).map(|i| (i as f32 * 0.11).cos() * 0.3).collect();
-            b.iter(|| {
-                sgd_update(
-                    black_box(&mut p[..]),
-                    black_box(&mut q[..]),
-                    black_box(3.5),
-                    0.01,
-                    0.05,
-                )
-            })
+        let mut p: Vec<f32> = (0..k).map(|i| (i as f32 * 0.37).sin() * 0.3).collect();
+        let mut q: Vec<f32> = (0..k).map(|i| (i as f32 * 0.11).cos() * 0.3).collect();
+        bench(&format!("sgd_update/f32/{k}"), k as u64, || {
+            sgd_update(
+                black_box(&mut p[..]),
+                black_box(&mut q[..]),
+                black_box(3.5),
+                0.01,
+                0.05,
+            );
         });
-        group.bench_with_input(BenchmarkId::new("f16", k), &k, |b, &k| {
-            let mut p: Vec<F16> = (0..k)
-                .map(|i| F16::from_f32((i as f32 * 0.37).sin() * 0.3))
-                .collect();
-            let mut q: Vec<F16> = (0..k)
-                .map(|i| F16::from_f32((i as f32 * 0.11).cos() * 0.3))
-                .collect();
-            b.iter(|| {
-                sgd_update(
-                    black_box(&mut p[..]),
-                    black_box(&mut q[..]),
-                    black_box(3.5),
-                    0.01,
-                    0.05,
-                )
-            })
+        let mut p: Vec<F16> = (0..k)
+            .map(|i| F16::from_f32((i as f32 * 0.37).sin() * 0.3))
+            .collect();
+        let mut q: Vec<F16> = (0..k)
+            .map(|i| F16::from_f32((i as f32 * 0.11).cos() * 0.3))
+            .collect();
+        bench(&format!("sgd_update/f16/{k}"), k as u64, || {
+            sgd_update(
+                black_box(&mut p[..]),
+                black_box(&mut q[..]),
+                black_box(3.5),
+                0.01,
+                0.05,
+            );
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dot, bench_update);
-criterion_main!(benches);

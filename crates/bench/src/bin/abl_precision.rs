@@ -1,4 +1,5 @@
 //! Ablation/extension experiment: see `cumf_bench::experiments::ablations`.
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::ablations::abl_precision().finish();
 }

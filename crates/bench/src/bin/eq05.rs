@@ -1,4 +1,5 @@
 //! Regenerates the paper's Eq. 5 Flops/Byte characterisation (§2.3).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::characterization::eq05().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 2(a) (LIBMF effective bandwidth).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::characterization::fig02a().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 2(b) (NOMAD memory efficiency).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::characterization::fig02b().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 5(b) (LIBMF scheduler saturation).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::scheduling::fig05b().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 7(a) (batch-Hogwild!/wavefront scalability).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::scheduling::fig07a().finish();
 }

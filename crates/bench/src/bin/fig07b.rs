@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 7(b) (scheduling-scheme convergence).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::scheduling::fig07b().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 9 (RMSE vs training time, all systems).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::comparison::fig09().finish();
 }

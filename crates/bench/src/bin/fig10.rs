@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 10 (updates/s and achieved bandwidth).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::comparison::fig10().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 11 (cross-generation GPU scalability).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::comparison::fig11().finish();
 }

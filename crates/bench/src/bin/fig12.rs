@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 12 (cuMF_SGD vs cuMF_ALS).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::multi::fig12().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 13 (partitioned Hogwild! convergence limits).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::convergence::fig13().finish();
 }

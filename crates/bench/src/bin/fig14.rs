@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 14 (LIBMF blocking convergence).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::convergence::fig14().finish();
 }

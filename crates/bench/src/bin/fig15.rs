@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 15 (feasible block update orders).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::convergence::fig15().finish();
 }

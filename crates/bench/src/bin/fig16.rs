@@ -1,4 +1,5 @@
 //! Regenerates the paper's Fig 16 (Yahoo!Music on 1 vs 2 GPUs).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::multi::fig16().finish();
 }

@@ -1,4 +1,5 @@
 //! Machine-model context report (rooflines, occupancy, attainable rates).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::machine::machine().finish();
 }

@@ -2,6 +2,7 @@
 use cumf_bench::experiments as ex;
 
 fn main() {
+    cumf_bench::init_observability();
     let t0 = std::time::Instant::now();
     ex::machine::machine().finish();
     ex::characterization::eq05().finish();
@@ -25,5 +26,8 @@ fn main() {
     ex::ablations::abl_precision().finish();
     ex::ablations::abl_overlap().finish();
     ex::ablations::ext_adagrad().finish();
-    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 2 (data sets).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::characterization::tab02().finish();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 4 (time-to-RMSE speedups).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::comparison::tab04().finish();
 }

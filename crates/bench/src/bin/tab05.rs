@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 5 (updates/s, BIDMach vs cuMF_SGD).
 fn main() {
+    cumf_bench::init_observability();
     cumf_bench::experiments::comparison::tab05().finish();
 }

@@ -18,8 +18,8 @@ use cumf_data::presets::DatasetSpec;
 use cumf_data::NETFLIX;
 use cumf_gpu_sim::pipeline::{overlapped, serial, BlockJob};
 use cumf_gpu_sim::{
-    simulate_throughput, Precision, RatingAccess, SchedulerModel, SgdUpdateCost,
-    ThroughputConfig, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL,
+    simulate_throughput, Precision, RatingAccess, SchedulerModel, SgdUpdateCost, ThroughputConfig,
+    NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL,
 };
 
 use crate::report::{fmt_si, Report};
@@ -89,7 +89,12 @@ pub fn abl_precision() -> Report {
     let mut r = Report::new(
         "abl_precision",
         "Ablation — f16 vs f32 feature storage (§4: half the bandwidth, no accuracy loss)",
-        &["precision", "final_rmse", "updates_per_s_maxwell", "bytes_per_update"],
+        &[
+            "precision",
+            "final_rmse",
+            "updates_per_s_maxwell",
+            "bytes_per_update",
+        ],
     );
     let d = scaled_dataset(&NETFLIX, crate::SEED);
     let cfg = SolverConfig {
@@ -272,11 +277,7 @@ mod tests {
     fn adagrad_extension_converges() {
         let r = ext_adagrad();
         let final_of = |rule: &str| -> f64 {
-            r.rows
-                .iter()
-                .filter(|row| row[0] == rule)
-                .last()
-                .unwrap()[2]
+            r.rows.iter().rfind(|row| row[0] == rule).unwrap()[2]
                 .parse()
                 .unwrap()
         };

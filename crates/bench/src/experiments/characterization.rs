@@ -79,7 +79,11 @@ pub fn fig02a() -> Report {
         &["dataset", "block_ws_mb", "effective_bw_gbs", "paper_gbs"],
     );
     let model = CpuCacheModel::calibrated(XEON_E5_2670X2);
-    let paper = [("Netflix", 194.0), ("Yahoo!Music", f64::NAN), ("Hugewiki", 106.0)];
+    let paper = [
+        ("Netflix", 194.0),
+        ("Yahoo!Music", f64::NAN),
+        ("Hugewiki", 106.0),
+    ];
     for (spec, (_, paper_bw)) in all_specs().iter().zip(paper) {
         let ws = CpuCacheModel::block_working_set(spec.m, spec.n, 100, spec.k, 4);
         let bw = model.libmf_effective_bw(spec.m, spec.n, 100, spec.k);
@@ -151,9 +155,15 @@ mod tests {
         let r = fig02b();
         let effs: Vec<f64> = r.rows.iter().map(|row| row[3].parse().unwrap()).collect();
         for w in effs.windows(2) {
-            assert!(w[1] <= w[0] * 1.15, "efficiency should trend down: {effs:?}");
+            assert!(
+                w[1] <= w[0] * 1.15,
+                "efficiency should trend down: {effs:?}"
+            );
         }
-        assert!(effs.last().unwrap() < &0.25, "32-node efficiency 'extremely low'");
+        assert!(
+            effs.last().unwrap() < &0.25,
+            "32-node efficiency 'extremely low'"
+        );
     }
 
     #[test]

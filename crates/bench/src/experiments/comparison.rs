@@ -10,8 +10,8 @@ use cumf_core::solver::{train, Scheme, SolverConfig};
 use cumf_data::presets::DatasetSpec;
 use cumf_data::NETFLIX;
 use cumf_gpu_sim::{
-    simulate_throughput, CpuCacheModel, SchedulerModel, SgdUpdateCost, ThroughputConfig,
-    NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL, XEON_E5_2670X2,
+    simulate_throughput, CpuCacheModel, SchedulerModel, SgdUpdateCost, ThroughputConfig, NVLINK,
+    P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL, XEON_E5_2670X2,
 };
 
 use crate::report::{fmt_si, Report};
@@ -161,7 +161,13 @@ pub fn tab04() -> Report {
         "tab04",
         "Table 4 — time to target RMSE, speedup vs LIBMF \
          (paper: cuMF-M 3.1-6.8X, cuMF-P 7.0-28.2X)",
-        &["dataset", "system", "time_s", "speedup_vs_libmf", "paper_speedup"],
+        &[
+            "dataset",
+            "system",
+            "time_s",
+            "speedup_vs_libmf",
+            "paper_speedup",
+        ],
     );
     // Paper Table 4 speedups for reference columns.
     let paper: &[(&str, [f64; 3])] = &[
@@ -189,7 +195,8 @@ pub fn tab04() -> Report {
             r.row(vec![
                 spec.name.to_string(),
                 run.system.to_string(),
-                time.map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into()),
+                time.map(|t| format!("{t:.1}"))
+                    .unwrap_or_else(|| "-".into()),
                 time.map(|t| format!("{:.2}", libmf_time / t))
                     .unwrap_or_else(|| "-".into()),
                 if paper_speedup.is_nan() {
@@ -216,9 +223,7 @@ pub fn tab05() -> Report {
     let paper_bid_p = [29.6e6, 32.3e6, f64::NAN];
     let pm = BidmachPerfModel::default();
     for (di, spec) in all_specs().iter().enumerate() {
-        let bid = |gpu| {
-            bidmach_epoch_secs(spec, gpu).map(|_| pm.updates_per_sec(gpu, spec.k))
-        };
+        let bid = |gpu| bidmach_epoch_secs(spec, gpu).map(|_| pm.updates_per_sec(gpu, spec.k));
         for (system, rate, paper) in [
             ("BIDMach-M", bid(&TITAN_X_MAXWELL), paper_bid_m[di]),
             ("BIDMach-P", bid(&P100_PASCAL), paper_bid_p[di]),
@@ -393,7 +398,10 @@ mod tests {
                 .unwrap()
         };
         let libmf_drop = bw("Hugewiki", "LIBMF") / bw("Netflix", "LIBMF");
-        assert!(libmf_drop < 0.62, "LIBMF bandwidth must collapse: {libmf_drop}");
+        assert!(
+            libmf_drop < 0.62,
+            "LIBMF bandwidth must collapse: {libmf_drop}"
+        );
         let cumf_drop = bw("Hugewiki", "cuMF_SGD-M") / bw("Netflix", "cuMF_SGD-M");
         assert!(
             cumf_drop > 0.45,
@@ -407,11 +415,7 @@ mod tests {
     fn fig11_achieves_papers_bandwidths() {
         let r = fig11();
         let last = |platform: &str| -> f64 {
-            r.rows
-                .iter()
-                .filter(|row| row[0] == platform)
-                .last()
-                .unwrap()[3]
+            r.rows.iter().rfind(|row| row[0] == platform).unwrap()[3]
                 .parse()
                 .unwrap()
         };

@@ -142,7 +142,7 @@ mod tests {
     fn fig13_j4_diverges_j1_converges() {
         let r = fig13();
         let final_of = |j: &str| -> (String, String) {
-            let row = r.rows.iter().filter(|row| row[0] == j).last().unwrap();
+            let row = r.rows.iter().rfind(|row| row[0] == j).unwrap();
             (row[2].clone(), row[3].clone())
         };
         let (rmse1, div1) = final_of("1");
@@ -158,11 +158,7 @@ mod tests {
         let r = fig14();
         // Time of the final epoch per grid size.
         let time_of = |a: &str| -> f64 {
-            r.rows
-                .iter()
-                .filter(|row| row[0] == a)
-                .last()
-                .unwrap()[2]
+            r.rows.iter().rfind(|row| row[0] == a).unwrap()[2]
                 .parse()
                 .unwrap()
         };
@@ -176,11 +172,7 @@ mod tests {
         assert!(t40 > t100, "a=s is slower than a >> s: {t40} vs {t100}");
         // Stall fractions mirror the slowdown.
         let stall_of = |a: &str| -> f64 {
-            r.rows
-                .iter()
-                .filter(|row| row[0] == a)
-                .last()
-                .unwrap()[4]
+            r.rows.iter().rfind(|row| row[0] == a).unwrap()[4]
                 .parse()
                 .unwrap()
         };

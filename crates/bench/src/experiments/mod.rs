@@ -42,7 +42,11 @@ pub const SCALED_LAMBDA: f32 = 0.02;
 
 /// Scaled stand-in for a paper data set (Hugewiki scales 0.1%, others 1%).
 pub fn scaled_dataset(spec: &DatasetSpec, seed: u64) -> SynthDataset {
-    let scale = if spec.name == "Hugewiki" { 0.0002 } else { 0.01 };
+    let scale = if spec.name == "Hugewiki" {
+        0.0002
+    } else {
+        0.01
+    };
     spec.scaled(scale, SCALED_K, seed)
 }
 
@@ -82,8 +86,8 @@ pub fn cumf_epoch_secs(spec: &DatasetSpec, gpu: &GpuSpec, link: &LinkSpec) -> f6
 /// LIBMF epoch seconds at full paper scale (40 threads, a = 100).
 pub fn libmf_epoch_secs(spec: &DatasetSpec) -> f64 {
     let cost = SgdUpdateCost::cpu_f32(spec.k);
-    let bw = CpuCacheModel::calibrated(XEON_E5_2670X2)
-        .libmf_effective_bw(spec.m, spec.n, 100, spec.k);
+    let bw =
+        CpuCacheModel::calibrated(XEON_E5_2670X2).libmf_effective_bw(spec.m, spec.n, 100, spec.k);
     spec.train as f64 * cost.bytes() as f64 / bw
 }
 
@@ -145,7 +149,10 @@ mod tests {
         let hw_gain = m / p;
         let nf_gain = cumf_epoch_secs(&NETFLIX, &TITAN_X_MAXWELL, &PCIE3_X16)
             / cumf_epoch_secs(&NETFLIX, &P100_PASCAL, &NVLINK);
-        assert!(hw_gain > nf_gain, "hugewiki gain {hw_gain} vs netflix {nf_gain}");
+        assert!(
+            hw_gain > nf_gain,
+            "hugewiki gain {hw_gain} vs netflix {nf_gain}"
+        );
     }
 
     #[test]

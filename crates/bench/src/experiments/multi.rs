@@ -5,13 +5,13 @@ use cumf_core::solver::{train, Scheme, SolverConfig};
 use cumf_data::presets::DatasetSpec;
 use cumf_data::YAHOO_MUSIC;
 use cumf_gpu_sim::pipeline::{overlapped, BlockJob};
-use cumf_gpu_sim::{GpuSpec, LinkSpec, SgdUpdateCost, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL};
+use cumf_gpu_sim::{
+    GpuSpec, LinkSpec, SgdUpdateCost, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL,
+};
 
 use crate::report::Report;
 
-use super::{
-    all_specs, scaled_dataset, scaled_schedule, scaled_target, SCALED_K, SCALED_LAMBDA,
-};
+use super::{all_specs, scaled_dataset, scaled_schedule, scaled_target, SCALED_K, SCALED_LAMBDA};
 
 /// Multi-GPU parallel efficiency of cuMF_ALS (the paper runs it on up to
 /// 4 GPUs; scaling is good but not perfect).
@@ -66,10 +66,7 @@ pub fn fig12() -> Report {
         let als_tm = AlsTimeModel::for_gpu(&TITAN_X_MAXWELL);
         let als_epoch_1 = als_tm.epoch_seconds(spec.m, spec.n, spec.train, spec.k);
         let als_epoch_4 = als_epoch_1 / (4.0 * ALS_MULTI_GPU_EFFICIENCY);
-        for (system, epoch_secs) in [
-            ("cuMF_ALS-1", als_epoch_1),
-            ("cuMF_ALS-4", als_epoch_4),
-        ] {
+        for (system, epoch_secs) in [("cuMF_ALS-1", als_epoch_1), ("cuMF_ALS-4", als_epoch_4)] {
             for p in &als.trace.points {
                 r.row(vec![
                     spec.name.to_string(),
@@ -99,9 +96,8 @@ pub fn partitioned_epoch_secs(
     let blocks = (grid_i * grid_j) as u64;
     let per_gpu = blocks.div_ceil(gpus as u64);
     let samples = spec.train as f64 / blocks as f64;
-    let seg_bytes = (spec.m as f64 / grid_i as f64 + spec.n as f64 / grid_j as f64)
-        * spec.k as f64
-        * 2.0;
+    let seg_bytes =
+        (spec.m as f64 / grid_i as f64 + spec.n as f64 / grid_j as f64) * spec.k as f64 * 2.0;
     let jobs: Vec<BlockJob> = (0..per_gpu)
         .map(|_| BlockJob {
             h2d_bytes: samples * 12.0 + seg_bytes,

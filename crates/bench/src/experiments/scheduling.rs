@@ -219,7 +219,12 @@ mod tests {
         let gpu = series(&r, "LIBMF-GPU (O(a) scan)");
         let at = |w: u32| gpu.iter().find(|(x, _)| *x == w).unwrap().1;
         assert!(at(240) > at(128) * 1.3);
-        assert!(at(768) < at(240) * 1.3, "768 {} vs 240 {}", at(768), at(240));
+        assert!(
+            at(768) < at(240) * 1.3,
+            "768 {} vs 240 {}",
+            at(768),
+            at(240)
+        );
     }
 
     #[test]
@@ -243,11 +248,7 @@ mod tests {
     fn fig07b_batch_hogwild_converges_slightly_faster() {
         let r = fig07b();
         let final_of = |s: &str| {
-            r.rows
-                .iter()
-                .filter(|row| row[0] == s)
-                .last()
-                .unwrap()[2]
+            r.rows.iter().rfind(|row| row[0] == s).unwrap()[2]
                 .parse::<f64>()
                 .unwrap()
         };

@@ -28,9 +28,19 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod micro;
 pub mod report;
 
 pub use report::Report;
 
 /// Fixed seed shared by all experiments (reproducibility).
 pub const SEED: u64 = 2017;
+
+/// Turns on metric/trace collection for a bench run unless the environment
+/// sets `CUMF_BENCH_OBS=0`. Every experiment binary calls this first, so
+/// [`Report::finish`] can write a Prometheus snapshot next to each CSV.
+pub fn init_observability() {
+    if std::env::var_os("CUMF_BENCH_OBS").is_none_or(|v| v != "0") {
+        cumf_obs::set_enabled(true);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal in-tree micro-benchmark harness.
+//!
+//! Replaces `criterion` so the workspace builds with no network access.
+//! Each `benches/*.rs` target is a plain `harness = false` main that
+//! calls [`bench`] per case; `cargo bench -p cumf-bench` runs them all.
+//! The harness auto-calibrates the iteration count to a fixed wall-time
+//! budget, takes the best of several batches (minimum is the standard
+//! noise-robust estimator for micro-benchmarks), and prints one aligned
+//! line per case.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-batch measurement budget.
+const BATCH_SECS: f64 = 0.04;
+/// Batches per case; the minimum is reported.
+const BATCHES: usize = 3;
+
+/// Times `f` and prints `name`, ns/iter, and (when `elems > 0`) the
+/// per-second element throughput, where `elems` is the number of items
+/// one call of `f` processes.
+pub fn bench(name: &str, elems: u64, mut f: impl FnMut()) {
+    // Calibrate: double the iteration count until a batch is long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= BATCH_SECS / 8.0 || iters >= 1 << 30 {
+            break dt / iters as f64;
+        }
+        iters *= 2;
+    };
+    let batch_iters = ((BATCH_SECS / per_iter.max(1e-12)) as u64).clamp(1, 1 << 30);
+    let mut best = f64::INFINITY;
+    for _ in 0..BATCHES {
+        let t0 = Instant::now();
+        for _ in 0..batch_iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / batch_iters as f64);
+    }
+    if elems > 0 {
+        println!(
+            "{name:<44} {:>14.1} ns/iter {:>16.0} elem/s",
+            best * 1e9,
+            elems as f64 / best
+        );
+    } else {
+        println!("{name:<44} {:>14.1} ns/iter", best * 1e9);
+    }
+}

@@ -19,11 +19,7 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Report {
             name: name.into(),
             title: title.into(),
@@ -100,12 +96,32 @@ impl Report {
         Ok(path)
     }
 
-    /// Prints and saves; the standard tail call of every experiment.
+    /// Writes `bench_results/<name>.prom` — the Prometheus snapshot of all
+    /// metrics recorded while the experiment ran.
+    pub fn save_metrics(&self) -> std::io::Result<PathBuf> {
+        let dir = Self::out_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.prom", self.name));
+        fs::write(&path, cumf_obs::prometheus())?;
+        Ok(path)
+    }
+
+    /// Prints and saves; the standard tail call of every experiment. When
+    /// observability is on (see `cumf_bench::init_observability`), also
+    /// writes the metrics snapshot and resets the collectors so the next
+    /// experiment in a `run_all` sequence starts from zero.
     pub fn finish(&self) {
         self.print();
         match self.save_csv() {
             Ok(path) => println!("[saved {}]", path.display()),
             Err(e) => eprintln!("[csv write failed: {e}]"),
+        }
+        if cumf_obs::enabled() {
+            match self.save_metrics() {
+                Ok(path) => println!("[saved {}]", path.display()),
+                Err(e) => eprintln!("[metrics write failed: {e}]"),
+            }
+            cumf_obs::reset();
         }
     }
 }
@@ -162,7 +178,7 @@ mod tests {
         assert_eq!(fmt_si(267e6), "267.0M");
         assert_eq!(fmt_si(1.5e9), "1.50G");
         assert_eq!(fmt_si(2500.0), "2.5k");
-        assert_eq!(fmt_si(3.14159), "3.14");
+        assert_eq!(fmt_si(4.25661), "4.26");
         assert_eq!(fmt_si(0.043), "0.0430");
     }
 }

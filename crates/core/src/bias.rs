@@ -12,8 +12,8 @@
 //! b_v += γ (err − λ b_v)
 //! ```
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 
@@ -152,8 +152,8 @@ pub fn train_biased<E: Element>(
         let mut live = workers;
         let mut exhausted = vec![false; workers];
         while live > 0 {
-            for w in 0..workers {
-                if exhausted[w] {
+            for (w, done) in exhausted.iter_mut().enumerate() {
+                if *done {
                     continue;
                 }
                 match stream.next(w) {
@@ -182,7 +182,7 @@ pub fn train_biased<E: Element>(
                     }
                     StreamItem::Stall => {}
                     StreamItem::Exhausted => {
-                        exhausted[w] = true;
+                        *done = true;
                         live -= 1;
                     }
                 }
@@ -243,10 +243,13 @@ mod tests {
                 ..BiasedConfig::new(6)
             },
         );
-        let mut plain_cfg = SolverConfig::new(6, Scheme::BatchHogwild {
-            workers: 8,
-            batch: 256,
-        });
+        let mut plain_cfg = SolverConfig::new(
+            6,
+            Scheme::BatchHogwild {
+                workers: 8,
+                batch: 256,
+            },
+        );
         plain_cfg.epochs = 3;
         plain_cfg.lambda = 0.02;
         plain_cfg.schedule = Schedule::NomadDecay {

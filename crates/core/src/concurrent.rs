@@ -103,8 +103,8 @@ fn run_epoch_sequential<E: Element, S: UpdateStream + ?Sized>(
     let mut live = s;
     while live > 0 {
         stats.rounds += 1;
-        for w in 0..s {
-            if exhausted[w] {
+        for (w, done) in exhausted.iter_mut().enumerate() {
+            if *done {
                 continue;
             }
             match stream.next(w) {
@@ -116,7 +116,7 @@ fn run_epoch_sequential<E: Element, S: UpdateStream + ?Sized>(
                 }
                 StreamItem::Stall => stats.stalls += 1,
                 StreamItem::Exhausted => {
-                    exhausted[w] = true;
+                    *done = true;
                     live -= 1;
                 }
             }
@@ -151,8 +151,8 @@ fn run_epoch_stale<E: Element, S: UpdateStream + ?Sized>(
         stats.rounds += 1;
         round.clear();
         ratings.clear();
-        for w in 0..s {
-            if exhausted[w] {
+        for (w, done) in exhausted.iter_mut().enumerate() {
+            if *done {
                 continue;
             }
             match stream.next(w) {
@@ -163,7 +163,7 @@ fn run_epoch_stale<E: Element, S: UpdateStream + ?Sized>(
                 }
                 StreamItem::Stall => stats.stalls += 1,
                 StreamItem::Exhausted => {
-                    exhausted[w] = true;
+                    *done = true;
                     live -= 1;
                 }
             }
@@ -317,8 +317,7 @@ pub fn threaded_hogwild_epoch(
                         let e = data.get(i);
                         p.load_row(e.u, &mut pu);
                         q.load_row(e.v, &mut qv);
-                        let err = e.r
-                            - pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
+                        let err = e.r - pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
                         for j in 0..k {
                             let pj = pu[j];
                             let qj = qv[j];
@@ -333,7 +332,10 @@ pub fn threaded_hogwild_epoch(
                 done
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .sum()
     })
 }
 
@@ -341,8 +343,8 @@ pub fn threaded_hogwild_epoch(
 mod tests {
     use super::*;
     use crate::sched::{BatchHogwildStream, SerialStream};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     fn tiny_data() -> CooMatrix {
         let mut coo = CooMatrix::new(20, 20);
@@ -388,7 +390,15 @@ mod tests {
         let (mut p2, mut q2) = (p1.clone(), q1.clone());
         let mut s1 = SerialStream::new(data.nnz());
         let mut s2 = SerialStream::new(data.nnz());
-        run_epoch(&data, &mut p1, &mut q1, &mut s1, 0.05, 0.01, ExecMode::Sequential);
+        run_epoch(
+            &data,
+            &mut p1,
+            &mut q1,
+            &mut s1,
+            0.05,
+            0.01,
+            ExecMode::Sequential,
+        );
         run_epoch(
             &data,
             &mut p2,
@@ -435,7 +445,7 @@ mod tests {
     fn wide_matrix_has_rare_collisions() {
         let mut coo = CooMatrix::new(1000, 1000);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        use rand::Rng;
+        use cumf_rng::Rng;
         for _ in 0..2000 {
             coo.push(rng.gen_range(0..1000), rng.gen_range(0..1000), 1.0);
         }
@@ -451,8 +461,7 @@ mod tests {
             ExecMode::StaleAdditive,
         );
         // s=4 workers, 1000x1000: collision probability per round ~ 6/1000.
-        let frac = (stats.row_collisions + stats.col_collisions) as f64
-            / stats.rounds as f64;
+        let frac = (stats.row_collisions + stats.col_collisions) as f64 / stats.rounds as f64;
         assert!(frac < 0.05, "collision fraction {frac}");
     }
 
@@ -503,17 +512,24 @@ mod tests {
 /// Shared f32 factor storage protected by striped row locks — the
 /// "just take locks" alternative to Hogwild! that shared-memory CPU
 /// implementations use when they cannot tolerate races. Each row maps to
-/// one of `shards` `parking_lot::Mutex` stripes; an update locks its P
+/// one of `shards` `std::sync::Mutex` stripes; an update locks its P
 /// stripe and Q stripe in canonical order (P side first, then Q side,
 /// ties impossible since the matrices are distinct lock arrays), so no
 /// deadlock is possible.
+///
+/// Every acquisition is counted in the observability registry, and
+/// acquisitions that found the stripe already held are counted
+/// separately — the contention ratio is the measured analogue of the
+/// paper's update-conflict probability.
 #[derive(Debug)]
 pub struct StripedFactors {
     rows: u32,
     k: u32,
     shards: usize,
-    locks: Vec<parking_lot::Mutex<()>>,
+    locks: Vec<std::sync::Mutex<()>>,
     data: Vec<std::cell::UnsafeCell<f32>>,
+    obs_acquired: cumf_obs::Counter,
+    obs_contended: cumf_obs::Counter,
 }
 
 // SAFETY: all mutable access to `data` rows happens while holding the
@@ -529,12 +545,20 @@ impl StripedFactors {
             rows: m.rows(),
             k: m.k(),
             shards,
-            locks: (0..shards).map(|_| parking_lot::Mutex::new(())).collect(),
+            locks: (0..shards).map(|_| std::sync::Mutex::new(())).collect(),
             data: m
                 .as_slice()
                 .iter()
                 .map(|e| std::cell::UnsafeCell::new(e.to_f32()))
                 .collect(),
+            obs_acquired: cumf_obs::counter(
+                "cumf_core_stripe_acquisitions_total",
+                "Row-stripe lock acquisitions in the lock-striped executor",
+            ),
+            obs_contended: cumf_obs::counter(
+                "cumf_core_stripe_contended_total",
+                "Row-stripe acquisitions that found the stripe already held",
+            ),
         }
     }
 
@@ -553,14 +577,22 @@ impl StripedFactors {
     /// lock.
     #[inline]
     fn with_row_locked<R>(&self, row: u32, f: impl FnOnce(&mut [f32]) -> R) -> R {
-        let _guard = self.locks[self.stripe(row)].lock();
+        let lock = &self.locks[self.stripe(row)];
+        self.obs_acquired.inc();
+        let _guard = match lock.try_lock() {
+            Ok(guard) => guard,
+            Err(_) => {
+                // Contended (or poisoned — a panicking writer leaves the
+                // factors torn either way, so propagate the panic).
+                self.obs_contended.inc();
+                lock.lock().unwrap()
+            }
+        };
         let k = self.k as usize;
         let base = row as usize * k;
         // SAFETY: the stripe lock serialises all access to rows of this
         // stripe; the returned slice does not escape `f`.
-        let slice = unsafe {
-            std::slice::from_raw_parts_mut(self.data[base].get(), k)
-        };
+        let slice = unsafe { std::slice::from_raw_parts_mut(self.data[base].get(), k) };
         f(slice)
     }
 }
@@ -619,8 +651,8 @@ mod striped_tests {
     use super::*;
     use crate::metrics::rmse;
     use cumf_data::synth::{generate, SynthConfig};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     #[test]
     fn striped_epoch_runs_all_updates_and_converges() {

@@ -5,7 +5,7 @@
 //! Storage is generic over the element type: `f32`, or [`F16`] for the
 //! paper's half-precision mode.
 
-use rand::Rng;
+use cumf_rng::Rng;
 
 use crate::half::F16;
 
@@ -175,8 +175,8 @@ impl<E: Element> FactorMatrix<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     #[test]
     fn zeros_shape() {

@@ -107,7 +107,7 @@ impl F16 {
                 let exp32 = 127 - 15 - lz; // = 112 - field_lz
                 sign | (exp32 << 23) | ((shifted & 0x03FF) << 13)
             }
-            (0x1F, 0) => sign | 0x7F80_0000, // infinity
+            (0x1F, 0) => sign | 0x7F80_0000,             // infinity
             (0x1F, m) => sign | 0x7F80_0000 | (m << 13), // NaN
             (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
         };

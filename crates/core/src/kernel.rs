@@ -54,13 +54,7 @@ pub fn dot<E: Element>(p: &[E], q: &[E]) -> f32 {
 /// uses `p_u` from before line 9's assignment — both CUDA and LIBMF stage
 /// the old vectors in registers).
 #[inline]
-pub fn sgd_update<E: Element>(
-    p: &mut [E],
-    q: &mut [E],
-    r: f32,
-    gamma: f32,
-    lambda: f32,
-) -> f32 {
+pub fn sgd_update<E: Element>(p: &mut [E], q: &mut [E], r: f32, gamma: f32, lambda: f32) -> f32 {
     debug_assert_eq!(p.len(), q.len());
     let err = r - dot(p, q);
     for i in 0..p.len() {
@@ -96,7 +90,15 @@ pub fn sgd_update_reference<E: Element>(
 /// ([`crate::concurrent`]), where stale reads and additive commits model
 /// racing workers.
 #[inline]
-pub fn sgd_delta(p: &[f32], q: &[f32], r: f32, gamma: f32, lambda: f32, dp: &mut [f32], dq: &mut [f32]) -> f32 {
+pub fn sgd_delta(
+    p: &[f32],
+    q: &[f32],
+    r: f32,
+    gamma: f32,
+    lambda: f32,
+    dp: &mut [f32],
+    dq: &mut [f32],
+) -> f32 {
     debug_assert_eq!(p.len(), q.len());
     let mut err = r;
     {
@@ -159,9 +161,9 @@ impl AdaGrad {
 mod tests {
     use super::*;
     use crate::half::F16;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::Rng;
+    use cumf_rng::SeedableRng;
 
     fn random_vec(rng: &mut ChaCha8Rng, k: usize) -> Vec<f32> {
         (0..k).map(|_| rng.gen_range(-1.0..1.0)).collect()
@@ -175,18 +177,15 @@ mod tests {
             let q = random_vec(&mut rng, k);
             let a = dot(&p[..], &q[..]);
             let b = dot_scalar(&p[..], &q[..]);
-            assert!(
-                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
-                "k={k}: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "k={k}: {a} vs {b}");
         }
     }
 
     #[test]
     fn update_reduces_error_on_repeat() {
         // Repeated updates on the same sample drive the error to ~0.
-        let mut p = vec![0.1f32; 8];
-        let mut q = vec![0.1f32; 8];
+        let mut p = [0.1f32; 8];
+        let mut q = [0.1f32; 8];
         let mut last = f32::INFINITY;
         for _ in 0..200 {
             let err = sgd_update(&mut p[..], &mut q[..], 2.0, 0.1, 0.0).abs();

@@ -70,9 +70,7 @@ impl LearningRate {
     pub fn gamma(&self, t: u32) -> f32 {
         match self.schedule {
             Schedule::Fixed(g) => g,
-            Schedule::NomadDecay { alpha, beta } => {
-                alpha / (1.0 + beta * (t as f32).powf(1.5))
-            }
+            Schedule::NomadDecay { alpha, beta } => alpha / (1.0 + beta * (t as f32).powf(1.5)),
             Schedule::BoldDriver { .. } => self.current,
         }
     }

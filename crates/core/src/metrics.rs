@@ -7,11 +7,7 @@ use crate::kernel::dot;
 
 /// Root-mean-square error of `P·Q` against the samples of `data` — the
 /// "Test RMSE" of every convergence figure in the paper.
-pub fn rmse<E: Element>(
-    data: &CooMatrix,
-    p: &FactorMatrix<E>,
-    q: &FactorMatrix<E>,
-) -> f64 {
+pub fn rmse<E: Element>(data: &CooMatrix, p: &FactorMatrix<E>, q: &FactorMatrix<E>) -> f64 {
     assert_eq!(p.k(), q.k(), "P and Q must share k");
     if data.is_empty() {
         return 0.0;
@@ -46,8 +42,13 @@ pub fn regularised_loss<E: Element>(
 }
 
 /// Eq. 7: `#Updates/s = (#Iterations × N) / elapsed`.
+///
+/// Returns 0.0 when no time has elapsed (zero-length simulated runs hit
+/// this) rather than dividing by zero.
 pub fn updates_per_sec(iterations: u64, n_samples: u64, elapsed_secs: f64) -> f64 {
-    assert!(elapsed_secs > 0.0, "elapsed time must be positive");
+    if elapsed_secs <= 0.0 {
+        return 0.0;
+    }
     (iterations * n_samples) as f64 / elapsed_secs
 }
 
@@ -172,6 +173,13 @@ mod tests {
     fn eq7_updates_per_sec() {
         // 10 epochs of 1e6 samples in 2 seconds = 5 M updates/s.
         assert_eq!(updates_per_sec(10, 1_000_000, 2.0), 5e6);
+    }
+
+    #[test]
+    fn eq7_zero_elapsed_is_zero_not_panic() {
+        // Zero-length simulated runs produce elapsed == 0.
+        assert_eq!(updates_per_sec(10, 1_000_000, 0.0), 0.0);
+        assert_eq!(updates_per_sec(10, 1_000_000, -1.0), 0.0);
     }
 
     #[test]

@@ -140,7 +140,9 @@ pub fn load_model<E: Element, R: Read>(reader: R) -> Result<Model<E>, ModelIoErr
     r.read_exact(&mut b4)?;
     let version = u32::from_le_bytes(b4);
     if version != VERSION {
-        return Err(ModelIoError::Format(format!("unsupported version {version}")));
+        return Err(ModelIoError::Format(format!(
+            "unsupported version {version}"
+        )));
     }
     r.read_exact(&mut b4)?;
     let elem = u32::from_le_bytes(b4);
@@ -173,8 +175,8 @@ pub fn load_model_file<E: Element>(path: impl AsRef<Path>) -> Result<Model<E>, M
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
     use std::io::Cursor;
 
     fn model_f32() -> Model<f32> {

@@ -12,8 +12,8 @@
 //! order is *numerically identical* to executing them in parallel, so
 //! convergence results are exact while timing comes from the machine model.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 use cumf_gpu_sim::pipeline::{overlapped, serial, BlockJob};
@@ -161,16 +161,8 @@ pub fn train_partitioned<E: Element>(
         for wave in &schedule.waves {
             for &slot in wave {
                 if let Some(block_id) = slot {
-                    updates += execute_block(
-                        train,
-                        &grid,
-                        block_id,
-                        &mut p,
-                        &mut q,
-                        config,
-                        gamma,
-                        epoch,
-                    );
+                    updates +=
+                        execute_block(train, &grid, block_id, &mut p, &mut q, config, gamma, epoch);
                 }
             }
         }
@@ -413,8 +405,7 @@ mod tests {
         let mut off = config(8, 1, 1);
         off.overlap = false;
         let r_on = train_partitioned::<f32>(&d.train, &d.test, &on, &TITAN_X_MAXWELL, &PCIE3_X16);
-        let r_off =
-            train_partitioned::<f32>(&d.train, &d.test, &off, &TITAN_X_MAXWELL, &PCIE3_X16);
+        let r_off = train_partitioned::<f32>(&d.train, &d.test, &off, &TITAN_X_MAXWELL, &PCIE3_X16);
         let t_on: f64 = r_on.timings.iter().map(|t| t.seconds).sum();
         let t_off: f64 = r_off.timings.iter().map(|t| t.seconds).sum();
         assert!(t_on < t_off, "overlap {t_on} must beat serial {t_off}");

@@ -10,8 +10,8 @@
 //! (`s ≪ min(⌊m/i⌋, ⌊n/j⌋)`, empirically `s < min/20`), and the
 //! feasible-update-order enumeration behind Fig 15.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cumf_rng::seq::SliceRandom;
+use cumf_rng::Rng;
 
 use cumf_data::CooMatrix;
 
@@ -252,8 +252,8 @@ fn order_is_feasible(order: &[BlockId], s: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     fn matrix(m: u32, n: u32, nnz: usize) -> CooMatrix {
         let mut coo = CooMatrix::new(m, n);

@@ -11,9 +11,9 @@
 //! the *cost* of the critical section is modelled separately by
 //! `cumf_gpu_sim::SchedulerModel::GlobalTable`.
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::seq::SliceRandom;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 
@@ -178,13 +178,13 @@ mod tests {
         let mut s = LibmfTableStream::new(&data, 5, a, 2);
         let m = data.rows() as usize;
         let n = data.cols() as usize;
-        let mut done = vec![false; 5];
+        let mut done = [false; 5];
         let mut guard = 0;
         while !done.iter().all(|&d| d) {
             let mut rows = std::collections::HashSet::new();
             let mut cols = std::collections::HashSet::new();
-            for w in 0..5 {
-                if done[w] {
+            for (w, d) in done.iter_mut().enumerate() {
+                if *d {
                     continue;
                 }
                 match s.next(w) {
@@ -196,7 +196,7 @@ mod tests {
                         assert!(cols.insert(bj), "col conflict at block-col {bj}");
                     }
                     StreamItem::Stall => {}
-                    StreamItem::Exhausted => done[w] = true,
+                    StreamItem::Exhausted => *d = true,
                 }
             }
             guard += 1;
@@ -217,14 +217,14 @@ mod tests {
         let mut guard = 0;
         while !done.iter().all(|&d| d) {
             let mut active = 0;
-            for w in 0..workers {
-                if done[w] {
+            for (w, d) in done.iter_mut().enumerate() {
+                if *d {
                     continue;
                 }
                 match s.next(w) {
                     StreamItem::Sample(_) => active += 1,
                     StreamItem::Stall => {}
-                    StreamItem::Exhausted => done[w] = true,
+                    StreamItem::Exhausted => *d = true,
                 }
             }
             if active > 0 {

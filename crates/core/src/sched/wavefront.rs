@@ -17,9 +17,9 @@
 //! The constructor therefore requires `c ≥ 2s` (the paper's own example
 //! uses c = 2s: 4 workers, 8 columns).
 
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::seq::SliceRandom;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 
@@ -61,7 +61,10 @@ impl WavefrontStream {
             "wavefront needs cols >= 2*workers for deadlock freedom \
              (got {cols} cols, {workers} workers)"
         );
-        assert!(workers as u32 <= data.rows().max(1), "more workers than rows");
+        assert!(
+            workers as u32 <= data.rows().max(1),
+            "more workers than rows"
+        );
         assert!(cols as u32 <= data.cols().max(1), "more columns than items");
         let m = data.rows() as usize;
         let n = data.cols() as usize;
@@ -200,12 +203,12 @@ mod tests {
         let data = matrix(128, 128, 5000);
         let mut s = WavefrontStream::new(&data, 8, 16, 3);
         let n = data.cols() as usize;
-        let mut done = vec![false; 8];
+        let mut done = [false; 8];
         let mut guard = 0;
         while !done.iter().all(|&d| d) {
             let mut cols_this_round = std::collections::HashSet::new();
-            for w in 0..8 {
-                if done[w] {
+            for (w, d) in done.iter_mut().enumerate() {
+                if *d {
                     continue;
                 }
                 match s.next(w) {
@@ -218,7 +221,7 @@ mod tests {
                         );
                     }
                     StreamItem::Stall => {}
-                    StreamItem::Exhausted => done[w] = true,
+                    StreamItem::Exhausted => *d = true,
                 }
             }
             guard += 1;

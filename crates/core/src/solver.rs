@@ -5,8 +5,8 @@
 //! an optional machine-time model into per-epoch convergence traces — the
 //! raw material of every RMSE-vs-time figure in the paper.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 use cumf_gpu_sim::SgdUpdateCost;
@@ -145,6 +145,55 @@ impl TimeModel {
     }
 }
 
+/// Compact end-of-run summary, also mirrored into the observability
+/// registry (`cumf_solver_run_*` series) when [`train`] returns.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Scheduling policy name.
+    pub scheme: &'static str,
+    /// Epochs actually executed (early exit on divergence).
+    pub epochs_run: u32,
+    /// SGD updates applied across the run.
+    pub total_updates: u64,
+    /// Test RMSE after the last executed epoch (NaN when no epoch ran).
+    pub final_rmse: f64,
+    /// Host wall-clock seconds spent in the training loop.
+    pub wall_seconds: f64,
+    /// Simulated seconds, when a [`TimeModel`] was attached (else 0).
+    pub sim_seconds: f64,
+    /// Updates per wall-clock second (0 when no time elapsed).
+    pub updates_per_wall_sec: f64,
+    /// True if the run hit the divergence ceiling.
+    pub diverged: bool,
+}
+
+impl TrainReport {
+    /// Mirrors the snapshot into the global observability registry.
+    fn publish(&self) {
+        cumf_obs::counter("cumf_solver_runs_total", "Training runs completed").inc();
+        cumf_obs::gauge(
+            "cumf_solver_run_wall_seconds",
+            "Wall-clock seconds of the most recent training run",
+        )
+        .set(self.wall_seconds);
+        cumf_obs::gauge(
+            "cumf_solver_run_sim_seconds",
+            "Simulated seconds of the most recent training run",
+        )
+        .set(self.sim_seconds);
+        cumf_obs::gauge(
+            "cumf_solver_run_updates_per_sec",
+            "Updates per wall-clock second of the most recent training run",
+        )
+        .set(self.updates_per_wall_sec);
+        cumf_obs::gauge(
+            "cumf_solver_run_final_rmse",
+            "Final test RMSE of the most recent training run",
+        )
+        .set(self.final_rmse);
+    }
+}
+
 /// Output of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainResult<E: Element> {
@@ -156,6 +205,8 @@ pub struct TrainResult<E: Element> {
     pub trace: Trace,
     /// Per-epoch execution statistics.
     pub epoch_stats: Vec<EpochStats>,
+    /// End-of-run summary snapshot.
+    pub report: TrainReport,
     /// True if training hit the divergence ceiling and stopped early.
     pub diverged: bool,
 }
@@ -216,15 +267,68 @@ pub fn train<E: Element>(
     let mut updates = 0u64;
     let mut diverged = false;
 
+    // Observability probes: registered once per run, updated lock-free in
+    // the epoch loop (each probe is a no-op unless recording is enabled).
+    let _run_span = cumf_obs::span("solver", format!("train:{}", config.scheme.name()));
+    let obs_epochs = cumf_obs::counter("cumf_solver_epochs_total", "Training epochs executed");
+    let obs_updates = cumf_obs::counter("cumf_solver_updates_total", "SGD updates applied");
+    let obs_stalls = cumf_obs::counter(
+        "cumf_solver_stalls_total",
+        "Worker-round slots lost to scheduler stalls",
+    );
+    let obs_row_coll = cumf_obs::counter(
+        "cumf_solver_row_collisions_total",
+        "Rounds where two or more workers touched the same P row",
+    );
+    let obs_col_coll = cumf_obs::counter(
+        "cumf_solver_col_collisions_total",
+        "Rounds where two or more workers touched the same Q column",
+    );
+    let obs_rmse = cumf_obs::gauge("cumf_solver_rmse", "Test RMSE after the most recent epoch");
+    let obs_gamma = cumf_obs::gauge(
+        "cumf_solver_gamma",
+        "Learning rate of the most recent epoch",
+    );
+    let obs_epoch_secs = cumf_obs::histogram(
+        "cumf_solver_epoch_seconds",
+        "Wall-clock seconds per training epoch (updates only, excluding evaluation)",
+    );
+    let obs_eval_secs = cumf_obs::histogram(
+        "cumf_solver_rmse_eval_seconds",
+        "Wall-clock seconds per test-RMSE evaluation",
+    );
+    let obs_sim_secs = cumf_obs::histogram(
+        "cumf_solver_sim_epoch_seconds",
+        "Simulated seconds per epoch under the attached machine-time model",
+    );
+    let run_t0 = std::time::Instant::now();
+
     for epoch in 0..config.epochs {
+        let mut epoch_span = cumf_obs::span("solver", "epoch");
+        let epoch_t0 = std::time::Instant::now();
         stream.begin_epoch(epoch);
         let gamma = lr.gamma(epoch);
-        let stats = run_epoch(train, &mut p, &mut q, stream.as_mut(), gamma, config.lambda, mode);
+        let stats = run_epoch(
+            train,
+            &mut p,
+            &mut q,
+            stream.as_mut(),
+            gamma,
+            config.lambda,
+            mode,
+        );
+        obs_epoch_secs.record(epoch_t0.elapsed().as_secs_f64());
         updates += stats.updates;
         if let Some(tm) = time {
-            seconds += tm.epoch_seconds(&stats, config.scheme.workers());
+            let sim_epoch = tm.epoch_seconds(&stats, config.scheme.workers());
+            obs_sim_secs.record(sim_epoch);
+            seconds += sim_epoch;
         }
+        let eval_span = cumf_obs::span("solver", "rmse_eval");
+        let eval_t0 = std::time::Instant::now();
         let test_rmse = rmse(test, &p, &q);
+        obs_eval_secs.record(eval_t0.elapsed().as_secs_f64());
+        drop(eval_span);
         lr.observe(test_rmse);
         trace.push(TracePoint {
             epoch: epoch + 1,
@@ -232,6 +336,18 @@ pub fn train<E: Element>(
             rmse: test_rmse,
             seconds,
         });
+        obs_epochs.inc();
+        obs_updates.add(stats.updates);
+        obs_stalls.add(stats.stalls);
+        obs_row_coll.add(stats.row_collisions);
+        obs_col_coll.add(stats.col_collisions);
+        obs_rmse.set(test_rmse);
+        obs_gamma.set(gamma as f64);
+        epoch_span.set_arg("epoch", (epoch + 1) as f64);
+        epoch_span.set_arg("updates", stats.updates as f64);
+        epoch_span.set_arg("rounds", stats.rounds as f64);
+        epoch_span.set_arg("rmse", test_rmse);
+        epoch_span.set_arg("gamma", gamma as f64);
         epoch_stats.push(stats);
         if !test_rmse.is_finite() || test_rmse > config.divergence_ceiling {
             diverged = true;
@@ -239,11 +355,29 @@ pub fn train<E: Element>(
         }
     }
 
+    let wall_seconds = run_t0.elapsed().as_secs_f64();
+    let report = TrainReport {
+        scheme: config.scheme.name(),
+        epochs_run: trace.points.len() as u32,
+        total_updates: updates,
+        final_rmse: trace.final_rmse().unwrap_or(f64::NAN),
+        wall_seconds,
+        sim_seconds: seconds,
+        updates_per_wall_sec: if wall_seconds > 0.0 {
+            updates as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        diverged,
+    };
+    report.publish();
+
     TrainResult {
         p,
         q,
         trace,
         epoch_stats,
+        report,
         diverged,
     }
 }
@@ -363,10 +497,7 @@ mod tests {
         let r16 = train::<F16>(&d.train, &d.test, &cfg, None);
         let a = r32.trace.final_rmse().unwrap();
         let b = r16.trace.final_rmse().unwrap();
-        assert!(
-            (a - b).abs() < 0.03,
-            "f16 RMSE {b} must track f32 RMSE {a}"
-        );
+        assert!((a - b).abs() < 0.03, "f16 RMSE {b} must track f32 RMSE {a}");
     }
 
     #[test]
@@ -417,12 +548,7 @@ mod tests {
             total_bandwidth: 1e9,
             epoch_overhead: 0.001,
         };
-        let r = train::<f32>(
-            &d.train,
-            &d.test,
-            &base_config(Scheme::Serial),
-            Some(&tm),
-        );
+        let r = train::<f32>(&d.train, &d.test, &base_config(Scheme::Serial), Some(&tm));
         let pts = &r.trace.points;
         assert!(pts[0].seconds > 0.0);
         for w in pts.windows(2) {

@@ -5,7 +5,7 @@
 //! three components in separate arrays (structure-of-arrays) so that the
 //! CPU kernels stream them exactly as a GPU would coalesce them.
 
-use rand::Rng;
+use cumf_rng::Rng;
 
 /// One observed sample of the rating matrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,11 +168,7 @@ impl CooMatrix {
 
     /// Selects the sub-matrix of samples falling inside the half-open
     /// coordinate window `rows × cols`, re-based to the window's origin.
-    pub fn window(
-        &self,
-        rows: std::ops::Range<u32>,
-        cols: std::ops::Range<u32>,
-    ) -> CooMatrix {
+    pub fn window(&self, rows: std::ops::Range<u32>, cols: std::ops::Range<u32>) -> CooMatrix {
         let mut out = CooMatrix::new(rows.end - rows.start, cols.end - cols.start);
         for e in self.iter() {
             if rows.contains(&e.u) && cols.contains(&e.v) {
@@ -200,8 +196,8 @@ impl FromIterator<Entry> for CooMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     fn sample_matrix() -> CooMatrix {
         let mut coo = CooMatrix::new(4, 4);
@@ -228,14 +224,7 @@ mod tests {
         assert_eq!(coo.nnz(), 9);
         assert_eq!(coo.rows(), 4);
         assert_eq!(coo.cols(), 4);
-        assert_eq!(
-            coo.get(0),
-            Entry {
-                u: 0,
-                v: 1,
-                r: 5.0
-            }
-        );
+        assert_eq!(coo.get(0), Entry { u: 0, v: 1, r: 5.0 });
         assert_eq!(coo.payload_bytes(), 9 * 12);
     }
 
@@ -256,17 +245,15 @@ mod tests {
     #[test]
     fn shuffle_is_a_permutation() {
         let mut coo = sample_matrix();
-        let before: Vec<(u32, u32, u32)> = coo
-            .iter()
-            .map(|e| (e.u, e.v, e.r.to_bits()))
-            .collect();
+        let before: Vec<(u32, u32, u32)> = coo.iter().map(|e| (e.u, e.v, e.r.to_bits())).collect();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         coo.shuffle(&mut rng);
-        let mut after: Vec<(u32, u32, u32)> = coo
-            .iter()
-            .map(|e| (e.u, e.v, e.r.to_bits()))
-            .collect();
-        assert_ne!(before, after, "9! orderings; a fixed seed must move something");
+        let mut after: Vec<(u32, u32, u32)> =
+            coo.iter().map(|e| (e.u, e.v, e.r.to_bits())).collect();
+        assert_ne!(
+            before, after,
+            "9! orderings; a fixed seed must move something"
+        );
         after.sort_unstable();
         let mut sorted_before = before;
         sorted_before.sort_unstable();
@@ -303,12 +290,9 @@ mod tests {
 
     #[test]
     fn from_iterator_sizes_matrix() {
-        let coo: CooMatrix = [
-            Entry { u: 3, v: 1, r: 1.0 },
-            Entry { u: 0, v: 5, r: 2.0 },
-        ]
-        .into_iter()
-        .collect();
+        let coo: CooMatrix = [Entry { u: 3, v: 1, r: 1.0 }, Entry { u: 0, v: 5, r: 2.0 }]
+            .into_iter()
+            .collect();
         assert_eq!(coo.rows(), 4);
         assert_eq!(coo.cols(), 6);
         assert_eq!(coo.nnz(), 2);

@@ -25,8 +25,8 @@ pub mod synth;
 pub use coo::{CooMatrix, Entry};
 pub use csr::CsrMatrix;
 pub use presets::{
-    hugewiki_like, netflix_like, yahoo_like, DatasetSpec, ALL, DEFAULT_K, DEFAULT_SCALE,
-    HUGEWIKI, NETFLIX, YAHOO_MUSIC,
+    hugewiki_like, netflix_like, yahoo_like, DatasetSpec, ALL, DEFAULT_K, DEFAULT_SCALE, HUGEWIKI,
+    NETFLIX, YAHOO_MUSIC,
 };
 pub use split::holdout_split;
 pub use stream::{partition_to_files, BinaryHeader, ChunkReader};

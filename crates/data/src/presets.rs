@@ -218,7 +218,7 @@ mod tests {
         let cfg = NETFLIX.scaled_config(0.01, 16, 1);
         assert_eq!(cfg.m, 4802);
         assert_eq!(cfg.n, 192); // 178 raised to the 12k floor
-        // Samples-per-parameter floored at the recoverability minimum.
+                                // Samples-per-parameter floored at the recoverability minimum.
         let spp = cfg.train_samples as f64 / ((cfg.m + cfg.n) as f64 * 16.0);
         assert!((spp - DatasetSpec::MIN_SAMPLES_PER_PARAM).abs() < 0.05);
         // Yahoo at a larger scale keeps its aspect exactly (no floor hit).

@@ -4,7 +4,7 @@
 //! extract[s] out 1% of the data as the test set" (§2.2). This module
 //! implements that holdout split.
 
-use rand::Rng;
+use cumf_rng::Rng;
 
 use crate::coo::CooMatrix;
 
@@ -48,8 +48,8 @@ pub fn holdout_split<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
 
     fn matrix(n: usize) -> CooMatrix {
         let mut coo = CooMatrix::new(100, 100);

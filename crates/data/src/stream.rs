@@ -187,9 +187,7 @@ pub fn partition_to_files(
     }
     let mut paths = Vec::with_capacity(parts as usize);
     for (i, (us, vs, rs)) in buffers.iter().enumerate() {
-        let path = out_dir
-            .as_ref()
-            .join(format!("{stem}.block{i}.bin"));
+        let path = out_dir.as_ref().join(format!("{stem}.block{i}.bin"));
         let mut w = BufWriter::new(File::create(&path)?);
         w.write_all(b"CUMF")?;
         w.write_all(&1u32.to_le_bytes())?;

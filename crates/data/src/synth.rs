@@ -11,10 +11,10 @@
 //! (`noise_std`), so "converged" has a precise meaning and convergence
 //! curves can be compared across solvers in units of the optimum.
 
-use rand::distributions::Distribution;
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cumf_rng::distributions::Distribution;
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::Rng;
+use cumf_rng::SeedableRng;
 
 use crate::coo::CooMatrix;
 
@@ -88,7 +88,9 @@ impl AliasTable {
 
 /// Zipf-like weights `w_i = 1 / (i + 1)^exponent`.
 pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
-    (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect()
+    (0..n)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+        .collect()
 }
 
 /// Configuration of a synthetic planted-factorization data set.
@@ -243,7 +245,7 @@ mod tests {
 
     #[test]
     fn alias_table_uniform() {
-        let table = AliasTable::new(&vec![1.0; 16]);
+        let table = AliasTable::new(&[1.0; 16]);
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..2000 {

@@ -11,8 +11,12 @@ use crate::time::SimTime;
 enum Ev {
     /// Resume a blocked/sleeping process.
     Resume(Pid),
-    /// A server finished serving `pid`.
-    ServerDone { server: ServerId, pid: Pid },
+    /// A server finished serving `pid` after holding a slot for `hold`.
+    ServerDone {
+        server: ServerId,
+        pid: Pid,
+        hold: SimTime,
+    },
     /// Re-evaluate a shared-bandwidth link (some transfer may have finished).
     LinkTick { link: LinkId },
 }
@@ -137,6 +141,13 @@ impl Simulation {
         self.processes.push(Some(process));
         self.live_processes += 1;
         self.queue.schedule(self.clock, Ev::Resume(pid));
+        if cumf_obs::enabled() {
+            cumf_obs::counter(
+                "cumf_des_processes_spawned_total",
+                "Processes spawned into DES simulations",
+            )
+            .inc();
+        }
         pid
     }
 
@@ -153,6 +164,7 @@ impl Simulation {
     /// Runs until the event calendar drains or `horizon` is reached.
     /// Returns the final statistics report.
     pub fn run(&mut self, horizon: Option<SimTime>) -> RunReport {
+        let events_at_entry = self.events_processed;
         while let Some(next_time) = self.queue.peek_time() {
             if let Some(h) = horizon {
                 if next_time > h {
@@ -166,7 +178,8 @@ impl Simulation {
             self.events_processed += 1;
             match ev {
                 Ev::Resume(pid) => self.step(pid),
-                Ev::ServerDone { server, pid } => {
+                Ev::ServerDone { server, pid, hold } => {
+                    self.record_service_span(server, hold);
                     if let Some((next_pid, hold)) = self.servers[server.0].complete(self.clock) {
                         let at = self.clock + hold;
                         self.queue.schedule(
@@ -174,6 +187,7 @@ impl Simulation {
                             Ev::ServerDone {
                                 server,
                                 pid: next_pid,
+                                hold,
                             },
                         );
                     }
@@ -189,6 +203,18 @@ impl Simulation {
                     }
                 }
             }
+        }
+        if cumf_obs::enabled() {
+            cumf_obs::counter(
+                "cumf_des_events_total",
+                "Discrete events processed by the DES engine",
+            )
+            .add(self.events_processed - events_at_entry);
+            cumf_obs::gauge(
+                "cumf_des_sim_end_seconds",
+                "Simulated end time of the most recent DES run, seconds",
+            )
+            .set(self.clock.as_secs());
         }
         self.report()
     }
@@ -225,7 +251,8 @@ impl Simulation {
                 Block::Service { server, hold } => {
                     if self.servers[server.0].request(self.clock, pid, hold) {
                         let at = self.clock + hold;
-                        self.queue.schedule(at, Ev::ServerDone { server, pid });
+                        self.queue
+                            .schedule(at, Ev::ServerDone { server, pid, hold });
                     }
                     break;
                 }
@@ -253,6 +280,23 @@ impl Simulation {
             }
         }
         self.processes[pid.0] = Some(process);
+    }
+
+    /// Records a completed server service period as a sim-clock trace span
+    /// (one track per server). Called at the completion event, when both
+    /// the start (`now - hold`) and the duration are known.
+    fn record_service_span(&self, server: ServerId, hold: SimTime) {
+        if cumf_obs::enabled() {
+            let start = self.clock.as_secs() - hold.as_secs();
+            cumf_obs::span_sim(
+                "des",
+                format!("service:{}", self.servers[server.0].name),
+                server.0 as u32,
+                start.max(0.0),
+                hold.as_secs(),
+                Vec::new(),
+            );
+        }
     }
 
     /// Applies non-blocking actions a process issued through its `Ctx`.
@@ -315,8 +359,16 @@ impl Simulation {
                     name: l.name.clone(),
                     bytes_transferred: l.bytes_done,
                     completed: l.completed,
-                    busy_fraction: if total > 0.0 { l.busy_time / total } else { 0.0 },
-                    achieved_bandwidth: if total > 0.0 { l.bytes_done / total } else { 0.0 },
+                    busy_fraction: if total > 0.0 {
+                        l.busy_time / total
+                    } else {
+                        0.0
+                    },
+                    achieved_bandwidth: if total > 0.0 {
+                        l.bytes_done / total
+                    } else {
+                        0.0
+                    },
                     busy_bandwidth: if l.busy_time > 0.0 {
                         l.bytes_done / l.busy_time
                     } else {

@@ -46,6 +46,8 @@ pub(crate) struct Server {
     pub(crate) queue_tw: TimeWeighted,
     pub(crate) waits: Tally,
     pub(crate) completed: u64,
+    obs_waits: cumf_obs::Histogram,
+    obs_queue: cumf_obs::Gauge,
 }
 
 impl Server {
@@ -60,6 +62,14 @@ impl Server {
             queue_tw: TimeWeighted::new(0.0),
             waits: Tally::new(),
             completed: 0,
+            obs_waits: cumf_obs::histogram(
+                "cumf_des_server_wait_seconds",
+                "Time processes waited for an FCFS server slot, simulated seconds",
+            ),
+            obs_queue: cumf_obs::gauge(
+                "cumf_des_server_queue_depth",
+                "Most recently observed FCFS server queue depth",
+            ),
         }
     }
 
@@ -75,10 +85,12 @@ impl Server {
             self.busy += 1;
             self.busy_tw.set(now, self.busy as f64);
             self.waits.record(0.0);
+            self.obs_waits.record(0.0);
             true
         } else {
             self.queue.push_back((pid, hold, now));
             self.queue_tw.set(now, self.queue.len() as f64);
+            self.obs_queue.set(self.queue.len() as f64);
             false
         }
     }
@@ -90,7 +102,10 @@ impl Server {
         self.completed += 1;
         if let Some((pid, hold, enq)) = self.queue.pop_front() {
             self.queue_tw.set(now, self.queue.len() as f64);
-            self.waits.record(now.as_secs() - enq.as_secs());
+            self.obs_queue.set(self.queue.len() as f64);
+            let wait = now.as_secs() - enq.as_secs();
+            self.waits.record(wait);
+            self.obs_waits.record(wait);
             // Busy count unchanged: one leaves, one enters.
             self.busy_tw.advance(now);
             Some((pid, hold))

@@ -181,7 +181,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0);
         tw.set(t(1.0), 2.0); // 0 for 1s
         tw.set(t(3.0), 4.0); // 2 for 2s
-        // 4 for 1s -> integral = 0 + 4 + 4 = 8 over 4s
+                             // 4 for 1s -> integral = 0 + 4 + 4 = 8 over 4s
         assert!((tw.mean(t(4.0)) - 2.0).abs() < 1e-12);
         assert_eq!(tw.max(), 4.0);
         assert_eq!(tw.current(), 4.0);
@@ -302,7 +302,7 @@ mod histogram_tests {
         assert_eq!(h.count(), 1000);
         let p50 = h.quantile_upper_bound(0.5);
         let p99 = h.quantile_upper_bound(0.99);
-        assert!(p50 >= 0.5e-3 / 2.0 && p50 <= 2.0e-3, "p50 {p50}");
+        assert!((0.5e-3 / 2.0..=2.0e-3).contains(&p50), "p50 {p50}");
         assert!(p99 >= p50);
         assert!(p99 <= 2.0e-3, "p99 {p99}");
     }

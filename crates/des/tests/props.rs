@@ -1,19 +1,23 @@
-//! Property-based tests of the DES engine: determinism, clock
+//! Property-style tests of the DES engine: determinism, clock
 //! monotonicity, and conservation laws under randomized process mixes.
+//!
+//! Formerly written with `proptest`; rewritten as deterministic seeded
+//! sweeps so the workspace builds offline. Each case is identified by
+//! the fixed seed plus the iteration index.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
 
 use cumf_des::{Block, Ctx, LinkId, Process, ServerId, SimTime, Simulation};
 
 /// A randomized process: a scripted sequence of blocking actions.
 #[derive(Debug, Clone)]
 enum Step {
-    Delay(u32),          // microseconds
-    Service(u32),        // hold microseconds on the shared server
-    Transfer(u32),       // kilobytes over the shared link
+    Delay(u32),    // microseconds
+    Service(u32),  // hold microseconds on the shared server
+    Transfer(u32), // kilobytes over the shared link
 }
 
 struct Scripted {
@@ -48,12 +52,26 @@ impl Process for Scripted {
     }
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (0u32..500).prop_map(Step::Delay),
-        (0u32..200).prop_map(Step::Service),
-        (0u32..300).prop_map(Step::Transfer),
-    ]
+fn random_step(rng: &mut ChaCha8Rng) -> Step {
+    match rng.gen_range(0u32..3) {
+        0 => Step::Delay(rng.gen_range(0u32..500)),
+        1 => Step::Service(rng.gen_range(0u32..200)),
+        _ => Step::Transfer(rng.gen_range(0u32..300)),
+    }
+}
+
+fn random_scripts(
+    rng: &mut ChaCha8Rng,
+    procs: core::ops::Range<usize>,
+    min_steps: usize,
+) -> Vec<Vec<Step>> {
+    let n = rng.gen_range(procs);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(min_steps..12);
+            (0..len).map(|_| random_step(rng)).collect()
+        })
+        .collect()
 }
 
 fn run_mix(scripts: &[Vec<Step>], server_slots: usize, link_bw: f64) -> (Vec<f64>, u32, f64, u64) {
@@ -78,44 +96,42 @@ fn run_mix(scripts: &[Vec<Step>], server_slots: usize, link_bw: f64) -> (Vec<f64
     (times, finished, report.end_time.as_secs(), report.events)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every process completes, wake-ups never go back in time, and a
-    /// rerun of the same script is bit-identical (determinism).
-    #[test]
-    fn engine_is_monotone_deterministic_and_complete(
-        scripts in proptest::collection::vec(
-            proptest::collection::vec(step_strategy(), 0..12), 1..10),
-        slots in 1usize..4,
-    ) {
+/// Every process completes, wake-ups never go back in time, and a
+/// rerun of the same script is bit-identical (determinism).
+#[test]
+fn engine_is_monotone_deterministic_and_complete() {
+    let mut rng = ChaCha8Rng::seed_from_u64(201);
+    for _ in 0..48 {
+        let scripts = random_scripts(&mut rng, 1..10, 0);
+        let slots = rng.gen_range(1usize..4);
         let (times_a, done_a, end_a, events_a) = run_mix(&scripts, slots, 1e6);
-        prop_assert_eq!(done_a as usize, scripts.len(), "every process finishes");
+        assert_eq!(done_a as usize, scripts.len(), "every process finishes");
         // The per-process wake sequence is recorded interleaved; global
         // monotonicity is too strong (wakes interleave across processes),
         // but the engine clock itself must be monotone, which we check by
         // asserting no wake exceeds the end time and the end time bounds
         // the total scripted work.
         for &t in &times_a {
-            prop_assert!(t <= end_a + 1e-12);
-            prop_assert!(t >= 0.0);
+            assert!(t <= end_a + 1e-12);
+            assert!(t >= 0.0);
         }
         // Determinism: identical rerun.
         let (times_b, done_b, end_b, events_b) = run_mix(&scripts, slots, 1e6);
-        prop_assert_eq!(&times_a, &times_b);
-        prop_assert_eq!(done_a, done_b);
-        prop_assert!((end_a - end_b).abs() == 0.0);
-        prop_assert_eq!(events_a, events_b);
+        assert_eq!(&times_a, &times_b);
+        assert_eq!(done_a, done_b);
+        assert!((end_a - end_b).abs() == 0.0);
+        assert_eq!(events_a, events_b);
     }
+}
 
-    /// Work conservation: the makespan is at least the critical-path lower
-    /// bound (longest single process) and at most the fully-serialised
-    /// upper bound (sum of all work).
-    #[test]
-    fn makespan_is_bounded_by_serial_and_critical_path(
-        scripts in proptest::collection::vec(
-            proptest::collection::vec(step_strategy(), 1..10), 1..8),
-    ) {
+/// Work conservation: the makespan is at least the critical-path lower
+/// bound (longest single process) and at most the fully-serialised
+/// upper bound (sum of all work).
+#[test]
+fn makespan_is_bounded_by_serial_and_critical_path() {
+    let mut rng = ChaCha8Rng::seed_from_u64(202);
+    for _ in 0..48 {
+        let scripts = random_scripts(&mut rng, 1..8, 1);
         let bw = 1e6;
         let step_secs = |s: &Step| match *s {
             Step::Delay(us) | Step::Service(us) => (us as f64 + 1.0) * 1e-6,
@@ -127,7 +143,7 @@ proptest! {
             .fold(0.0, f64::max);
         let total: f64 = scripts.iter().flatten().map(step_secs).sum();
         let (_, _, end, _) = run_mix(&scripts, 1, bw);
-        prop_assert!(end >= longest - 1e-9, "end {end} < critical path {longest}");
-        prop_assert!(end <= total + 1e-9, "end {end} > serial bound {total}");
+        assert!(end >= longest - 1e-9, "end {end} < critical path {longest}");
+        assert!(end <= total + 1e-9, "end {end} > serial bound {total}");
     }
 }

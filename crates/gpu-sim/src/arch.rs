@@ -60,7 +60,18 @@ impl GpuSpec {
         }
         let x = (workers.min(self.max_workers()) as f64) / self.max_workers() as f64;
         const BETA: f64 = 0.92;
-        self.peak_bw * self.bw_efficiency * x / (x + BETA * (1.0 - x))
+        let bw = self.peak_bw * self.bw_efficiency * x / (x + BETA * (1.0 - x));
+        cumf_obs::gauge(
+            "cumf_gpusim_occupancy",
+            "Fraction of the GPU's maximum resident thread blocks in use",
+        )
+        .set(x);
+        cumf_obs::gauge(
+            "cumf_gpusim_effective_bw_bytes_per_sec",
+            "Occupancy-dependent effective DRAM bandwidth of the modelled GPU",
+        )
+        .set(bw);
+        bw
     }
 }
 

@@ -83,9 +83,7 @@ impl SchedulerModel {
                 per_block_overhead_s,
                 ..
             } => per_block_overhead_s,
-            SchedulerModel::GlobalTable { a, per_entry_s } => {
-                a as f64 * a as f64 * per_entry_s
-            }
+            SchedulerModel::GlobalTable { a, per_entry_s } => a as f64 * a as f64 * per_entry_s,
             SchedulerModel::RowColScan { a, per_entry_s } => 2.0 * a as f64 * per_entry_s,
         }
     }
@@ -157,6 +155,7 @@ struct Worker {
     wave: u64,
     held_col: Option<usize>,
     phase: Phase,
+    obs_launches: cumf_obs::Counter,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,10 +185,12 @@ impl Process for Worker {
                             if let Some(col) = self.held_col.take() {
                                 ctx.release_key(locks, col);
                             }
-                            let col =
-                                ((self.id as u64 + self.wave) % grid_cols as u64) as usize;
+                            let col = ((self.id as u64 + self.wave) % grid_cols as u64) as usize;
                             self.held_col = Some(col);
-                            return Block::AcquireKey { lock: locks, key: col };
+                            return Block::AcquireKey {
+                                lock: locks,
+                                key: col,
+                            };
                         }
                         _ if self.sched_server.is_some() => {
                             return Block::Service {
@@ -212,6 +213,17 @@ impl Process for Worker {
                     self.remaining -= n;
                     self.wave += 1;
                     self.phase = Phase::FinishChunk;
+                    self.obs_launches.inc();
+                    if cumf_obs::enabled() {
+                        cumf_obs::span_sim(
+                            "gpu-sim",
+                            "kernel-launch",
+                            self.id,
+                            ctx.now().as_secs(),
+                            t,
+                            vec![("updates", n as f64)],
+                        );
+                    }
                     return Block::Delay(SimTime::from_secs(t));
                 }
                 Phase::FinishChunk => {
@@ -260,6 +272,11 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
     let chunk_time = chunk_bytes / per_worker_bw;
     let hold = SimTime::from_secs(config.scheduler.hold_time());
 
+    let obs_launches = cumf_obs::counter(
+        "cumf_gpusim_kernel_chunks_total",
+        "Compute chunks (modelled kernel work items) executed by simulated workers",
+    );
+
     // Spread updates across workers; the first `rem` workers take one more
     // chunk-sized share so every update is accounted for.
     let base = config.total_updates / config.workers as u64;
@@ -281,6 +298,7 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
             wave: 0,
             held_col: None,
             phase: Phase::Schedule,
+            obs_launches: obs_launches.clone(),
         }));
     }
 
@@ -295,7 +313,7 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
     let elapsed = report.end_time;
     let secs = elapsed.as_secs().max(f64::MIN_POSITIVE);
     let updates_per_sec = config.total_updates as f64 / secs;
-    ThroughputResult {
+    let result = ThroughputResult {
         elapsed,
         updates: config.total_updates,
         updates_per_sec,
@@ -304,8 +322,40 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
             .server("scheduler")
             .map(|s| s.utilisation)
             .unwrap_or(0.0),
-        mean_sched_wait: report.server("scheduler").map(|s| s.mean_wait).unwrap_or(0.0),
+        mean_sched_wait: report
+            .server("scheduler")
+            .map(|s| s.mean_wait)
+            .unwrap_or(0.0),
+    };
+    if cumf_obs::enabled() {
+        cumf_obs::counter("cumf_gpusim_sims_total", "Throughput simulations executed").inc();
+        cumf_obs::gauge(
+            "cumf_gpusim_updates_per_sec",
+            "Eq. 7 updates/s of the most recent throughput simulation",
+        )
+        .set(result.updates_per_sec);
+        cumf_obs::gauge(
+            "cumf_gpusim_achieved_bw_bytes_per_sec",
+            "Bandwidth consumed by the simulated compute, bytes/s",
+        )
+        .set(result.achieved_bw);
+        cumf_obs::gauge(
+            "cumf_gpusim_bw_utilisation",
+            "Achieved bandwidth over the configured total bandwidth",
+        )
+        .set(result.achieved_bw / config.total_bandwidth);
+        cumf_obs::gauge(
+            "cumf_gpusim_scheduler_utilisation",
+            "Utilisation of the global scheduler critical section (0 if lock-free)",
+        )
+        .set(result.scheduler_utilisation);
+        cumf_obs::gauge(
+            "cumf_gpusim_mean_sched_wait_seconds",
+            "Mean time a worker waited for the global scheduler, seconds",
+        )
+        .set(result.mean_sched_wait);
     }
+    result
 }
 
 #[cfg(test)]
@@ -335,7 +385,12 @@ mod tests {
         // At full occupancy the rate must sit within a few percent of
         // bandwidth / bytes-per-update (the tiny atomic overhead).
         let roof = SgdUpdateCost::cumf(128).updates_per_sec(TITAN_X_MAXWELL.effective_bw(768));
-        assert!(r.updates_per_sec > 0.95 * roof, "{} vs {}", r.updates_per_sec, roof);
+        assert!(
+            r.updates_per_sec > 0.95 * roof,
+            "{} vs {}",
+            r.updates_per_sec,
+            roof
+        );
         assert!(r.updates_per_sec <= roof * 1.001);
         assert_eq!(r.scheduler_utilisation, 0.0);
     }

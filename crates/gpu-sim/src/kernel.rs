@@ -147,8 +147,8 @@ mod tests {
         let f16c = SgdUpdateCost::cumf(128);
         assert_eq!(f32c.bytes(), 2060);
         assert_eq!(f16c.bytes(), 12 + 4 * 128 * 2); // 1036
-        // Same bandwidth sustains ~1.99x the update rate (§7.2, "twice the
-        // updates with the same bandwidth consumption").
+                                                    // Same bandwidth sustains ~1.99x the update rate (§7.2, "twice the
+                                                    // updates with the same bandwidth consumption").
         let speedup = f16c.updates_per_sec(266e9) / f32c.updates_per_sec(266e9);
         assert!((speedup - 2060.0 / 1036.0).abs() < 1e-9);
         assert!(speedup > 1.9);

@@ -37,7 +37,9 @@ pub use arch::{
 pub use executor::{simulate_throughput, SchedulerModel, ThroughputConfig, ThroughputResult};
 pub use kernel::{Precision, RatingAccess, SgdUpdateCost, COO_SAMPLE_BYTES};
 pub use memory::CpuCacheModel;
-pub use occupancy::{blocks_per_sm, max_workers, KernelFootprint, SmResources, SM_MAXWELL, SM_PASCAL};
+pub use occupancy::{
+    blocks_per_sm, max_workers, KernelFootprint, SmResources, SM_MAXWELL, SM_PASCAL,
+};
 pub use pipeline::{overlapped, serial, BlockJob, PipelineResult};
 pub use roofline::Roofline;
 pub use warp::{warp_dot, warp_reduce_sum, warp_sgd_update, WARP_SIZE};

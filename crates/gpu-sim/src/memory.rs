@@ -74,7 +74,32 @@ impl CpuCacheModel {
     /// Effective (compute-observed) bandwidth in bytes/s.
     pub fn effective_bw(&self, cost: &SgdUpdateCost, working_set: f64) -> f64 {
         let h = self.hit_fraction(cost, working_set);
-        self.cpu.dram_bw / (1.0 - h)
+        let bw = self.cpu.dram_bw / (1.0 - h);
+        if cumf_obs::enabled() {
+            cumf_obs::gauge(
+                "cumf_gpusim_cache_hit_rate",
+                "Modelled fraction of requested bytes served by cache",
+            )
+            .set(h);
+            cumf_obs::gauge(
+                "cumf_gpusim_cache_effective_bw_bytes_per_sec",
+                "Cache-amplified effective bandwidth of the modelled CPU, bytes/s",
+            )
+            .set(bw);
+            // Per-modelled-update byte split: cache hits vs DRAM misses.
+            let total = cost.bytes() as f64;
+            cumf_obs::counter(
+                "cumf_gpusim_cache_hit_bytes_total",
+                "Bytes per modelled update served from cache (accumulated per model query)",
+            )
+            .add((h * total).round() as u64);
+            cumf_obs::counter(
+                "cumf_gpusim_cache_miss_bytes_total",
+                "Bytes per modelled update served from DRAM (accumulated per model query)",
+            )
+            .add(((1.0 - h) * total).round() as u64);
+        }
+        bw
     }
 
     /// Effective bandwidth for an m×n data set blocked a×a at dimension k

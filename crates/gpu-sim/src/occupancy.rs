@@ -68,8 +68,7 @@ impl KernelFootprint {
     /// warp).
     fn block_registers(&self, sm: &SmResources) -> u32 {
         let warps = self.threads_per_block.div_ceil(32);
-        let per_warp = (32 * self.regs_per_thread).div_ceil(sm.reg_alloc_unit)
-            * sm.reg_alloc_unit;
+        let per_warp = (32 * self.regs_per_thread).div_ceil(sm.reg_alloc_unit) * sm.reg_alloc_unit;
         warps * per_warp
     }
 }
@@ -80,11 +79,10 @@ pub fn blocks_per_sm(kernel: &KernelFootprint, sm: &SmResources) -> u32 {
     let by_blocks = sm.max_blocks;
     let by_threads = sm.max_threads / kernel.threads_per_block.max(1);
     let by_regs = sm.registers / kernel.block_registers(sm).max(1);
-    let by_shmem = if kernel.shared_per_block == 0 {
-        u32::MAX
-    } else {
-        sm.shared_mem / kernel.shared_per_block
-    };
+    let by_shmem = sm
+        .shared_mem
+        .checked_div(kernel.shared_per_block)
+        .unwrap_or(u32::MAX);
     by_blocks.min(by_threads).min(by_regs).min(by_shmem)
 }
 
@@ -108,9 +106,7 @@ pub fn limiter(kernel: &KernelFootprint, sm: &SmResources) -> Limiter {
         Limiter::BlockSlots
     } else if resident == sm.max_threads / kernel.threads_per_block.max(1) {
         Limiter::Threads
-    } else if kernel.shared_per_block > 0
-        && resident == sm.shared_mem / kernel.shared_per_block
-    {
+    } else if kernel.shared_per_block > 0 && resident == sm.shared_mem / kernel.shared_per_block {
         Limiter::SharedMemory
     } else {
         Limiter::Registers

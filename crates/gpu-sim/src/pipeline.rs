@@ -50,7 +50,12 @@ pub struct PipelineResult {
 }
 
 /// Computes block completion under the overlapped 3-stream pipeline.
-pub fn overlapped(jobs: &[BlockJob], gpu: &GpuSpec, link: &LinkSpec, workers: u32) -> PipelineResult {
+pub fn overlapped(
+    jobs: &[BlockJob],
+    gpu: &GpuSpec,
+    link: &LinkSpec,
+    workers: u32,
+) -> PipelineResult {
     let bw = gpu.effective_bw(workers);
     let mut h2d_done = 0.0f64;
     let mut comp_done = 0.0f64;
@@ -143,7 +148,12 @@ mod tests {
         let prologue = PCIE3_X16.transfer_time(0.1e9);
         let epilogue = PCIE3_X16.transfer_time(0.05e9);
         let ideal = t_comp_total + prologue + epilogue;
-        assert!((ov.makespan - ideal).abs() / ideal < 1e-9, "{} vs {}", ov.makespan, ideal);
+        assert!(
+            (ov.makespan - ideal).abs() / ideal < 1e-9,
+            "{} vs {}",
+            ov.makespan,
+            ideal
+        );
         assert!(ov.compute_utilisation > 0.95);
     }
 

@@ -37,7 +37,7 @@ pub fn warp_reduce_sum(lanes: &[f32; WARP_SIZE]) -> f32 {
 pub fn warp_dot(p: &[f32], q: &[f32]) -> f32 {
     assert_eq!(p.len(), q.len());
     assert!(
-        p.len() % WARP_SIZE == 0,
+        p.len().is_multiple_of(WARP_SIZE),
         "warp kernel requires k to be a multiple of 32 (got {})",
         p.len()
     );

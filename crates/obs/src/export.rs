@@ -1,0 +1,278 @@
+//! Exporters: Chrome `trace_event` JSON, Prometheus text exposition,
+//! and a human-readable summary table.
+//!
+//! All three are hand-rolled string builders — the formats are simple
+//! enough that a JSON/serde dependency would cost more than it saves,
+//! and the workspace must build offline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::registry::{MetricSnapshot, SnapshotValue};
+use crate::trace::{Clock, TraceEvent};
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (finite guaranteed by mapping
+/// NaN/±Inf to 0; Rust's `Display` for finite floats is valid JSON).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Chrome-trace `pid` for each clock domain. Separate processes keep
+/// wall-clock and sim-time timestamps from being compared on one axis.
+fn pid_for(clock: Clock) -> u32 {
+    match clock {
+        Clock::Wall => 1,
+        Clock::Sim => 2,
+    }
+}
+
+/// Renders events as Chrome `trace_event` JSON (object format), directly
+/// loadable in Perfetto or chrome://tracing.
+///
+/// Every event becomes a `ph:"X"` complete event with `ts`/`dur` in
+/// microseconds; two metadata records name the wall-clock and sim-time
+/// "processes".
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 128 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"wall-clock\"}},\n",
+    );
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\
+         \"args\":{\"name\":\"sim-time\"}}",
+    );
+    for ev in events {
+        out.push_str(",\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":{},\"tid\":{}",
+            json_escape(&ev.name),
+            json_escape(ev.cat),
+            json_num(ev.start_us),
+            json_num(ev.dur_us),
+            pid_for(ev.clock),
+            ev.track,
+        );
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (k, v)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(k), json_num(*v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Formats a float for Prometheus (which accepts Go-style floats;
+/// Rust's `Display` output is a subset).
+fn prom_num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders metric snapshots in the Prometheus text exposition format.
+pub fn prometheus_text(snapshots: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in snapshots {
+        if !m.help.is_empty() {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+        }
+        match &m.value {
+            SnapshotValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {} counter", m.name);
+                let _ = writeln!(out, "{} {}", m.name, v);
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                let _ = writeln!(out, "{} {}", m.name, prom_num(*v));
+            }
+            SnapshotValue::Histogram {
+                buckets,
+                count,
+                sum,
+            } => {
+                let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                // Only emit buckets up to the first one that already
+                // holds every sample; the tail adds no information.
+                let mut emitted_all = false;
+                for (le, cum) in buckets {
+                    if emitted_all {
+                        break;
+                    }
+                    if *cum > 0 || le.is_infinite() {
+                        let _ =
+                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, prom_num(*le), cum);
+                        emitted_all = *cum == *count && le.is_infinite();
+                    }
+                }
+                if !emitted_all {
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, count);
+                }
+                let _ = writeln!(out, "{}_sum {}", m.name, prom_num(*sum));
+                let _ = writeln!(out, "{}_count {}", m.name, count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a fixed-width table of metrics plus per-(cat, name) span
+/// totals — the `cumf profile` terminal output.
+pub fn summary_table(snapshots: &[MetricSnapshot], events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    if !snapshots.is_empty() {
+        out.push_str("metrics\n");
+        let width = snapshots.iter().map(|m| m.name.len()).max().unwrap_or(0);
+        for m in snapshots {
+            match &m.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "  {:<width$}  {v}", m.name);
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "  {:<width$}  {v:.6}", m.name);
+                }
+                SnapshotValue::Histogram { count, sum, .. } => {
+                    let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    let _ = writeln!(
+                        out,
+                        "  {:<width$}  count={count} sum={sum:.6} mean={mean:.6}",
+                        m.name
+                    );
+                }
+            }
+        }
+    }
+    // Aggregate spans by (clock, cat, name).
+    let mut agg: BTreeMap<(&'static str, String, &'static str), (u64, f64)> = BTreeMap::new();
+    for ev in events {
+        let clock = match ev.clock {
+            Clock::Wall => "wall",
+            Clock::Sim => "sim",
+        };
+        let entry = agg
+            .entry((ev.cat, ev.name.clone(), clock))
+            .or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += ev.dur_us;
+    }
+    if !agg.is_empty() {
+        out.push_str("spans (aggregated)\n");
+        let _ = writeln!(
+            out,
+            "  {:<40}  {:>5}  {:>8}  {:>14}  {:>14}",
+            "cat/name", "clock", "count", "total_ms", "mean_us"
+        );
+        for ((cat, name, clock), (count, total_us)) in &agg {
+            let label = format!("{cat}/{name}");
+            let _ = writeln!(
+                out,
+                "  {:<40}  {:>5}  {:>8}  {:>14.3}  {:>14.3}",
+                label,
+                clock,
+                count,
+                total_us / 1e3,
+                total_us / *count as f64
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::trace::Tracer;
+
+    #[test]
+    fn chrome_trace_escapes_and_structures() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.record_sim("gpu", "kernel \"q\"", 2, 1.0, 0.5, vec![("n", 3.0)]);
+        let json = chrome_trace_json(&t.events());
+        assert!(json.starts_with('{'));
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("kernel \\\"q\\\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"args\":{\"n\":3}"));
+        // Balanced braces/brackets — a cheap well-formedness check that
+        // catches missing separators without a JSON parser.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_counter_gauge_histogram() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.counter("cumf_updates_total", "updates").add(7);
+        reg.gauge("cumf_rmse", "rmse").set(0.95);
+        let h = reg.histogram("cumf_epoch_seconds", "epoch time");
+        h.record(0.5);
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE cumf_updates_total counter"));
+        assert!(text.contains("cumf_updates_total 7"));
+        assert!(text.contains("# TYPE cumf_rmse gauge"));
+        assert!(text.contains("cumf_rmse 0.95"));
+        assert!(text.contains("# TYPE cumf_epoch_seconds histogram"));
+        assert!(text.contains("cumf_epoch_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cumf_epoch_seconds_sum 0.5"));
+        assert!(text.contains("cumf_epoch_seconds_count 1"));
+    }
+
+    #[test]
+    fn summary_table_lists_metrics_and_spans() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        reg.counter("c", "").inc();
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.record_sim("gpu", "kernel", 0, 0.0, 1.0, vec![]);
+        let table = summary_table(&reg.snapshot(), &t.events());
+        assert!(table.contains("metrics"));
+        assert!(table.contains("gpu/kernel"));
+        assert!(table.contains("sim"));
+    }
+}

@@ -1,0 +1,137 @@
+//! # cumf-obs — observability for the cuMF_SGD workspace
+//!
+//! The paper's argument (CuMF_SGD Sec. 2.3 and the roofline analysis)
+//! is that SGD-MF throughput is set by achieved memory bandwidth and
+//! occupancy. This crate is how the reproduction *sees* those numbers:
+//!
+//! * a [`Registry`] of named atomic [`Counter`]s/[`Gauge`]s/
+//!   [`Histogram`]s cheap enough to stay compiled into release builds
+//!   (a disabled probe is one relaxed load and a branch; the `off`
+//!   cargo feature removes even that), and
+//! * a [`Tracer`] recording spans on either the wall clock or the
+//!   simulated clock, exported as Chrome `trace_event` JSON
+//!   (Perfetto / chrome://tracing), Prometheus text exposition, or a
+//!   terminal summary table.
+//!
+//! ## Usage
+//!
+//! Instrumented code registers handles once and updates them lock-free:
+//!
+//! ```
+//! let updates = cumf_obs::counter("cumf_solver_updates_total", "SGD updates applied");
+//! cumf_obs::set_enabled(true);
+//! {
+//!     let mut span = cumf_obs::span("solver", "epoch");
+//!     updates.add(4096);
+//!     span.set_arg("updates", 4096.0);
+//! } // span records itself here
+//! let json = cumf_obs::chrome_trace();
+//! assert!(json.contains("epoch"));
+//! cumf_obs::reset();
+//! # cumf_obs::set_enabled(false);
+//! ```
+//!
+//! Everything is off by default: binaries opt in with
+//! [`set_enabled`]`(true)` (the CLI does this when `--trace`/`--metrics`
+//! is passed), so the instrumented hot paths cost a predicted-not-taken
+//! branch in ordinary runs.
+
+mod export;
+mod registry;
+mod trace;
+
+pub use export::{chrome_trace_json, prometheus_text, summary_table};
+pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, Registry, SnapshotValue};
+pub use trace::{Clock, SpanGuard, TraceEvent, Tracer};
+
+use std::sync::OnceLock;
+
+struct Global {
+    registry: Registry,
+    tracer: Tracer,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        registry: Registry::new(),
+        tracer: Tracer::new(),
+    })
+}
+
+/// The process-global metrics registry.
+pub fn registry() -> &'static Registry {
+    &global().registry
+}
+
+/// The process-global tracer.
+pub fn tracer() -> &'static Tracer {
+    &global().tracer
+}
+
+/// Turns the global registry and tracer on or off together.
+pub fn set_enabled(on: bool) {
+    let g = global();
+    g.registry.set_enabled(on);
+    g.tracer.set_enabled(on);
+}
+
+/// Whether global observability is currently recording.
+pub fn enabled() -> bool {
+    global().registry.is_enabled()
+}
+
+/// Registers (or re-fetches) a counter in the global registry.
+pub fn counter(name: &str, help: &str) -> Counter {
+    registry().counter(name, help)
+}
+
+/// Registers (or re-fetches) a gauge in the global registry.
+pub fn gauge(name: &str, help: &str) -> Gauge {
+    registry().gauge(name, help)
+}
+
+/// Registers (or re-fetches) a histogram in the global registry.
+pub fn histogram(name: &str, help: &str) -> Histogram {
+    registry().histogram(name, help)
+}
+
+/// Opens a wall-clock span on the global tracer (records on drop).
+pub fn span(cat: &'static str, name: impl Into<String>) -> SpanGuard<'static> {
+    tracer().span(cat, name)
+}
+
+/// Records a completed sim-clock span on the global tracer
+/// (`start`/`dur` in simulated seconds).
+pub fn span_sim(
+    cat: &'static str,
+    name: impl Into<String>,
+    track: u32,
+    start_secs: f64,
+    dur_secs: f64,
+    args: Vec<(&'static str, f64)>,
+) {
+    tracer().record_sim(cat, name, track, start_secs, dur_secs, args)
+}
+
+/// Renders the global trace buffer as Chrome `trace_event` JSON.
+pub fn chrome_trace() -> String {
+    chrome_trace_json(&tracer().events())
+}
+
+/// Renders the global registry in Prometheus text exposition format.
+pub fn prometheus() -> String {
+    prometheus_text(&registry().snapshot())
+}
+
+/// Renders the terminal summary of global metrics and spans.
+pub fn summary() -> String {
+    summary_table(&registry().snapshot(), &tracer().events())
+}
+
+/// Clears the global trace buffer and zeroes all metric values
+/// (registrations persist). Used between CLI runs and by tests.
+pub fn reset() {
+    registry().reset_values();
+    tracer().clear();
+}

@@ -1,0 +1,480 @@
+//! Metrics registry: named atomic counters, gauges, and histograms.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Cheap when enabled.** A counter increment is one relaxed atomic
+//!    load (the enabled flag) plus one relaxed `fetch_add`. No locks on
+//!    the hot path; the registry mutex is only taken at registration.
+//! 2. **Free when disabled.** Every probe branches on a relaxed
+//!    [`Registry::is_enabled`] load; with the `off` cargo feature the
+//!    branch condition is a constant `false` and the optimiser deletes
+//!    the probe entirely.
+//! 3. **Zero dependencies.** Everything is `std` atomics and a
+//!    `BTreeMap` (which also gives deterministic, sorted export order).
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones; instrumented code registers once (e.g. in a constructor) and
+//! stores the handle, then updates it lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Compile-time kill switch: with the `off` feature, probes fold away.
+#[inline(always)]
+pub(crate) const fn compiled_in() -> bool {
+    cfg!(not(feature = "off"))
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket layout
+// ---------------------------------------------------------------------------
+
+/// Histograms use log2 buckets spanning `2^BUCKET_MIN_EXP ..
+/// 2^(BUCKET_MIN_EXP + BUCKET_COUNT - 2)`, plus a final +Inf bucket.
+/// `2^-30 s` ≈ 1 ns and `2^12 s` ≈ 68 min cover every duration the
+/// simulator produces.
+const BUCKET_MIN_EXP: i32 = -30;
+const BUCKET_COUNT: usize = 44;
+
+/// Upper bound (`le`) of bucket `i`, in the measured unit.
+fn bucket_bound(i: usize) -> f64 {
+    if i + 1 == BUCKET_COUNT {
+        f64::INFINITY
+    } else {
+        (2.0f64).powi(BUCKET_MIN_EXP + i as i32)
+    }
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value <= 0.0 || value.is_nan() {
+        return 0; // zero, negative, NaN -> smallest bucket
+    }
+    let exp = value.log2().ceil() as i32;
+    (exp - BUCKET_MIN_EXP).clamp(0, BUCKET_COUNT as i32 - 1) as usize
+}
+
+// ---------------------------------------------------------------------------
+// Cells (shared storage behind the handles)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct HistogramCell {
+    buckets: Vec<AtomicU64>, // BUCKET_COUNT entries, non-cumulative
+    count: AtomicU64,
+    sum_bits: AtomicU64, // f64 bits, CAS-updated
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn record(&self, value: f64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>), // f64 bits
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    cell: Cell,
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// Monotonically increasing event count.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if compiled_in() && self.enabled.load(Ordering::Relaxed) {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (reads even while disabled; probes only *write*
+    /// behind the flag).
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if compiled_in() && self.enabled.load(Ordering::Relaxed) {
+            self.cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Log2-bucketed distribution of observed values (durations, depths).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<HistogramCell>,
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, value: f64) {
+        if compiled_in() && self.enabled.load(Ordering::Relaxed) {
+            self.cell.record(value);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.cell.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots (export-facing, no atomics)
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of one metric, consumed by the exporters.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub help: String,
+    pub value: SnapshotValue,
+}
+
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(f64),
+    /// `buckets` are cumulative `(le, count)` pairs ending at +Inf.
+    Histogram {
+        buckets: Vec<(f64, u64)>,
+        count: u64,
+        sum: f64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Named metric store. The workspace normally uses the process-global
+/// registry via [`crate::registry`]; tests construct their own.
+#[derive(Debug)]
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(false)),
+            entries: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Turns probe writes on or off. Registration still works while
+    /// disabled; only updates are suppressed.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        compiled_in() && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Registers (or re-fetches) a counter. Re-registering the same name
+    /// returns a handle to the same cell.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            cell: Cell::Counter(Arc::new(AtomicU64::new(0))),
+        });
+        match &entry.cell {
+            Cell::Counter(cell) => Counter {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge. See [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            cell: Cell::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))),
+        });
+        match &entry.cell {
+            Cell::Gauge(cell) => Gauge {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) a histogram. See [`Registry::counter`].
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            cell: Cell::Histogram(Arc::new(HistogramCell::new())),
+        });
+        match &entry.cell {
+            Cell::Histogram(cell) => Histogram {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            },
+            other => panic!("metric `{name}` already registered as {}", other.kind()),
+        }
+    }
+
+    /// Copies every metric's current value, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|(name, entry)| {
+                let value = match &entry.cell {
+                    Cell::Counter(c) => SnapshotValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => {
+                        SnapshotValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
+                    }
+                    Cell::Histogram(h) => {
+                        let mut cum = 0u64;
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .map(|(i, b)| {
+                                cum += b.load(Ordering::Relaxed);
+                                (bucket_bound(i), cum)
+                            })
+                            .collect();
+                        SnapshotValue::Histogram {
+                            buckets,
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        }
+                    }
+                };
+                MetricSnapshot {
+                    name: name.clone(),
+                    help: entry.help.clone(),
+                    value,
+                }
+            })
+            .collect()
+    }
+
+    /// Zeroes every metric's value, keeping registrations intact.
+    pub fn reset_values(&self) {
+        let entries = self.entries.lock().unwrap();
+        for entry in entries.values() {
+            match &entry.cell {
+                Cell::Counter(c) => c.store(0, Ordering::Relaxed),
+                Cell::Gauge(g) => g.store(0f64.to_bits(), Ordering::Relaxed),
+                Cell::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Number of registered series (histograms count as one).
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        let c = reg.counter("c", "test counter");
+        let g = reg.gauge("g", "test gauge");
+        let h = reg.histogram("h", "test histogram");
+        // Disabled by default: probes must be invisible.
+        c.inc();
+        c.add(41);
+        g.set(3.5);
+        h.record(1.0);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn enabled_registry_counts() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let c = reg.counter("c", "");
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        let g = reg.gauge("g", "");
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+        let h = reg.histogram("h", "");
+        h.record(0.5);
+        h.record(0.25);
+        assert_eq!(h.count(), 2);
+        assert!((h.sum() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reregistration_shares_the_cell() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let a = reg.counter("shared", "");
+        let b = reg.counter("shared", "");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x", "");
+        reg.gauge("x", "");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let h = reg.histogram("h", "");
+        h.record(1e-9); // ~2^-30
+        h.record(0.5);
+        h.record(1e9); // beyond the largest finite bound
+        let snap = reg.snapshot();
+        let SnapshotValue::Histogram {
+            buckets,
+            count,
+            sum,
+        } = &snap[0].value
+        else {
+            panic!("expected histogram");
+        };
+        assert_eq!(*count, 3);
+        assert!((sum - (1e-9 + 0.5 + 1e9)).abs() / sum < 1e-12);
+        let (last_le, last_count) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite());
+        assert_eq!(last_count, 3, "+Inf bucket must contain every sample");
+        // Cumulative counts are non-decreasing.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn reset_values_keeps_registrations() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let c = reg.counter("c", "");
+        c.add(5);
+        reg.reset_values();
+        assert_eq!(c.get(), 0);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zz", "");
+        reg.counter("aa", "");
+        let names: Vec<_> = reg.snapshot().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["aa", "zz"]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Span/event tracer with two clock domains.
+//!
+//! Spans measured against the host clock (`Clock::Wall`) time real
+//! work — an epoch of the multi-threaded solver, an RMSE evaluation.
+//! Spans measured against the discrete-event clock (`Clock::Sim`) place
+//! *simulated* work — a kernel launch on the modelled GPU — on the
+//! `SimTime` axis. The Chrome-trace exporter keeps
+//! the domains apart by giving each its own `pid`, so Perfetto renders
+//! them as two processes instead of interleaving incomparable
+//! timestamps.
+//!
+//! Recording is a `Mutex<Vec<_>>` push: contention is negligible
+//! because spans close at epoch/kernel granularity, not per update. A
+//! capacity cap guards against unbounded growth on long runs; events
+//! past the cap are counted in `dropped`, never silently lost.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::registry::compiled_in;
+
+/// Which clock a trace event's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Host monotonic time, microseconds since the tracer's epoch.
+    Wall,
+    /// Simulated time, microseconds since sim start.
+    Sim,
+}
+
+/// One completed span (Chrome `ph:"X"`) or instant (`dur_us == 0`).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category label; also the Perfetto track grouping aid.
+    pub cat: &'static str,
+    pub clock: Clock,
+    /// Rendered as the `tid` — one lane per worker/resource.
+    pub track: u32,
+    pub start_us: f64,
+    pub dur_us: f64,
+    /// Numeric key/values shown in the Perfetto args panel.
+    pub args: Vec<(&'static str, f64)>,
+}
+
+/// Default cap on buffered events (~a few hundred MB worst case is far
+/// above any real run; fig13-scale runs emit thousands, not millions).
+const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// Collects [`TraceEvent`]s. Use the process-global instance via
+/// [`crate::tracer`] or construct one per test.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    epoch: OnceLock<Instant>,
+    events: Mutex<Vec<TraceEvent>>,
+    dropped: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            epoch: OnceLock::new(),
+            events: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            capacity: DEFAULT_CAPACITY,
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        if on {
+            // Pin the wall-clock epoch the first time tracing turns on so
+            // all wall timestamps share an origin.
+            let _ = self.epoch.get_or_init(Instant::now);
+        }
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        compiled_in() && self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds of host time since the tracer's epoch.
+    pub fn now_us(&self) -> f64 {
+        let epoch = self.epoch.get_or_init(Instant::now);
+        epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Buffers one event (no-op when disabled or over capacity).
+    pub fn record(&self, ev: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= self.capacity {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(ev);
+        }
+    }
+
+    /// Opens a wall-clock span; it records itself when dropped.
+    pub fn span(&self, cat: &'static str, name: impl Into<String>) -> SpanGuard<'_> {
+        if !self.is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some(SpanInner {
+                tracer: self,
+                name: name.into(),
+                cat,
+                track: 0,
+                start_us: self.now_us(),
+                args: Vec::new(),
+            }),
+        }
+    }
+
+    /// Records a completed sim-clock span (`start`/`dur` in seconds of
+    /// simulated time).
+    pub fn record_sim(
+        &self,
+        cat: &'static str,
+        name: impl Into<String>,
+        track: u32,
+        start_secs: f64,
+        dur_secs: f64,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            clock: Clock::Sim,
+            track,
+            start_us: start_secs * 1e6,
+            dur_us: dur_secs * 1e6,
+            args,
+        });
+    }
+
+    /// Records a zero-duration wall-clock marker.
+    pub fn instant(&self, cat: &'static str, name: impl Into<String>) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            clock: Clock::Wall,
+            track: 0,
+            start_us: self.now_us(),
+            dur_us: 0.0,
+            args: Vec::new(),
+        });
+    }
+
+    /// Copies the buffered events (export + tests).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Events discarded because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&self) {
+        self.events.lock().unwrap().clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+struct SpanInner<'t> {
+    tracer: &'t Tracer,
+    name: String,
+    cat: &'static str,
+    track: u32,
+    start_us: f64,
+    args: Vec<(&'static str, f64)>,
+}
+
+/// RAII guard for a wall-clock span: created by [`Tracer::span`],
+/// records a complete event on drop. When tracing is disabled the guard
+/// is empty and drop does nothing.
+pub struct SpanGuard<'t> {
+    inner: Option<SpanInner<'t>>,
+}
+
+impl SpanGuard<'_> {
+    /// Attaches a numeric argument shown in the trace viewer.
+    pub fn arg(mut self, key: &'static str, value: f64) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, value));
+        }
+        self
+    }
+
+    /// Places the span on a specific lane (`tid` in the viewer).
+    pub fn track(mut self, track: u32) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.track = track;
+        }
+        self
+    }
+
+    /// Attaches an argument after construction (for values only known
+    /// at the end of the span, like an update count).
+    pub fn set_arg(&mut self, key: &'static str, value: f64) {
+        if let Some(inner) = &mut self.inner {
+            inner.args.push((key, value));
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let end_us = inner.tracer.now_us();
+            inner.tracer.record(TraceEvent {
+                name: inner.name,
+                cat: inner.cat,
+                clock: Clock::Wall,
+                track: inner.track,
+                start_us: inner.start_us,
+                dur_us: (end_us - inner.start_us).max(0.0),
+                args: inner.args,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("test", "span");
+        }
+        t.instant("test", "marker");
+        t.record_sim("test", "sim", 0, 0.0, 1.0, vec![]);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.span("cat", "work").arg("n", 7.0).track(3);
+        }
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "work");
+        assert_eq!(evs[0].cat, "cat");
+        assert_eq!(evs[0].track, 3);
+        assert_eq!(evs[0].clock, Clock::Wall);
+        assert_eq!(evs[0].args, vec![("n", 7.0)]);
+        assert!(evs[0].dur_us >= 0.0);
+    }
+
+    #[test]
+    fn sim_spans_convert_seconds_to_micros() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.record_sim("gpu", "kernel", 1, 0.5, 0.25, vec![("updates", 128.0)]);
+        let evs = t.events();
+        assert_eq!(evs[0].clock, Clock::Sim);
+        assert!((evs[0].start_us - 5e5).abs() < 1e-9);
+        assert!((evs[0].dur_us - 2.5e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_cap_counts_drops() {
+        let mut t = Tracer::new();
+        t.capacity = 2;
+        t.set_enabled(true);
+        for _ in 0..5 {
+            t.instant("test", "e");
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn clear_empties_the_buffer() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.instant("test", "e");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

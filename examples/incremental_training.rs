@@ -7,13 +7,13 @@
 //! cargo run --release --example incremental_training
 //! ```
 
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 use cumf_sgd::core::model_io::{load_model, save_model, Model};
 use cumf_sgd::core::solver::{Scheme, SolverConfig};
 use cumf_sgd::core::{rmse, Schedule};
 use cumf_sgd::data::synth::{generate, SynthConfig};
 use cumf_sgd::data::{holdout_split, CooMatrix};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn main() {
     // The full data set; we pretend 20% of it arrives later.
@@ -59,7 +59,10 @@ fn main() {
     let day1_rmse = day1.trace.final_rmse().unwrap();
     let mut store = Vec::new();
     save_model(&mut store, &Model::new(day1.p, day1.q)).unwrap();
-    println!("day 1 model: test RMSE {day1_rmse:.4}, {} bytes persisted", store.len());
+    println!(
+        "day 1 model: test RMSE {day1_rmse:.4}, {} bytes persisted",
+        store.len()
+    );
 
     // --- Day 2: load the model and continue with a few cheap epochs over
     // the *new* ratings only, at a reduced learning rate.

@@ -13,7 +13,12 @@ use cumf_sgd::data::synth::{generate, SynthConfig};
 use cumf_sgd::data::CooMatrix;
 
 /// Predicted rating of user `u` for item `v`.
-fn predict(p: &cumf_sgd::core::FactorMatrix<f32>, q: &cumf_sgd::core::FactorMatrix<f32>, u: u32, v: u32) -> f32 {
+fn predict(
+    p: &cumf_sgd::core::FactorMatrix<f32>,
+    q: &cumf_sgd::core::FactorMatrix<f32>,
+    u: u32,
+    v: u32,
+) -> f32 {
     dot(p.row(u), q.row(v))
 }
 
@@ -69,9 +74,17 @@ fn main() {
             .map(|v| (v, predict(&result.p, &result.q, user, v)))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
-        println!("\nuser {user}: rated {} movies; top-5 unseen picks:", seen[user as usize].len());
+        println!(
+            "\nuser {user}: rated {} movies; top-5 unseen picks:",
+            seen[user as usize].len()
+        );
         for (rank, (movie, score)) in scored.iter().take(5).enumerate() {
-            println!("  {}. movie {:>4} (predicted {:.2} stars)", rank + 1, movie, score);
+            println!(
+                "  {}. movie {:>4} (predicted {:.2} stars)",
+                rank + 1,
+                movie,
+                score
+            );
         }
         // Sanity: recommendations should score above the user's average.
         let avg: f32 = scored.iter().map(|(_, s)| s).sum::<f32>() / scored.len() as f32;

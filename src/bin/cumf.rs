@@ -18,7 +18,12 @@ use cumf_sgd::core::model_io::{load_model_file, save_model_file, Model};
 use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
 use cumf_sgd::core::{rmse, Schedule, F16};
 use cumf_sgd::data::io::{read_binary_file, read_text_file, write_binary_file};
-use cumf_sgd::data::{CooMatrix, HUGEWIKI, NETFLIX, YAHOO_MUSIC};
+use cumf_sgd::data::{CooMatrix, DatasetSpec, HUGEWIKI, NETFLIX, YAHOO_MUSIC};
+use cumf_sgd::gpu_sim::{
+    simulate_throughput, CpuCacheModel, SchedulerModel, SgdUpdateCost, ThroughputConfig,
+    TITAN_X_MAXWELL, XEON_E5_2670X2,
+};
+use cumf_sgd::obs;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +43,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "evaluate" => cmd_evaluate(&flags),
         "predict" => cmd_predict(&flags),
+        "profile" => cmd_profile(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -63,10 +69,18 @@ USAGE:
                 [--lambda 0.02] [--alpha 0.1] [--beta 0.1]
                 [--scheme serial|hogwild|batch-hogwild|wavefront|libmf]
                 [--workers 16] [--batch 256] [--f16] [--save model.cmfm]
+                [--trace out.json] [--metrics out.prom]
   cumf evaluate [--model model.cmfm] [--data test.bin] [--f16]
   cumf predict  [--model model.cmfm] [--user U] [--item V] [--f16]
+  cumf profile  [--preset netflix|yahoo|hugewiki] [--scale 0.002] [--k 16]
+                [--epochs 5] [--scheme batch-hogwild] [--workers 8]
+                [--trace profile_trace.json] [--metrics profile_metrics.prom]
 
-Data files may be .bin (compact binary) or text (`u v r` per line).";
+Data files may be .bin (compact binary) or text (`u v r` per line).
+--trace writes Chrome trace_event JSON (open in Perfetto or
+chrome://tracing); --metrics writes Prometheus text exposition. Either
+flag also runs the calibrated GPU machine model after training so the
+trace spans all three layers (solver, gpu-sim, DES).";
 
 type Flags = HashMap<String, String>;
 
@@ -115,13 +129,17 @@ fn load_data(path: &str) -> Result<CooMatrix, String> {
     loader.map_err(|e| format!("loading {path}: {e}"))
 }
 
+fn parse_preset(flags: &Flags) -> Result<&'static DatasetSpec, String> {
+    match get(flags, "preset", "netflix") {
+        "netflix" => Ok(&NETFLIX),
+        "yahoo" => Ok(&YAHOO_MUSIC),
+        "hugewiki" => Ok(&HUGEWIKI),
+        other => Err(format!("unknown preset `{other}`")),
+    }
+}
+
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
-    let preset = match get(flags, "preset", "netflix") {
-        "netflix" => &NETFLIX,
-        "yahoo" => &YAHOO_MUSIC,
-        "hugewiki" => &HUGEWIKI,
-        other => return Err(format!("unknown preset `{other}`")),
-    };
+    let preset = parse_preset(flags)?;
     let scale: f64 = get_parse(flags, "scale", 0.01)?;
     let k: u32 = get_parse(flags, "k", 16)?;
     let seed: u64 = get_parse(flags, "seed", 42)?;
@@ -184,6 +202,12 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         divergence_ceiling: 1e3,
     };
     let save = get(flags, "save", "model.cmfm");
+    let trace_out = flags.get("trace").cloned();
+    let metrics_out = flags.get("metrics").cloned();
+    let observing = trace_out.is_some() || metrics_out.is_some();
+    if observing {
+        obs::set_enabled(true);
+    }
     println!(
         "training: {}x{}, {} samples, k={}, scheme={}, {} epochs",
         train_data.rows(),
@@ -193,7 +217,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         config.scheme.name(),
         config.epochs
     );
-    if flags.contains_key("f16") {
+    let outcome = if flags.contains_key("f16") {
         let result = train::<F16>(&train_data, &test_data, &config, None);
         report_and_save(result.trace.final_rmse(), result.diverged, save, || {
             save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
@@ -205,7 +229,163 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
                 .map_err(|e| e.to_string())
         })
+    };
+    if observing {
+        run_machine_model(
+            config.scheme,
+            config.k,
+            train_data.rows() as u64,
+            train_data.cols() as u64,
+            train_data.nnz() as u64,
+        );
+        write_observability(trace_out.as_deref(), metrics_out.as_deref())?;
     }
+    outcome
+}
+
+/// Runs the calibrated GPU machine model (and the CPU cache model) for the
+/// scheme that was just trained, so traces and metrics cover the gpu-sim
+/// and DES layers as well as the solver.
+fn run_machine_model(scheme: Scheme, k: u32, m: u64, n: u64, total_updates: u64) {
+    let gpu = &TITAN_X_MAXWELL;
+    let (workers, model) = match scheme {
+        Scheme::Serial => (
+            1,
+            SchedulerModel::BatchHogwild {
+                batch: 256,
+                per_batch_overhead_s: 50e-9,
+            },
+        ),
+        Scheme::Hogwild { workers } => (
+            workers,
+            SchedulerModel::BatchHogwild {
+                batch: 1,
+                per_batch_overhead_s: 50e-9,
+            },
+        ),
+        Scheme::BatchHogwild { workers, batch } => (
+            workers,
+            SchedulerModel::BatchHogwild {
+                batch,
+                per_batch_overhead_s: 50e-9,
+            },
+        ),
+        Scheme::Wavefront { workers, cols } => (
+            workers,
+            SchedulerModel::Wavefront {
+                grid_cols: cols,
+                per_block_overhead_s: 100e-9,
+                imbalance: 0.1,
+            },
+        ),
+        Scheme::LibmfTable { workers, a } => (
+            workers,
+            SchedulerModel::RowColScan {
+                a,
+                per_entry_s: 0.6e-6,
+            },
+        ),
+    };
+    let workers = workers.max(1);
+    let _span = obs::span("cli", "machine-model");
+    let result = simulate_throughput(&ThroughputConfig {
+        workers,
+        total_bandwidth: gpu.effective_bw(workers),
+        cost: SgdUpdateCost::cumf(k),
+        scheduler: model,
+        total_updates: total_updates.max(1),
+    });
+    // The paper's baseline for comparison (Fig 5b): LIBMF's global-table
+    // scheduling. Its critical-section server also exercises the DES
+    // resource layer, so traces always carry `des` service spans.
+    let baseline = simulate_throughput(&ThroughputConfig {
+        workers,
+        total_bandwidth: gpu.effective_bw(workers),
+        cost: SgdUpdateCost::cumf(k),
+        scheduler: SchedulerModel::RowColScan {
+            a: 100,
+            per_entry_s: 0.6e-6,
+        },
+        total_updates: total_updates.max(1),
+    });
+    // One CPU cache-model query populates the cache-amplification metrics.
+    let cache = CpuCacheModel::calibrated(XEON_E5_2670X2);
+    let cpu_bw = cache.libmf_effective_bw(m.max(1), n.max(1), 100, k);
+    println!(
+        "machine model ({}, {} workers): {:.3e} updates/s, {:.1} GB/s achieved \
+         ({:.3e} with LIBMF-GPU scheduling; CPU cache model: {:.1} GB/s effective)",
+        gpu.name,
+        workers,
+        result.updates_per_sec,
+        result.achieved_bw / 1e9,
+        baseline.updates_per_sec,
+        cpu_bw / 1e9,
+    );
+}
+
+/// Writes the requested trace/metrics exports from the global collectors.
+fn write_observability(trace: Option<&str>, metrics: Option<&str>) -> Result<(), String> {
+    if let Some(path) = trace {
+        std::fs::write(path, obs::chrome_trace()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path} (open in Perfetto / chrome://tracing)");
+    }
+    if let Some(path) = metrics {
+        std::fs::write(path, obs::prometheus()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    let preset = parse_preset(flags)?;
+    let scale: f64 = get_parse(flags, "scale", 0.002)?;
+    let k: u32 = get_parse(flags, "k", 16)?;
+    let seed: u64 = get_parse(flags, "seed", 42)?;
+    let trace_path = get(flags, "trace", "profile_trace.json");
+    let metrics_path = get(flags, "metrics", "profile_metrics.prom");
+    let mut profile_flags = flags.clone();
+    profile_flags
+        .entry("workers".to_string())
+        .or_insert_with(|| "8".to_string());
+    let config = SolverConfig {
+        k,
+        lambda: get_parse(flags, "lambda", 0.02)?,
+        schedule: Schedule::NomadDecay {
+            alpha: get_parse(flags, "alpha", 0.1)?,
+            beta: get_parse(flags, "beta", 0.1)?,
+        },
+        epochs: get_parse(flags, "epochs", 5)?,
+        scheme: parse_scheme(&profile_flags)?,
+        seed,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    obs::set_enabled(true);
+    let d = preset.scaled(scale, k, seed);
+    println!(
+        "profiling {}-shaped run: {}x{}, {} samples, k={}, scheme={}, {} epochs",
+        preset.name,
+        d.train.rows(),
+        d.train.cols(),
+        d.train.nnz(),
+        k,
+        config.scheme.name(),
+        config.epochs
+    );
+    let result = train::<f32>(&d.train, &d.test, &config, None);
+    run_machine_model(
+        config.scheme,
+        k,
+        d.train.rows() as u64,
+        d.train.cols() as u64,
+        d.train.nnz() as u64,
+    );
+    write_observability(Some(trace_path), Some(metrics_path))?;
+    println!("\n{}", obs::summary());
+    if result.diverged {
+        return Err("profiled run diverged (try a lower --alpha)".into());
+    }
+    Ok(())
 }
 
 fn report_and_save(
@@ -257,7 +437,11 @@ fn cmd_predict(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn check_bounds<E: cumf_sgd::core::Element>(model: &Model<E>, u: u32, v: u32) -> Result<(), String> {
+fn check_bounds<E: cumf_sgd::core::Element>(
+    model: &Model<E>,
+    u: u32,
+    v: u32,
+) -> Result<(), String> {
     if u >= model.p.rows() {
         return Err(format!("user {u} out of range (m = {})", model.p.rows()));
     }

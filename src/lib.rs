@@ -8,7 +8,9 @@
 //! * [`baselines`] — LIBMF, NOMAD, BIDMach-style mini-batch ADAGRAD, ALS;
 //! * [`data`] — matrices, planted generators, presets, IO;
 //! * [`gpu_sim`] — the calibrated GPU/CPU/interconnect machine models;
-//! * [`des`] — the discrete-event simulation engine beneath them.
+//! * [`des`] — the discrete-event simulation engine beneath them;
+//! * [`obs`] — metrics registry, sim/wall-clock tracer, and exporters;
+//! * [`rng`] — the in-tree deterministic random number generators.
 //!
 //! Depend on the individual crates directly in downstream projects; this
 //! crate exists for the repository's own examples and tests.
@@ -20,3 +22,5 @@ pub use cumf_core as core;
 pub use cumf_data as data;
 pub use cumf_des as des;
 pub use cumf_gpu_sim as gpu_sim;
+pub use cumf_obs as obs;
+pub use cumf_rng as rng;

@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 use cumf_sgd::baselines::{train_nomad_threaded, NomadConfig};
 use cumf_sgd::core::concurrent::{
     striped_locked_epoch, threaded_hogwild_epoch, AtomicFactors, StripedFactors,
@@ -12,8 +14,6 @@ use cumf_sgd::core::concurrent::{
 use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
 use cumf_sgd::core::{rmse, FactorMatrix, Schedule};
 use cumf_sgd::data::synth::{generate, SynthConfig, SynthDataset};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 const K: u32 = 6;
 const EPOCHS: u32 = 12;

@@ -1,13 +1,13 @@
 //! End-to-end integration: data generation → IO round trip → split →
 //! training → evaluation, across crates.
 
+use cumf_rng::ChaCha8Rng;
+use cumf_rng::SeedableRng;
 use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
 use cumf_sgd::core::{rmse, Schedule};
 use cumf_sgd::data::io::{read_binary_file, write_binary_file};
 use cumf_sgd::data::synth::{generate, SynthConfig};
 use cumf_sgd::data::{holdout_split, CooMatrix};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 fn small_config() -> SynthConfig {
     SynthConfig {
@@ -101,12 +101,7 @@ fn trained_model_generalises_not_memorises() {
 fn empty_test_set_is_tolerated() {
     let data = generate(&small_config());
     let empty = CooMatrix::new(data.train.rows(), data.train.cols());
-    let result = train::<f32>(
-        &data.train,
-        &empty,
-        &solver_config(Scheme::Serial),
-        None,
-    );
+    let result = train::<f32>(&data.train, &empty, &solver_config(Scheme::Serial), None);
     // RMSE of an empty set is defined as 0; training proceeds.
     assert_eq!(result.trace.final_rmse(), Some(0.0));
 }

@@ -49,7 +49,13 @@ fn solver_misconfigurations_panic_with_clear_messages() {
     assert!(msg.contains("training set is empty"), "{msg}");
 
     // Wavefront with too few columns for deadlock freedom.
-    let mut cfg = SolverConfig::new(4, Scheme::Wavefront { workers: 8, cols: 8 });
+    let mut cfg = SolverConfig::new(
+        4,
+        Scheme::Wavefront {
+            workers: 8,
+            cols: 8,
+        },
+    );
     cfg.epochs = 1;
     let msg = catch(|| train::<f32>(&d.train, &d.test, &cfg, None)).expect("must panic");
     assert!(msg.contains("deadlock freedom"), "{msg}");
@@ -68,18 +74,16 @@ fn partitioned_misconfigurations_panic() {
     let mut cfg = MultiGpuConfig::new(4, 2, 2, 2);
     cfg.enforce_grid_rule = true;
     cfg.epochs = 1;
-    let msg = catch(|| {
-        train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16)
-    })
-    .expect("must panic");
+    let msg =
+        catch(|| train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16))
+            .expect("must panic");
     assert!(msg.contains("too small for"), "{msg}");
 
     // Grid larger than the matrix.
     let cfg = MultiGpuConfig::new(4, 100, 100, 1);
-    let msg = catch(|| {
-        train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16)
-    })
-    .expect("must panic");
+    let msg =
+        catch(|| train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16))
+            .expect("must panic");
     assert!(msg.contains("exceeds matrix"), "{msg}");
 }
 
@@ -93,10 +97,7 @@ fn data_loading_rejects_corruption_gracefully() {
         ("1 2 nan\n", "finite"),
     ] {
         let err = read_text(Cursor::new(input), 0, 0).unwrap_err();
-        assert!(
-            err.to_string().contains(needle),
-            "input {input:?}: {err}"
-        );
+        assert!(err.to_string().contains(needle), "input {input:?}: {err}");
     }
     // Binary: truncation at every prefix of a valid file must produce an
     // error (IO or parse), never a panic or a silent success.

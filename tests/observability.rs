@@ -1,0 +1,175 @@
+//! End-to-end observability: a traced fig09-style run (solver + machine
+//! model) must produce a well-formed Chrome trace with spans from all
+//! three layers, monotone sim-time spans, and a Prometheus exposition
+//! with a meaningful number of series.
+//!
+//! Everything lives in one test function: the registry and tracer are
+//! process-global, so parallel test threads would interleave their spans.
+
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::Schedule;
+use cumf_sgd::data::NETFLIX;
+use cumf_sgd::gpu_sim::{
+    simulate_throughput, SchedulerModel, SgdUpdateCost, ThroughputConfig, TITAN_X_MAXWELL,
+};
+use cumf_sgd::obs;
+use cumf_sgd::obs::Clock;
+
+/// Checks that `json` is structurally sound without a JSON parser: braces
+/// and brackets balance outside string literals, and no bare NaN/Infinity
+/// tokens leaked in (they are not valid JSON).
+fn assert_well_formed_json(json: &str) {
+    let mut depth_braces = 0i64;
+    let mut depth_brackets = 0i64;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth_braces += 1,
+            '}' => depth_braces -= 1,
+            '[' => depth_brackets += 1,
+            ']' => depth_brackets -= 1,
+            _ => {}
+        }
+        assert!(depth_braces >= 0 && depth_brackets >= 0, "premature close");
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth_braces, 0, "unbalanced braces");
+    assert_eq!(depth_brackets, 0, "unbalanced brackets");
+    assert!(
+        !json.contains("NaN") && !json.contains("Infinity"),
+        "non-JSON numbers"
+    );
+}
+
+#[test]
+fn traced_fig09_style_run_is_well_formed_and_covers_all_layers() {
+    obs::reset();
+    obs::set_enabled(true);
+
+    // --- Solver layer: train on a small Netflix-shaped synthetic set.
+    let d = NETFLIX.scaled(0.001, 8, 7);
+    let config = SolverConfig {
+        k: 8,
+        lambda: 0.02,
+        schedule: Schedule::NomadDecay {
+            alpha: 0.1,
+            beta: 0.1,
+        },
+        epochs: 2,
+        scheme: Scheme::BatchHogwild {
+            workers: 4,
+            batch: 64,
+        },
+        seed: 7,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let result = train::<f32>(&d.train, &d.test, &config, None);
+    assert!(!result.diverged, "reference config must converge");
+    assert!(result.report.total_updates > 0);
+
+    // --- gpu-sim + DES layers: the machine model with a contended global
+    // scheduler (LIBMF table), as the fig09 comparison harness runs it.
+    let workers = 32;
+    let sim = simulate_throughput(&ThroughputConfig {
+        workers,
+        total_bandwidth: TITAN_X_MAXWELL.effective_bw(workers),
+        cost: SgdUpdateCost::cumf(8),
+        scheduler: SchedulerModel::RowColScan {
+            a: 16,
+            per_entry_s: 0.6e-6,
+        },
+        total_updates: 50_000,
+    });
+    assert!(sim.updates_per_sec > 0.0);
+
+    let events = obs::tracer().events();
+
+    // Spans from all three layers.
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "solver" && e.name == "epoch"),
+        "missing solver epoch spans"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "gpu-sim" && e.name == "kernel-launch"),
+        "missing gpu-sim kernel-launch spans"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.cat == "des" && e.name.starts_with("service:")),
+        "missing DES resource service spans"
+    );
+
+    // Sim-time spans are monotone per track (worker/server lane): the
+    // engine records them in completion order, and a lane's next span
+    // cannot start before its previous one started.
+    let mut last_start: std::collections::HashMap<(&str, u32), f64> =
+        std::collections::HashMap::new();
+    for e in events.iter().filter(|e| e.clock == Clock::Sim) {
+        let key = (e.cat, e.track);
+        if let Some(prev) = last_start.get(&key) {
+            assert!(
+                e.start_us >= *prev,
+                "sim-time went backwards on track {key:?}: {} -> {}",
+                prev,
+                e.start_us
+            );
+        }
+        last_start.insert(key, e.start_us);
+        assert!(e.dur_us >= 0.0, "negative span duration");
+    }
+    assert!(!last_start.is_empty(), "no sim-clock spans recorded");
+
+    // Chrome trace export is structurally valid and carries both clock
+    // domains as separate trace processes.
+    let json = obs::chrome_trace();
+    assert_well_formed_json(&json);
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\""));
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("\"wall-clock\"") && json.contains("\"sim-time\""));
+    assert!(json.contains("\"ph\":\"X\""));
+
+    // Prometheus exposition: at least 20 distinct series, including the
+    // headline gauges of each layer.
+    let prom = obs::prometheus();
+    let series = prom.lines().filter(|l| l.starts_with("cumf_")).count();
+    assert!(series >= 20, "only {series} series in:\n{prom}");
+    for name in [
+        "cumf_solver_updates_total",
+        "cumf_solver_run_final_rmse",
+        "cumf_gpusim_occupancy",
+        "cumf_gpusim_updates_per_sec",
+        "cumf_des_events_total",
+        "cumf_des_server_wait_seconds_bucket",
+    ] {
+        assert!(prom.contains(name), "missing series {name} in:\n{prom}");
+    }
+
+    // Disabled collectors stop recording (the release-build contract).
+    obs::set_enabled(false);
+    let before = events.len();
+    obs::span("test", "ignored");
+    obs::counter("cumf_test_ignored_total", "test").inc();
+    assert_eq!(obs::tracer().events().len(), before);
+    let prom_after = obs::prometheus();
+    assert!(prom_after.contains("cumf_test_ignored_total 0"));
+
+    obs::reset();
+}

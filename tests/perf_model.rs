@@ -28,7 +28,11 @@ fn des_executor_matches_analytic_roofline() {
         });
         let roofline = cost.updates_per_sec(bw);
         let err = (res.updates_per_sec - roofline).abs() / roofline;
-        assert!(err < 0.01, "workers={workers}: DES {:.3e} vs roofline {roofline:.3e}", res.updates_per_sec);
+        assert!(
+            err < 0.01,
+            "workers={workers}: DES {:.3e} vs roofline {roofline:.3e}",
+            res.updates_per_sec
+        );
     }
 }
 
