@@ -11,6 +11,10 @@
 //! * the dense intermediate buffers cost ~5X the memory traffic of
 //!   cuMF_SGD's register-resident updates, capping BIDMach at 25–32 M
 //!   updates/s (Table 5) on the same silicon.
+//!
+//! The mini-batch sweep is packaged as an
+//! [`EpochBackend`] so the comparator
+//! runs through the exact same epoch loop as cuMF_SGD itself.
 
 use cumf_rng::ChaCha8Rng;
 use cumf_rng::SeedableRng;
@@ -18,9 +22,15 @@ use cumf_rng::SeedableRng;
 use cumf_data::CooMatrix;
 use cumf_gpu_sim::{GpuSpec, SgdUpdateCost};
 
+use cumf_core::concurrent::EpochStats;
+use cumf_core::engine::{
+    DivergenceGuard, EngineModel, EpochBackend, EpochObserver, EpochOutcome, EpochPipeline,
+    FixedPerEpoch,
+};
 use cumf_core::feature::FactorMatrix;
 use cumf_core::kernel::AdaGrad;
-use cumf_core::metrics::{rmse, Trace, TracePoint};
+use cumf_core::lrate::Schedule;
+use cumf_core::metrics::Trace;
 
 /// BIDMach solver configuration.
 #[derive(Debug, Clone)]
@@ -105,6 +115,101 @@ impl BidmachPerfModel {
     }
 }
 
+/// The mini-batch ADAGRAD sweep as an engine backend: one `run_epoch` is
+/// one full pass of snapshot-gradient accumulation + ADAGRAD application.
+struct BidmachBackend<'a> {
+    data: &'a CooMatrix,
+    lambda: f32,
+    minibatch: usize,
+    ada_p: AdaGrad,
+    ada_q: AdaGrad,
+    // Dense per-batch gradient accumulators, reused across epochs.
+    grad_p: Vec<f32>,
+    grad_q: Vec<f32>,
+    touched_p: Vec<u32>,
+    touched_q: Vec<u32>,
+}
+
+impl EpochBackend<f32> for BidmachBackend<'_> {
+    fn run_epoch(
+        &mut self,
+        _epoch: u32,
+        _gamma: f32,
+        _lambda: f32,
+        model: &mut EngineModel<f32>,
+    ) -> EpochOutcome {
+        let k = model.p.k() as usize;
+        let n = self.data.nnz();
+        let mut start = 0;
+        let mut rounds = 0u64;
+        while start < n {
+            let end = (start + self.minibatch).min(n);
+            self.touched_p.clear();
+            self.touched_q.clear();
+            // Accumulate gradients against the batch-start snapshot.
+            for i in start..end {
+                let e = self.data.get(i);
+                let pu = model.p.row(e.u);
+                let qv = model.q.row(e.v);
+                let err = e.r - pu.iter().zip(qv).map(|(a, b)| a * b).sum::<f32>();
+                let pu_base = e.u as usize * k;
+                let qv_base = e.v as usize * k;
+                if self.grad_p[pu_base..pu_base + k].iter().all(|&g| g == 0.0) {
+                    self.touched_p.push(e.u);
+                }
+                if self.grad_q[qv_base..qv_base + k].iter().all(|&g| g == 0.0) {
+                    self.touched_q.push(e.v);
+                }
+                for j in 0..k {
+                    self.grad_p[pu_base + j] += err * qv[j] - self.lambda * pu[j];
+                    self.grad_q[qv_base + j] += err * pu[j] - self.lambda * qv[j];
+                }
+            }
+            // Apply with per-coordinate ADAGRAD steps.
+            let mut row = vec![0.0f32; k];
+            for &u in &self.touched_p {
+                let base = u as usize * k;
+                model.p.load_row(u, &mut row);
+                for (j, x) in row.iter_mut().enumerate() {
+                    let g = self.grad_p[base + j];
+                    if g != 0.0 {
+                        *x += self.ada_p.step(base + j, g) * g;
+                        self.grad_p[base + j] = 0.0;
+                    }
+                }
+                model.p.store_row(u, &row);
+            }
+            for &v in &self.touched_q {
+                let base = v as usize * k;
+                model.q.load_row(v, &mut row);
+                for (j, x) in row.iter_mut().enumerate() {
+                    let g = self.grad_q[base + j];
+                    if g != 0.0 {
+                        *x += self.ada_q.step(base + j, g) * g;
+                        self.grad_q[base + j] = 0.0;
+                    }
+                }
+                model.q.store_row(v, &row);
+            }
+            start = end;
+            rounds += 1;
+        }
+        EpochOutcome::from_stats(EpochStats {
+            updates: n as u64,
+            rounds,
+            ..EpochStats::default()
+        })
+    }
+
+    fn workers(&self) -> u32 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "bidmach"
+    }
+}
+
 /// Trains with mini-batch ADAGRAD, BIDMach-style.
 pub fn train_bidmach(
     train: &CooMatrix,
@@ -116,87 +221,45 @@ pub fn train_bidmach(
     assert!(config.minibatch > 0);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     let k = config.k as usize;
-    let mut p: FactorMatrix<f32> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
-    let mut q: FactorMatrix<f32> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
-    let mut ada_p = AdaGrad::new(train.rows() as usize * k, config.eta);
-    let mut ada_q = AdaGrad::new(train.cols() as usize * k, config.eta);
+    let p: FactorMatrix<f32> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
+    let q: FactorMatrix<f32> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
+    let mut model = EngineModel::unbiased(p, q);
 
-    let n = train.nnz();
-    let mut trace = Trace::default();
-    let mut updates = 0u64;
+    let mut backend = BidmachBackend {
+        data: train,
+        lambda: config.lambda,
+        minibatch: config.minibatch,
+        ada_p: AdaGrad::new(train.rows() as usize * k, config.eta),
+        ada_q: AdaGrad::new(train.cols() as usize * k, config.eta),
+        grad_p: vec![0.0f32; train.rows() as usize * k],
+        grad_q: vec![0.0f32; train.cols() as usize * k],
+        touched_p: Vec::new(),
+        touched_q: Vec::new(),
+    };
+    let mut time = FixedPerEpoch(epoch_secs.unwrap_or(0.0));
+    let mut guard = DivergenceGuard::non_finite_only();
+    let mut observers: Vec<&mut dyn EpochObserver<f32>> = vec![&mut guard];
 
-    // Dense per-batch gradient accumulators, reused.
-    let mut grad_p = vec![0.0f32; train.rows() as usize * k];
-    let mut grad_q = vec![0.0f32; train.cols() as usize * k];
-    let mut touched_p: Vec<u32> = Vec::new();
-    let mut touched_q: Vec<u32> = Vec::new();
+    let pipeline = EpochPipeline {
+        label: "bidmach",
+        epochs: config.epochs,
+        lambda: config.lambda,
+        schedule: Schedule::Fixed(config.eta),
+    };
+    let run = pipeline.run(
+        &mut model,
+        &mut backend,
+        &mut time,
+        &mut observers,
+        test,
+        None,
+    );
 
-    for epoch in 0..config.epochs {
-        let mut start = 0;
-        while start < n {
-            let end = (start + config.minibatch).min(n);
-            touched_p.clear();
-            touched_q.clear();
-            // Accumulate gradients against the batch-start snapshot.
-            for i in start..end {
-                let e = train.get(i);
-                let pu = p.row(e.u);
-                let qv = q.row(e.v);
-                let err = e.r - pu.iter().zip(qv).map(|(a, b)| a * b).sum::<f32>();
-                let pu_base = e.u as usize * k;
-                let qv_base = e.v as usize * k;
-                if grad_p[pu_base..pu_base + k].iter().all(|&g| g == 0.0) {
-                    touched_p.push(e.u);
-                }
-                if grad_q[qv_base..qv_base + k].iter().all(|&g| g == 0.0) {
-                    touched_q.push(e.v);
-                }
-                for j in 0..k {
-                    grad_p[pu_base + j] += err * qv[j] - config.lambda * pu[j];
-                    grad_q[qv_base + j] += err * pu[j] - config.lambda * qv[j];
-                }
-            }
-            // Apply with per-coordinate ADAGRAD steps.
-            let mut row = vec![0.0f32; k];
-            for &u in &touched_p {
-                let base = u as usize * k;
-                p.load_row(u, &mut row);
-                for j in 0..k {
-                    let g = grad_p[base + j];
-                    if g != 0.0 {
-                        row[j] += ada_p.step(base + j, g) * g;
-                        grad_p[base + j] = 0.0;
-                    }
-                }
-                p.store_row(u, &row);
-            }
-            for &v in &touched_q {
-                let base = v as usize * k;
-                q.load_row(v, &mut row);
-                for j in 0..k {
-                    let g = grad_q[base + j];
-                    if g != 0.0 {
-                        row[j] += ada_q.step(base + j, g) * g;
-                        grad_q[base + j] = 0.0;
-                    }
-                }
-                q.store_row(v, &row);
-            }
-            updates += (end - start) as u64;
-            start = end;
-        }
-        let test_rmse = rmse(test, &p, &q);
-        trace.push(TracePoint {
-            epoch: epoch + 1,
-            updates,
-            rmse: test_rmse,
-            seconds: epoch_secs.map(|s| s * (epoch + 1) as f64).unwrap_or(0.0),
-        });
-        if !test_rmse.is_finite() {
-            break;
-        }
+    BidmachResult {
+        p: model.p,
+        q: model.q,
+        trace: run.trace,
     }
-    BidmachResult { p, q, trace }
 }
 
 #[cfg(test)]

@@ -10,11 +10,17 @@
 //!
 //! The implementation maintains the residual vector `res_i = r_i − p·q`
 //! across samples, so every coordinate update is O(nnz of its row/column).
+//! The per-epoch component sweep is an
+//! [`EpochBackend`], sharing the engine's
+//! epoch loop with every SGD path.
 
 use cumf_data::CooMatrix;
 
+use cumf_core::concurrent::EpochStats;
+use cumf_core::engine::{EngineModel, EpochBackend, EpochOutcome, EpochPipeline, FixedPerEpoch};
 use cumf_core::feature::FactorMatrix;
-use cumf_core::metrics::{rmse, Trace, TracePoint};
+use cumf_core::lrate::Schedule;
+use cumf_core::metrics::Trace;
 
 /// CCD++ configuration.
 #[derive(Debug, Clone)]
@@ -65,6 +71,97 @@ pub fn ccd_epoch_seconds(nnz: u64, k: u32, bandwidth: f64) -> f64 {
     nnz as f64 * k as f64 * 16.0 / bandwidth
 }
 
+/// The CCD++ sweep as an engine backend: one `run_epoch` refreshes every
+/// rank-one component, then materialises P/Q into the engine model for the
+/// pipeline's RMSE evaluation.
+struct CcdBackend<'a> {
+    data: &'a CooMatrix,
+    lambda: f32,
+    inner: u32,
+    // Column-major component storage: u[t][row], v[t][col].
+    u: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    // Residual per sample: r - Σ_t u_t[row] v_t[col].
+    res: Vec<f32>,
+    by_row: CsrMatrixIndex,
+    by_col: CsrMatrixIndex,
+}
+
+impl EpochBackend<f32> for CcdBackend<'_> {
+    fn run_epoch(
+        &mut self,
+        _epoch: u32,
+        _gamma: f32,
+        _lambda: f32,
+        model: &mut EngineModel<f32>,
+    ) -> EpochOutcome {
+        let k = self.u.len();
+        let nnz = self.data.nnz();
+        let mut updates = 0u64;
+        for t in 0..k {
+            // Fold component t back into the residual: res += u_t v_t.
+            for (i, r) in self.res.iter_mut().enumerate() {
+                let e = self.data.get(i);
+                *r += self.u[t][e.u as usize] * self.v[t][e.v as usize];
+            }
+            for _ in 0..self.inner {
+                // CCD++ order (Yu et al.): refresh v_t against the
+                // (nonzero) u_t first — v starts at zero, so solving the
+                // u side first would collapse the component — then refresh
+                // u_t. Each step is the exact 1-D least squares, e.g.
+                // v_t[col] = Σ res_i u_t[row_i] / (λ + Σ u_t[row_i]²).
+                solve_side(
+                    &self.by_col,
+                    &self.res,
+                    &self.u[t],
+                    &mut self.v[t],
+                    self.lambda,
+                    self.data,
+                    false,
+                );
+                solve_side(
+                    &self.by_row,
+                    &self.res,
+                    &self.v[t],
+                    &mut self.u[t],
+                    self.lambda,
+                    self.data,
+                    true,
+                );
+            }
+            // Remove the refreshed component from the residual.
+            for (i, r) in self.res.iter_mut().enumerate() {
+                let e = self.data.get(i);
+                *r -= self.u[t][e.u as usize] * self.v[t][e.v as usize];
+            }
+            updates += 2 * nnz as u64 * self.inner as u64;
+        }
+        // Materialise P/Q for the pipeline's evaluation.
+        let (p, q) = materialise(
+            &self.u,
+            &self.v,
+            self.data.rows() as usize,
+            self.data.cols() as usize,
+            k,
+        );
+        model.p = p;
+        model.q = q;
+        EpochOutcome::from_stats(EpochStats {
+            updates,
+            rounds: k as u64,
+            ..EpochStats::default()
+        })
+    }
+
+    fn workers(&self) -> u32 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "ccd"
+    }
+}
+
 /// Trains with CCD++.
 pub fn train_ccd(
     train: &CooMatrix,
@@ -81,60 +178,45 @@ pub fn train_ccd(
     let m = train.rows() as usize;
     let n = train.cols() as usize;
     let k = config.k as usize;
-    let nnz = train.nnz();
 
-    // Column-major component storage: u[t][row], v[t][col].
-    // CCD++ convention: start v at zero so the first sweep is exact.
+    // CCD++ convention: start v at zero so the first sweep is exact; with
+    // v = 0 the residual starts as the raw ratings.
     let scale = (1.0 / config.k as f32).sqrt();
-    let mut u: Vec<Vec<f32>> = (0..k)
-        .map(|_| (0..m).map(|_| rng.gen_range(0.0..scale)).collect())
-        .collect();
-    let mut v: Vec<Vec<f32>> = (0..k).map(|_| vec![0.0f32; n]).collect();
+    let mut backend = CcdBackend {
+        data: train,
+        lambda: config.lambda,
+        inner: config.inner,
+        u: (0..k)
+            .map(|_| (0..m).map(|_| rng.gen_range(0.0..scale)).collect())
+            .collect(),
+        v: (0..k).map(|_| vec![0.0f32; n]).collect(),
+        res: train.rs().to_vec(),
+        by_row: CsrMatrixIndex::build(train, true),
+        by_col: CsrMatrixIndex::build(train, false),
+    };
 
-    // Residual per sample: r - Σ_t u_t[row] v_t[col]; with v = 0 this
-    // starts as the raw ratings.
-    let mut res: Vec<f32> = train.rs().to_vec();
+    // The backend overwrites P/Q every epoch, so the model starts empty.
+    let mut model = EngineModel::unbiased(
+        FactorMatrix::from_f32_slice(train.rows(), config.k, &vec![0.0; m * k]),
+        FactorMatrix::from_f32_slice(train.cols(), config.k, &vec![0.0; n * k]),
+    );
+    let mut time = FixedPerEpoch(epoch_secs.unwrap_or(0.0));
 
-    let by_row = CsrMatrixIndex::build(train, true);
-    let by_col = CsrMatrixIndex::build(train, false);
+    let pipeline = EpochPipeline {
+        label: "ccd",
+        epochs: config.epochs,
+        lambda: config.lambda,
+        schedule: Schedule::Fixed(0.0),
+    };
+    // CCD++ is a block-coordinate *minimisation*: it cannot diverge, so no
+    // observers are attached and every epoch runs.
+    let run = pipeline.run(&mut model, &mut backend, &mut time, &mut [], test, None);
 
-    let mut trace = Trace::default();
-    let mut updates = 0u64;
-    for epoch in 0..config.epochs {
-        for t in 0..k {
-            // Fold component t back into the residual: res += u_t v_t.
-            for (i, r) in res.iter_mut().enumerate() {
-                let e = train.get(i);
-                *r += u[t][e.u as usize] * v[t][e.v as usize];
-            }
-            for _ in 0..config.inner {
-                // CCD++ order (Yu et al.): refresh v_t against the
-                // (nonzero) u_t first — v starts at zero, so solving the
-                // u side first would collapse the component — then refresh
-                // u_t. Each step is the exact 1-D least squares, e.g.
-                // v_t[col] = Σ res_i u_t[row_i] / (λ + Σ u_t[row_i]²).
-                solve_side(&by_col, &res, &u[t], &mut v[t], config.lambda, train, false);
-                solve_side(&by_row, &res, &v[t], &mut u[t], config.lambda, train, true);
-            }
-            // Remove the refreshed component from the residual.
-            for (i, r) in res.iter_mut().enumerate() {
-                let e = train.get(i);
-                *r -= u[t][e.u as usize] * v[t][e.v as usize];
-            }
-            updates += 2 * nnz as u64 * config.inner as u64;
-        }
-        // Materialise P/Q for evaluation.
-        let (p, q) = materialise(&u, &v, m, n, k);
-        let test_rmse = rmse(test, &p, &q);
-        trace.push(TracePoint {
-            epoch: epoch + 1,
-            updates,
-            rmse: test_rmse,
-            seconds: epoch_secs.map(|s| s * (epoch + 1) as f64).unwrap_or(0.0),
-        });
+    CcdResult {
+        p: model.p,
+        q: model.q,
+        trace: run.trace,
     }
-    let (p, q) = materialise(&u, &v, m, n, k);
-    CcdResult { p, q, trace }
 }
 
 /// Index of sample ids grouped by row (or by column).

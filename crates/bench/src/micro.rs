@@ -2,7 +2,7 @@
 //!
 //! Replaces `criterion` so the workspace builds with no network access.
 //! Each `benches/*.rs` target is a plain `harness = false` main that
-//! calls [`bench`] per case; `cargo bench -p cumf-bench` runs them all.
+//! calls [`bench()`] per case; `cargo bench -p cumf-bench` runs them all.
 //! The harness auto-calibrates the iteration count to a fixed wall-time
 //! budget, takes the best of several batches (minimum is the standard
 //! noise-robust estimator for micro-benchmarks), and prints one aligned

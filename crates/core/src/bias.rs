@@ -11,17 +11,26 @@
 //! b_u += γ (err − λ b_u)
 //! b_v += γ (err − λ b_v)
 //! ```
+//!
+//! The update rules themselves live in the engine's execution layer
+//! ([`crate::engine::exec`], biased paths); this module is a thin client
+//! wiring batch-Hogwild! scheduling and a sequential engine into the
+//! shared [`EpochPipeline`].
 
 use cumf_rng::ChaCha8Rng;
 use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
 
+use crate::engine::{
+    DivergenceGuard, EngineModel, EpochObserver, EpochPipeline, NoSimTime, SequentialEngine,
+    StreamBackend,
+};
 use crate::feature::{Element, FactorMatrix};
 use crate::kernel::dot;
-use crate::lrate::{LearningRate, Schedule};
-use crate::metrics::{Trace, TracePoint};
-use crate::sched::{BatchHogwildStream, StreamItem, UpdateStream};
+use crate::lrate::Schedule;
+use crate::metrics::Trace;
+use crate::sched::BatchHogwildStream;
 
 /// A biased factorization model.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,90 +126,48 @@ pub fn train_biased<E: Element>(
 ) -> BiasedResult<E> {
     assert!(!train.is_empty(), "training set is empty");
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mu = train.mean_rating() as f32;
-    let mut model = BiasedModel {
-        mu,
-        user_bias: vec![0.0; train.rows() as usize],
-        item_bias: vec![0.0; train.cols() as usize],
-        p: FactorMatrix::<E>::random_init(train.rows(), config.k, &mut rng),
-        q: FactorMatrix::<E>::random_init(train.cols(), config.k, &mut rng),
+    let mut model: EngineModel<E> = EngineModel::init_biased(train, config.k, &mut rng);
+
+    let mut backend = StreamBackend::new(
+        train,
+        Box::new(BatchHogwildStream::new(
+            train.nnz(),
+            config.workers as usize,
+            config.batch as usize,
+        )),
+        Box::new(SequentialEngine),
+        config.workers,
+    );
+    let mut time = NoSimTime;
+    let mut guard = DivergenceGuard::non_finite_only();
+    let mut observers: Vec<&mut dyn EpochObserver<E>> = vec![&mut guard];
+
+    let pipeline = EpochPipeline {
+        label: "biased",
+        epochs: config.epochs,
+        lambda: config.lambda,
+        schedule: config.schedule.clone(),
     };
+    let run = pipeline.run(
+        &mut model,
+        &mut backend,
+        &mut time,
+        &mut observers,
+        test,
+        None,
+    );
 
-    // Positive-uniform factor init predicts mu + ~0.25 on average; recentre
-    // by pre-subtracting that from the item biases so early epochs start
-    // near the mean.
-    let init_dot = 0.25f32;
-    for b in &mut model.item_bias {
-        *b = -init_dot;
+    let bias = model.bias.expect("biased init always sets bias terms");
+    BiasedResult {
+        model: BiasedModel {
+            mu: bias.mu,
+            user_bias: bias.user,
+            item_bias: bias.item,
+            p: model.p,
+            q: model.q,
+        },
+        trace: run.trace,
     }
-
-    let mut stream =
-        BatchHogwildStream::new(train.nnz(), config.workers as usize, config.batch as usize);
-    let mut lr = LearningRate::new(config.schedule.clone());
-    let mut trace = Trace::default();
-    let mut updates = 0u64;
-
-    let k = config.k as usize;
-    let mut pu = vec![0.0f32; k];
-    let mut qv = vec![0.0f32; k];
-
-    for epoch in 0..config.epochs {
-        stream.begin_epoch(epoch);
-        let gamma = lr.gamma(epoch);
-        let lambda = config.lambda;
-        let workers = stream.workers();
-        let mut live = workers;
-        let mut exhausted = vec![false; workers];
-        while live > 0 {
-            for (w, done) in exhausted.iter_mut().enumerate() {
-                if *done {
-                    continue;
-                }
-                match stream.next(w) {
-                    StreamItem::Sample(i) => {
-                        let e = train.get(i);
-                        model.p.load_row(e.u, &mut pu);
-                        model.q.load_row(e.v, &mut qv);
-                        let bu = model.user_bias[e.u as usize];
-                        let bv = model.item_bias[e.v as usize];
-                        let pred = model.mu
-                            + bu
-                            + bv
-                            + pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
-                        let err = e.r - pred;
-                        model.user_bias[e.u as usize] = bu + gamma * (err - lambda * bu);
-                        model.item_bias[e.v as usize] = bv + gamma * (err - lambda * bv);
-                        for j in 0..k {
-                            let pj = pu[j];
-                            let qj = qv[j];
-                            pu[j] = pj + gamma * (err * qj - lambda * pj);
-                            qv[j] = qj + gamma * (err * pj - lambda * qj);
-                        }
-                        model.p.store_row(e.u, &pu);
-                        model.q.store_row(e.v, &qv);
-                        updates += 1;
-                    }
-                    StreamItem::Stall => {}
-                    StreamItem::Exhausted => {
-                        *done = true;
-                        live -= 1;
-                    }
-                }
-            }
-        }
-        let test_rmse = model.rmse(test);
-        lr.observe(test_rmse);
-        trace.push(TracePoint {
-            epoch: epoch + 1,
-            updates,
-            rmse: test_rmse,
-            seconds: 0.0,
-        });
-        if !test_rmse.is_finite() {
-            break;
-        }
-    }
-    BiasedResult { model, trace }
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 //! can run in the cheaper [`ExecMode::Sequential`] mode, which the engine
 //! verifies is collision-free as it goes.
 //!
-//! A [`ThreadedHogwild`] executor using real OS threads over atomic f32
+//! A `ThreadedHogwild` executor ([`threaded_hogwild_epoch`]) using real OS threads over atomic f32
 //! cells is provided as well, for cross-validation on multi-core hosts.
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
@@ -29,9 +29,9 @@ use std::sync::Arc;
 
 use cumf_data::CooMatrix;
 
+use crate::engine::model::ModelView;
 use crate::feature::{Element, FactorMatrix};
-use crate::kernel::{sgd_delta, sgd_update};
-use crate::sched::{StreamItem, UpdateStream};
+use crate::sched::UpdateStream;
 
 /// How parallel updates are applied to the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,9 @@ pub enum ExecMode {
     /// Round-snapshot reads + additive commits: Hogwild! race semantics
     /// (stale gradients, double-applied corrections on collision).
     StaleAdditive,
+    /// Real OS threads racing lock-free on atomic factor cells (ignores
+    /// the stream's ordering; unsupported for the biased model).
+    Threaded,
 }
 
 /// Statistics of one executed epoch.
@@ -73,7 +76,8 @@ impl EpochStats {
 }
 
 /// Runs one epoch of `stream` against `(p, q)` with learning rate `gamma`
-/// and regularisation `lambda`.
+/// and regularisation `lambda`. Thin compatibility wrapper over the
+/// bias-capable epoch bodies in [`crate::engine::exec`].
 pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
     data: &CooMatrix,
     p: &mut FactorMatrix<E>,
@@ -83,145 +87,23 @@ pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
     lambda: f32,
     mode: ExecMode,
 ) -> EpochStats {
+    let view = ModelView { p, q, bias: None };
     match mode {
-        ExecMode::Sequential => run_epoch_sequential(data, p, q, stream, gamma, lambda),
-        ExecMode::StaleAdditive => run_epoch_stale(data, p, q, stream, gamma, lambda),
+        ExecMode::Sequential => {
+            crate::engine::exec::sequential_epoch(data, view, stream, gamma, lambda)
+        }
+        ExecMode::StaleAdditive => {
+            crate::engine::exec::stale_additive_epoch(data, view, stream, gamma, lambda)
+        }
+        ExecMode::Threaded => crate::engine::exec::threaded_epoch(
+            data,
+            view,
+            stream.workers().max(1),
+            256,
+            gamma,
+            lambda,
+        ),
     }
-}
-
-fn run_epoch_sequential<E: Element, S: UpdateStream + ?Sized>(
-    data: &CooMatrix,
-    p: &mut FactorMatrix<E>,
-    q: &mut FactorMatrix<E>,
-    stream: &mut S,
-    gamma: f32,
-    lambda: f32,
-) -> EpochStats {
-    let s = stream.workers();
-    let mut stats = EpochStats::default();
-    let mut exhausted = vec![false; s];
-    let mut live = s;
-    while live > 0 {
-        stats.rounds += 1;
-        for (w, done) in exhausted.iter_mut().enumerate() {
-            if *done {
-                continue;
-            }
-            match stream.next(w) {
-                StreamItem::Sample(i) => {
-                    let e = data.get(i);
-                    // Split borrows: p and q are distinct matrices.
-                    sgd_update(p.row_mut(e.u), q.row_mut(e.v), e.r, gamma, lambda);
-                    stats.updates += 1;
-                }
-                StreamItem::Stall => stats.stalls += 1,
-                StreamItem::Exhausted => {
-                    *done = true;
-                    live -= 1;
-                }
-            }
-        }
-    }
-    stats
-}
-
-fn run_epoch_stale<E: Element, S: UpdateStream + ?Sized>(
-    data: &CooMatrix,
-    p: &mut FactorMatrix<E>,
-    q: &mut FactorMatrix<E>,
-    stream: &mut S,
-    gamma: f32,
-    lambda: f32,
-) -> EpochStats {
-    let s = stream.workers();
-    let k = p.k() as usize;
-    let mut stats = EpochStats::default();
-    let mut exhausted = vec![false; s];
-    let mut live = s;
-
-    // Round buffers, reused across rounds.
-    let mut round: Vec<(u32, u32)> = Vec::with_capacity(s); // (u, v) per committed worker
-    let mut snap_p = vec![0.0f32; s * k];
-    let mut snap_q = vec![0.0f32; s * k];
-    let mut dp = vec![0.0f32; s * k];
-    let mut dq = vec![0.0f32; s * k];
-    let mut ratings: Vec<f32> = Vec::with_capacity(s);
-
-    while live > 0 {
-        stats.rounds += 1;
-        round.clear();
-        ratings.clear();
-        for (w, done) in exhausted.iter_mut().enumerate() {
-            if *done {
-                continue;
-            }
-            match stream.next(w) {
-                StreamItem::Sample(i) => {
-                    let e = data.get(i);
-                    round.push((e.u, e.v));
-                    ratings.push(e.r);
-                }
-                StreamItem::Stall => stats.stalls += 1,
-                StreamItem::Exhausted => {
-                    *done = true;
-                    live -= 1;
-                }
-            }
-        }
-        if round.is_empty() {
-            continue;
-        }
-        // Phase 1: snapshot reads (all against pre-round state).
-        for (idx, &(u, v)) in round.iter().enumerate() {
-            p.load_row(u, &mut snap_p[idx * k..(idx + 1) * k]);
-            q.load_row(v, &mut snap_q[idx * k..(idx + 1) * k]);
-        }
-        // Collision accounting.
-        {
-            let mut rows: Vec<u32> = round.iter().map(|&(u, _)| u).collect();
-            rows.sort_unstable();
-            if rows.windows(2).any(|w| w[0] == w[1]) {
-                stats.row_collisions += 1;
-            }
-            let mut cols: Vec<u32> = round.iter().map(|&(_, v)| v).collect();
-            cols.sort_unstable();
-            if cols.windows(2).any(|w| w[0] == w[1]) {
-                stats.col_collisions += 1;
-            }
-        }
-        // Phase 2: compute deltas against the snapshot.
-        for (idx, &(_, _)) in round.iter().enumerate() {
-            let lo = idx * k;
-            let hi = lo + k;
-            sgd_delta(
-                &snap_p[lo..hi],
-                &snap_q[lo..hi],
-                ratings[idx],
-                gamma,
-                lambda,
-                &mut dp[lo..hi],
-                &mut dq[lo..hi],
-            );
-        }
-        // Phase 3: additive commit (colliding corrections stack — the
-        // Hogwild! overshoot).
-        let mut acc = vec![0.0f32; k];
-        for (idx, &(u, v)) in round.iter().enumerate() {
-            let lo = idx * k;
-            p.load_row(u, &mut acc);
-            for (a, d) in acc.iter_mut().zip(&dp[lo..lo + k]) {
-                *a += d;
-            }
-            p.store_row(u, &acc);
-            q.load_row(v, &mut acc);
-            for (a, d) in acc.iter_mut().zip(&dq[lo..lo + k]) {
-                *a += d;
-            }
-            q.store_row(v, &acc);
-        }
-        stats.updates += round.len() as u64;
-    }
-    stats
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,350 @@
+//! Resumable training checkpoints.
+//!
+//! A checkpoint is everything the pipeline needs to continue a run as if
+//! it had never stopped: the model (factors + biases), the convergence
+//! trace so far, accumulated update/time counters, the next epoch index,
+//! and the learning-rate evaluator's adaptive state. Because every update
+//! stream reseeds deterministically per `(seed, epoch)` and Eq. 9's decay
+//! is stateless in the epoch index, a resumed run is bit-identical to an
+//! uninterrupted one.
+//!
+//! Binary layout (little-endian): magic `CMFK`, version, resume counters,
+//! optional LR state, the trace points, optional bias terms, then the
+//! factor matrices in the `model_io` element encoding.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::feature::Element;
+use crate::lrate::LrState;
+use crate::metrics::{Trace, TracePoint};
+use crate::model_io::{read_matrix, write_matrix, ModelIoError};
+
+use super::model::{BiasTerms, EngineModel};
+
+const MAGIC: &[u8; 4] = b"CMFK";
+const VERSION: u32 = 1;
+
+/// Loop state needed to continue a run where it left off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResumeState {
+    /// First epoch (0-based) the resumed run should execute.
+    pub next_epoch: u32,
+    /// Updates accumulated by the checkpointed epochs.
+    pub updates: u64,
+    /// Time-domain seconds accumulated by the checkpointed epochs.
+    pub sim_seconds: f64,
+    /// Convergence trace of the checkpointed epochs.
+    pub trace: Trace,
+    /// Learning-rate evaluator state (adaptive schedules).
+    pub lr: Option<LrState>,
+}
+
+fn write_u32<W: Write>(w: &mut W, x: u32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_u64<W: Write>(w: &mut W, x: u64) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_f32<W: Write>(w: &mut W, x: f32) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn write_f64<W: Write>(w: &mut W, x: f64) -> std::io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> std::io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> std::io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> std::io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn read_u8<R: Read>(r: &mut R) -> std::io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn write_f32_vec<W: Write>(w: &mut W, v: &[f32]) -> std::io::Result<()> {
+    write_u32(w, v.len() as u32)?;
+    for &x in v {
+        write_f32(w, x)?;
+    }
+    Ok(())
+}
+
+fn read_f32_vec<R: Read>(r: &mut R) -> std::io::Result<Vec<f32>> {
+    let len = read_u32(r)? as usize;
+    let mut v = Vec::with_capacity(len.min(1 << 20));
+    for _ in 0..len {
+        v.push(read_f32(r)?);
+    }
+    Ok(v)
+}
+
+/// Writes a checkpoint of `model` + `state` to `path` (atomically enough
+/// for a single writer: written to a temp sibling, then renamed).
+pub fn save_checkpoint<E: Element>(
+    path: impl AsRef<Path>,
+    model: &EngineModel<E>,
+    state: &ResumeState,
+) -> Result<(), ModelIoError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        w.write_all(MAGIC)?;
+        write_u32(&mut w, VERSION)?;
+        write_u32(&mut w, state.next_epoch)?;
+        write_u64(&mut w, state.updates)?;
+        write_f64(&mut w, state.sim_seconds)?;
+        match state.lr {
+            None => w.write_all(&[0u8])?,
+            Some(lr) => {
+                w.write_all(&[1u8])?;
+                write_f32(&mut w, lr.current)?;
+                match lr.last_loss {
+                    None => w.write_all(&[0u8])?,
+                    Some(loss) => {
+                        w.write_all(&[1u8])?;
+                        write_f64(&mut w, loss)?;
+                    }
+                }
+            }
+        }
+        write_u32(&mut w, state.trace.points.len() as u32)?;
+        for pt in &state.trace.points {
+            write_u32(&mut w, pt.epoch)?;
+            write_u64(&mut w, pt.updates)?;
+            write_f64(&mut w, pt.rmse)?;
+            write_f64(&mut w, pt.seconds)?;
+        }
+        match &model.bias {
+            None => w.write_all(&[0u8])?,
+            Some(b) => {
+                w.write_all(&[1u8])?;
+                write_f32(&mut w, b.mu)?;
+                write_f32_vec(&mut w, &b.user)?;
+                write_f32_vec(&mut w, &b.item)?;
+            }
+        }
+        write_u32(&mut w, E::BYTES as u32)?;
+        write_u32(&mut w, model.p.rows())?;
+        write_u32(&mut w, model.q.rows())?;
+        write_u32(&mut w, model.p.k())?;
+        write_matrix(&mut w, &model.p)?;
+        write_matrix(&mut w, &model.q)?;
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint written by [`save_checkpoint`]. The stored element
+/// width must match `E`.
+pub fn load_checkpoint<E: Element>(
+    path: impl AsRef<Path>,
+) -> Result<(EngineModel<E>, ResumeState), ModelIoError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ModelIoError::Format(
+            "bad magic: not a cuMF checkpoint".into(),
+        ));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ModelIoError::Format(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let next_epoch = read_u32(&mut r)?;
+    let updates = read_u64(&mut r)?;
+    let sim_seconds = read_f64(&mut r)?;
+    let lr = match read_u8(&mut r)? {
+        0 => None,
+        _ => {
+            let current = read_f32(&mut r)?;
+            let last_loss = match read_u8(&mut r)? {
+                0 => None,
+                _ => Some(read_f64(&mut r)?),
+            };
+            Some(LrState { current, last_loss })
+        }
+    };
+    let n_points = read_u32(&mut r)?;
+    let mut trace = Trace::default();
+    for _ in 0..n_points {
+        let epoch = read_u32(&mut r)?;
+        let pt_updates = read_u64(&mut r)?;
+        let rmse = read_f64(&mut r)?;
+        let seconds = read_f64(&mut r)?;
+        trace.push(TracePoint {
+            epoch,
+            updates: pt_updates,
+            rmse,
+            seconds,
+        });
+    }
+    let bias = match read_u8(&mut r)? {
+        0 => None,
+        _ => {
+            let mu = read_f32(&mut r)?;
+            let user = read_f32_vec(&mut r)?;
+            let item = read_f32_vec(&mut r)?;
+            Some(BiasTerms { mu, user, item })
+        }
+    };
+    let elem = read_u32(&mut r)?;
+    if elem as usize != E::BYTES {
+        return Err(ModelIoError::Format(format!(
+            "element width mismatch: checkpoint has {elem}-byte elements, requested {}-byte ({})",
+            E::BYTES,
+            E::NAME
+        )));
+    }
+    let m = read_u32(&mut r)?;
+    let n = read_u32(&mut r)?;
+    let k = read_u32(&mut r)?;
+    if k == 0 {
+        return Err(ModelIoError::Format("k must be positive".into()));
+    }
+    let p = read_matrix::<E, _>(&mut r, m, k)?;
+    let q = read_matrix::<E, _>(&mut r, n, k)?;
+    Ok((
+        EngineModel { p, q, bias },
+        ResumeState {
+            next_epoch,
+            updates,
+            sim_seconds,
+            trace,
+            lr,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::FactorMatrix;
+    use cumf_rng::{ChaCha8Rng, SeedableRng};
+
+    fn ckpt_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("cumf_ckpt_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_state() -> ResumeState {
+        let mut trace = Trace::default();
+        trace.push(TracePoint {
+            epoch: 1,
+            updates: 100,
+            rmse: 0.9,
+            seconds: 0.5,
+        });
+        trace.push(TracePoint {
+            epoch: 2,
+            updates: 200,
+            rmse: 0.7,
+            seconds: 1.0,
+        });
+        ResumeState {
+            next_epoch: 2,
+            updates: 200,
+            sim_seconds: 1.0,
+            trace,
+            lr: Some(LrState {
+                current: 0.05,
+                last_loss: Some(0.7),
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trip_unbiased() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let model = EngineModel::<f32> {
+            p: FactorMatrix::random_init(6, 4, &mut rng),
+            q: FactorMatrix::random_init(5, 4, &mut rng),
+            bias: None,
+        };
+        let state = sample_state();
+        let path = ckpt_path("unbiased.cmfk");
+        save_checkpoint(&path, &model, &state).unwrap();
+        let (m2, s2) = load_checkpoint::<f32>(&path).unwrap();
+        assert_eq!(m2, model);
+        assert_eq!(s2, state);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn round_trip_biased() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let model = EngineModel::<f32> {
+            p: FactorMatrix::random_init(3, 2, &mut rng),
+            q: FactorMatrix::random_init(4, 2, &mut rng),
+            bias: Some(BiasTerms {
+                mu: 3.5,
+                user: vec![0.1, -0.2, 0.3],
+                item: vec![-0.25; 4],
+            }),
+        };
+        let mut state = sample_state();
+        state.lr = None;
+        let path = ckpt_path("biased.cmfk");
+        save_checkpoint(&path, &model, &state).unwrap();
+        let (m2, s2) = load_checkpoint::<f32>(&path).unwrap();
+        assert_eq!(m2.bias, model.bias);
+        assert_eq!(m2.p, model.p);
+        assert_eq!(s2.lr, None);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_model_file_magic() {
+        let path = ckpt_path("not_a_ckpt.cmfk");
+        std::fs::write(&path, b"CMFM\x01\x00\x00\x00").unwrap();
+        let err = load_checkpoint::<f32>(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn rejects_wrong_element_width() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let model = EngineModel::<f32> {
+            p: FactorMatrix::random_init(2, 2, &mut rng),
+            q: FactorMatrix::random_init(2, 2, &mut rng),
+            bias: None,
+        };
+        let path = ckpt_path("width.cmfk");
+        save_checkpoint(&path, &model, &sample_state()).unwrap();
+        let err = load_checkpoint::<crate::half::F16>(&path).unwrap_err();
+        assert!(err.to_string().contains("element width"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+}

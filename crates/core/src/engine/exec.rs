@@ -1,0 +1,503 @@
+//! Execution-engine layer: how one epoch's updates touch the model.
+//!
+//! An [`ExecEngine`] turns a scheduled stream of samples into model
+//! mutations under a chosen execution semantics:
+//!
+//! * [`SequentialEngine`] — apply each update immediately in worker order
+//!   (exact for conflict-free schedules);
+//! * [`StaleAdditiveEngine`] — the round-based Hogwild! conflict engine
+//!   (snapshot reads, additive commits) of [`crate::concurrent`];
+//! * [`ThreadedHogwildEngine`] — real OS threads racing on atomic f32
+//!   cells (cross-validation on multi-core hosts).
+//!
+//! All three support the bias-free model; the first two also train the
+//! biased model (`μ + b_u + b_v + p·q`), extending the same stale-read /
+//! additive-commit semantics to the bias cells.
+
+use std::sync::Arc;
+
+use cumf_data::CooMatrix;
+
+use crate::concurrent::{threaded_hogwild_epoch, AtomicFactors, EpochStats, ExecMode};
+use crate::feature::Element;
+use crate::kernel::{sgd_delta, sgd_update};
+use crate::sched::{StreamItem, UpdateStream};
+
+use super::model::ModelView;
+
+/// An execution semantics for one epoch of scheduled updates.
+pub trait ExecEngine<E: Element> {
+    /// Runs one epoch of `stream` against the model view.
+    fn run_epoch(
+        &mut self,
+        data: &CooMatrix,
+        model: ModelView<'_, E>,
+        stream: &mut dyn UpdateStream,
+        gamma: f32,
+        lambda: f32,
+    ) -> EpochStats;
+
+    /// Engine name for traces and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Immediate in-order application ([`ExecMode::Sequential`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialEngine;
+
+/// Round-snapshot reads + additive commits ([`ExecMode::StaleAdditive`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaleAdditiveEngine;
+
+/// Real-thread lock-free Hogwild! over atomic factors. Ignores the stream's
+/// ordering (threads claim `batch`-sample chunks off a shared counter) and
+/// does not support the biased model.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedHogwildEngine {
+    /// OS threads to spawn.
+    pub threads: usize,
+    /// Samples claimed per counter grab.
+    pub batch: usize,
+}
+
+impl<E: Element> ExecEngine<E> for SequentialEngine {
+    fn run_epoch(
+        &mut self,
+        data: &CooMatrix,
+        model: ModelView<'_, E>,
+        stream: &mut dyn UpdateStream,
+        gamma: f32,
+        lambda: f32,
+    ) -> EpochStats {
+        sequential_epoch(data, model, stream, gamma, lambda)
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+impl<E: Element> ExecEngine<E> for StaleAdditiveEngine {
+    fn run_epoch(
+        &mut self,
+        data: &CooMatrix,
+        model: ModelView<'_, E>,
+        stream: &mut dyn UpdateStream,
+        gamma: f32,
+        lambda: f32,
+    ) -> EpochStats {
+        stale_additive_epoch(data, model, stream, gamma, lambda)
+    }
+
+    fn name(&self) -> &'static str {
+        "stale-additive"
+    }
+}
+
+impl<E: Element> ExecEngine<E> for ThreadedHogwildEngine {
+    fn run_epoch(
+        &mut self,
+        data: &CooMatrix,
+        model: ModelView<'_, E>,
+        stream: &mut dyn UpdateStream,
+        gamma: f32,
+        lambda: f32,
+    ) -> EpochStats {
+        let _ = stream;
+        threaded_epoch(data, model, self.threads, self.batch, gamma, lambda)
+    }
+
+    fn name(&self) -> &'static str {
+        "threaded-hogwild"
+    }
+}
+
+/// The engine implementing an [`ExecMode`], sized for `workers` parallel
+/// workers fetching `batch` samples at a time (both only used by the
+/// threaded mode).
+pub fn engine_for<E: Element>(
+    mode: ExecMode,
+    workers: usize,
+    batch: usize,
+) -> Box<dyn ExecEngine<E>> {
+    match mode {
+        ExecMode::Sequential => Box::new(SequentialEngine),
+        ExecMode::StaleAdditive => Box::new(StaleAdditiveEngine),
+        ExecMode::Threaded => Box::new(ThreadedHogwildEngine {
+            threads: workers.max(1),
+            batch: batch.max(1),
+        }),
+    }
+}
+
+/// One epoch of immediate in-order application. With biases present, each
+/// sample updates `b_u`/`b_v` with the prediction error before the factor
+/// rows (both against the pre-update values, as in Algorithm 1).
+pub fn sequential_epoch<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    mut model: ModelView<'_, E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+) -> EpochStats {
+    let s = stream.workers();
+    let k = model.p.k() as usize;
+    let mut stats = EpochStats::default();
+    let mut exhausted = vec![false; s];
+    let mut live = s;
+    let mut pu = vec![0.0f32; k];
+    let mut qv = vec![0.0f32; k];
+    while live > 0 {
+        stats.rounds += 1;
+        for (w, done) in exhausted.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            match stream.next(w) {
+                StreamItem::Sample(i) => {
+                    let e = data.get(i);
+                    match model.bias.as_deref_mut() {
+                        None => {
+                            // Split borrows: p and q are distinct matrices.
+                            sgd_update(
+                                model.p.row_mut(e.u),
+                                model.q.row_mut(e.v),
+                                e.r,
+                                gamma,
+                                lambda,
+                            );
+                        }
+                        Some(bias) => {
+                            model.p.load_row(e.u, &mut pu);
+                            model.q.load_row(e.v, &mut qv);
+                            let bu = bias.user[e.u as usize];
+                            let bv = bias.item[e.v as usize];
+                            let pred = bias.mu
+                                + bu
+                                + bv
+                                + pu.iter().zip(&qv).map(|(a, b)| a * b).sum::<f32>();
+                            let err = e.r - pred;
+                            bias.user[e.u as usize] = bu + gamma * (err - lambda * bu);
+                            bias.item[e.v as usize] = bv + gamma * (err - lambda * bv);
+                            for j in 0..k {
+                                let pj = pu[j];
+                                let qj = qv[j];
+                                pu[j] = pj + gamma * (err * qj - lambda * pj);
+                                qv[j] = qj + gamma * (err * pj - lambda * qj);
+                            }
+                            model.p.store_row(e.u, &pu);
+                            model.q.store_row(e.v, &qv);
+                        }
+                    }
+                    stats.updates += 1;
+                }
+                StreamItem::Stall => stats.stalls += 1,
+                StreamItem::Exhausted => {
+                    *done = true;
+                    live -= 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// One epoch of round-snapshot reads + additive commits (the Hogwild!
+/// conflict engine — see [`crate::concurrent`] for the semantics). Bias
+/// cells, when present, follow the same protocol: read with the round's
+/// snapshot, deltas committed additively.
+pub fn stale_additive_epoch<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    mut model: ModelView<'_, E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+) -> EpochStats {
+    let s = stream.workers();
+    let k = model.p.k() as usize;
+    let mu = model.bias.as_ref().map(|b| b.mu).unwrap_or(0.0);
+    let biased = model.bias.is_some();
+    let mut stats = EpochStats::default();
+    let mut exhausted = vec![false; s];
+    let mut live = s;
+
+    // Round buffers, reused across rounds.
+    let mut round: Vec<(u32, u32)> = Vec::with_capacity(s); // (u, v) per committed worker
+    let mut snap_p = vec![0.0f32; s * k];
+    let mut snap_q = vec![0.0f32; s * k];
+    let mut dp = vec![0.0f32; s * k];
+    let mut dq = vec![0.0f32; s * k];
+    let mut ratings: Vec<f32> = Vec::with_capacity(s);
+    let mut snap_bu = vec![0.0f32; s];
+    let mut snap_bv = vec![0.0f32; s];
+    let mut dbu = vec![0.0f32; s];
+    let mut dbv = vec![0.0f32; s];
+
+    while live > 0 {
+        stats.rounds += 1;
+        round.clear();
+        ratings.clear();
+        for (w, done) in exhausted.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            match stream.next(w) {
+                StreamItem::Sample(i) => {
+                    let e = data.get(i);
+                    round.push((e.u, e.v));
+                    ratings.push(e.r);
+                }
+                StreamItem::Stall => stats.stalls += 1,
+                StreamItem::Exhausted => {
+                    *done = true;
+                    live -= 1;
+                }
+            }
+        }
+        if round.is_empty() {
+            continue;
+        }
+        // Phase 1: snapshot reads (all against pre-round state).
+        for (idx, &(u, v)) in round.iter().enumerate() {
+            model.p.load_row(u, &mut snap_p[idx * k..(idx + 1) * k]);
+            model.q.load_row(v, &mut snap_q[idx * k..(idx + 1) * k]);
+            if let Some(bias) = model.bias.as_deref() {
+                snap_bu[idx] = bias.user[u as usize];
+                snap_bv[idx] = bias.item[v as usize];
+            }
+        }
+        // Collision accounting.
+        {
+            let mut rows: Vec<u32> = round.iter().map(|&(u, _)| u).collect();
+            rows.sort_unstable();
+            if rows.windows(2).any(|w| w[0] == w[1]) {
+                stats.row_collisions += 1;
+            }
+            let mut cols: Vec<u32> = round.iter().map(|&(_, v)| v).collect();
+            cols.sort_unstable();
+            if cols.windows(2).any(|w| w[0] == w[1]) {
+                stats.col_collisions += 1;
+            }
+        }
+        // Phase 2: compute deltas against the snapshot.
+        for idx in 0..round.len() {
+            let lo = idx * k;
+            let hi = lo + k;
+            if biased {
+                let sp = &snap_p[lo..hi];
+                let sq = &snap_q[lo..hi];
+                let pred = mu
+                    + snap_bu[idx]
+                    + snap_bv[idx]
+                    + sp.iter().zip(sq).map(|(a, b)| a * b).sum::<f32>();
+                let err = ratings[idx] - pred;
+                dbu[idx] = gamma * (err - lambda * snap_bu[idx]);
+                dbv[idx] = gamma * (err - lambda * snap_bv[idx]);
+                for j in 0..k {
+                    dp[lo + j] = gamma * (err * sq[j] - lambda * sp[j]);
+                    dq[lo + j] = gamma * (err * sp[j] - lambda * sq[j]);
+                }
+            } else {
+                sgd_delta(
+                    &snap_p[lo..hi],
+                    &snap_q[lo..hi],
+                    ratings[idx],
+                    gamma,
+                    lambda,
+                    &mut dp[lo..hi],
+                    &mut dq[lo..hi],
+                );
+            }
+        }
+        // Phase 3: additive commit (colliding corrections stack — the
+        // Hogwild! overshoot).
+        let mut acc = vec![0.0f32; k];
+        for (idx, &(u, v)) in round.iter().enumerate() {
+            let lo = idx * k;
+            model.p.load_row(u, &mut acc);
+            for (a, d) in acc.iter_mut().zip(&dp[lo..lo + k]) {
+                *a += d;
+            }
+            model.p.store_row(u, &acc);
+            model.q.load_row(v, &mut acc);
+            for (a, d) in acc.iter_mut().zip(&dq[lo..lo + k]) {
+                *a += d;
+            }
+            model.q.store_row(v, &acc);
+            if let Some(bias) = model.bias.as_deref_mut() {
+                bias.user[u as usize] += dbu[idx];
+                bias.item[v as usize] += dbv[idx];
+            }
+        }
+        stats.updates += round.len() as u64;
+    }
+    stats
+}
+
+/// One epoch on real OS threads racing over atomic factor cells (see
+/// [`threaded_hogwild_epoch`]). `rounds` is approximated as
+/// `ceil(updates / threads)` for the simulated-time models; collision
+/// counts are unavailable (the races are real, not replayed).
+///
+/// # Panics
+///
+/// Panics when the view carries bias terms: the threaded executor races
+/// on factor cells only.
+pub fn threaded_epoch<E: Element>(
+    data: &CooMatrix,
+    model: ModelView<'_, E>,
+    threads: usize,
+    batch: usize,
+    gamma: f32,
+    lambda: f32,
+) -> EpochStats {
+    assert!(
+        model.bias.is_none(),
+        "threaded Hogwild! does not support the biased model"
+    );
+    let p = Arc::new(AtomicFactors::from_matrix(model.p));
+    let q = Arc::new(AtomicFactors::from_matrix(model.q));
+    let updates = threaded_hogwild_epoch(data, &p, &q, threads, batch, gamma, lambda);
+    *model.p = p.to_matrix();
+    *model.q = q.to_matrix();
+    EpochStats {
+        updates,
+        rounds: updates.div_ceil(threads as u64),
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::model::{BiasTerms, EngineModel};
+    use crate::feature::FactorMatrix;
+    use crate::sched::SerialStream;
+    use cumf_rng::ChaCha8Rng;
+    use cumf_rng::SeedableRng;
+
+    fn tiny_data() -> CooMatrix {
+        let mut coo = CooMatrix::new(20, 20);
+        for i in 0..200u32 {
+            coo.push(i % 20, (i * 7) % 20, ((i % 5) as f32) - 2.0);
+        }
+        coo
+    }
+
+    fn unbiased_model(seed: u64) -> EngineModel<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        EngineModel::init_unbiased(&tiny_data(), 4, &mut rng)
+    }
+
+    fn biased_model(seed: u64) -> EngineModel<f32> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        EngineModel::init_biased(&tiny_data(), 4, &mut rng)
+    }
+
+    #[test]
+    fn biased_stale_single_worker_matches_sequential() {
+        // One worker → no collisions → stale-additive must equal the
+        // sequential biased path (modulo the dot-product order, which both
+        // paths share: the plain serial sum).
+        let data = tiny_data();
+        let mut m1 = biased_model(3);
+        let mut m2 = m1.clone();
+        let mut s1 = SerialStream::new(data.nnz());
+        let mut s2 = SerialStream::new(data.nnz());
+        sequential_epoch(&data, m1.view(), &mut s1, 0.05, 0.01);
+        stale_additive_epoch(&data, m2.view(), &mut s2, 0.05, 0.01);
+        let b1 = m1.bias.as_ref().unwrap();
+        let b2 = m2.bias.as_ref().unwrap();
+        for (a, b) in b1.user.iter().zip(&b2.user) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        for (a, b) in b1.item.iter().zip(&b2.item) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        for r in 0..20 {
+            for (a, b) in m1.p.row(r).iter().zip(m2.p.row(r)) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn unbiased_stale_matches_concurrent_engine_bitwise() {
+        // The extracted epoch body must be bit-identical to the historical
+        // `concurrent::run_epoch` path it replaced.
+        let data = tiny_data();
+        let mut m = unbiased_model(5);
+        let (mut p2, mut q2) = (m.p.clone(), m.q.clone());
+        let mut s1 = SerialStream::new(data.nnz());
+        let mut s2 = SerialStream::new(data.nnz());
+        stale_additive_epoch(&data, m.view(), &mut s1, 0.05, 0.01);
+        crate::concurrent::run_epoch(
+            &data,
+            &mut p2,
+            &mut q2,
+            &mut s2,
+            0.05,
+            0.01,
+            ExecMode::StaleAdditive,
+        );
+        assert_eq!(m.p, p2);
+        assert_eq!(m.q, q2);
+    }
+
+    #[test]
+    fn threaded_engine_runs_all_updates() {
+        let data = tiny_data();
+        let mut m = unbiased_model(7);
+        let before = m.p.clone();
+        let stats = threaded_epoch(&data, m.view(), 4, 16, 0.05, 0.01);
+        assert_eq!(stats.updates, 200);
+        assert_eq!(stats.rounds, 50);
+        assert_ne!(m.p, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support the biased model")]
+    fn threaded_engine_rejects_bias() {
+        let data = tiny_data();
+        let mut m = unbiased_model(9);
+        m.bias = Some(BiasTerms {
+            mu: 0.0,
+            user: vec![0.0; 20],
+            item: vec![0.0; 20],
+        });
+        let _ = threaded_epoch(&data, m.view(), 2, 8, 0.05, 0.01);
+    }
+
+    #[test]
+    fn engine_for_covers_every_mode() {
+        for (mode, name) in [
+            (ExecMode::Sequential, "sequential"),
+            (ExecMode::StaleAdditive, "stale-additive"),
+            (ExecMode::Threaded, "threaded-hogwild"),
+        ] {
+            let e = engine_for::<f32>(mode, 4, 64);
+            assert_eq!(e.name(), name);
+        }
+    }
+
+    #[test]
+    fn dyn_engine_matches_free_function() {
+        let data = tiny_data();
+        let mut m1 = unbiased_model(11);
+        let mut m2 = m1.clone();
+        let mut s1 = SerialStream::new(data.nnz());
+        let mut s2 = SerialStream::new(data.nnz());
+        let mut engine = engine_for::<f32>(ExecMode::Sequential, 1, 1);
+        engine.run_epoch(&data, m1.view(), &mut s1, 0.05, 0.01);
+        sequential_epoch(&data, m2.view(), &mut s2, 0.05, 0.01);
+        assert_eq!(m1.p, m2.p);
+        assert_eq!(m1.q, m2.q);
+    }
+
+    #[test]
+    fn _unused_model_helper() {
+        // Keep the FactorMatrix import exercised for the f32 helper path.
+        let m: FactorMatrix<f32> = FactorMatrix::from_f32_slice(1, 1, &[1.0]);
+        assert_eq!(m.row(0), &[1.0]);
+    }
+}

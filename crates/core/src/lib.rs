@@ -16,6 +16,8 @@
 //! * [`concurrent`] — execution engines: a deterministic round-based
 //!   Hogwild! conflict engine (stale reads, additive commits) and a real
 //!   OS-thread lock-free executor;
+//! * [`engine`] — the layered epoch pipeline (model / execution / time /
+//!   observers) that every training path in the workspace runs through;
 //! * [`solver`] — the single-GPU training loop producing convergence
 //!   traces;
 //! * [`partition`] — §6.1's i×j workload grid, Eq. 6 independence, the
@@ -43,6 +45,7 @@
 
 pub mod bias;
 pub mod concurrent;
+pub mod engine;
 pub mod feature;
 pub mod half;
 pub mod kernel;
@@ -56,11 +59,20 @@ pub mod solver;
 
 pub use bias::{train_biased, BiasedConfig, BiasedModel, BiasedResult};
 pub use concurrent::{AtomicFactors, EpochStats, ExecMode, StripedFactors};
+pub use engine::{
+    BiasTerms, EngineModel, EpochBackend, EpochObserver, EpochPipeline, ExecEngine, PipelineRun,
+    ResumeState, TimeDomain, TrainReport,
+};
 pub use feature::{Element, FactorMatrix};
 pub use half::F16;
-pub use lrate::{LearningRate, Schedule};
+pub use lrate::{LearningRate, LrState, Schedule};
 pub use metrics::{rmse, updates_per_sec, Trace, TracePoint};
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, Model};
 pub use multi_gpu::{train_partitioned, MultiGpuConfig, MultiGpuResult};
 pub use partition::{count_feasible_orders, schedule_epoch, BlockId, Grid, WaveSchedule};
 pub use solver::{train, Scheme, SolverConfig, TimeModel, TrainResult};
+
+/// Canonical re-export of the per-update memory cost model: core code and
+/// downstream crates import `SgdUpdateCost` from exactly one path per
+/// crate root (it is defined in `cumf-gpu-sim`'s kernel module).
+pub use cumf_gpu_sim::SgdUpdateCost;

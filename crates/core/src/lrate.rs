@@ -42,6 +42,17 @@ impl Schedule {
     }
 }
 
+/// Checkpointable adaptive state of a [`LearningRate`] evaluator. Decay
+/// schedules are stateless in the epoch index; only `BoldDriver`'s current
+/// rate and last observed loss need persisting across a resume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrState {
+    /// Current rate (meaningful for adaptive schedules).
+    pub current: f32,
+    /// Loss observed after the most recent epoch, if any.
+    pub last_loss: Option<f64>,
+}
+
 /// Stateful evaluator of a [`Schedule`].
 #[derive(Debug, Clone)]
 pub struct LearningRate {
@@ -73,6 +84,21 @@ impl LearningRate {
             Schedule::NomadDecay { alpha, beta } => alpha / (1.0 + beta * (t as f32).powf(1.5)),
             Schedule::BoldDriver { .. } => self.current,
         }
+    }
+
+    /// Snapshot of the adaptive state (for checkpointing).
+    pub fn state(&self) -> LrState {
+        LrState {
+            current: self.current,
+            last_loss: self.last_loss,
+        }
+    }
+
+    /// Restores a snapshot taken by [`Self::state`] (the schedule itself is
+    /// reconstructed from configuration, not checkpointed).
+    pub fn restore(&mut self, state: LrState) {
+        self.current = state.current;
+        self.last_loss = state.last_loss;
     }
 
     /// Reports the monitored loss after an epoch (drives `BoldDriver`).

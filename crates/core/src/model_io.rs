@@ -64,7 +64,7 @@ impl<E: Element> Model<E> {
     }
 }
 
-fn write_matrix<E: Element, W: Write>(w: &mut W, m: &FactorMatrix<E>) -> io::Result<()> {
+pub(crate) fn write_matrix<E: Element, W: Write>(w: &mut W, m: &FactorMatrix<E>) -> io::Result<()> {
     for e in m.as_slice() {
         let x = e.to_f32();
         match E::BYTES {
@@ -75,7 +75,7 @@ fn write_matrix<E: Element, W: Write>(w: &mut W, m: &FactorMatrix<E>) -> io::Res
     Ok(())
 }
 
-fn read_matrix<E: Element, R: Read>(
+pub(crate) fn read_matrix<E: Element, R: Read>(
     r: &mut R,
     rows: u32,
     k: u32,

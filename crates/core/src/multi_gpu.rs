@@ -11,20 +11,30 @@
 //! updates touch disjoint P/Q rows: executing them back-to-back in program
 //! order is *numerically identical* to executing them in parallel, so
 //! convergence results are exact while timing comes from the machine model.
+//!
+//! This module is a thin client of the layered [`crate::engine`]: the block
+//! scheduling/execution lives in
+//! [`PartitionedBackend`], the pipeline
+//! clock in [`BackendTime`], and the epoch loop
+//! in [`EpochPipeline`]. That seam is what
+//! lets the partitioned path train the *biased* model too (set
+//! [`MultiGpuConfig::bias`]) — a combination the pre-engine monolith could
+//! not express.
 
 use cumf_rng::ChaCha8Rng;
 use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
-use cumf_gpu_sim::pipeline::{overlapped, serial, BlockJob};
 use cumf_gpu_sim::{GpuSpec, LinkSpec, SgdUpdateCost};
 
-use crate::concurrent::{run_epoch, ExecMode};
+use crate::engine::{
+    BackendTime, BiasTerms, DivergenceGuard, EngineModel, EpochObserver, EpochPipeline,
+    PartitionedBackend,
+};
 use crate::feature::{Element, FactorMatrix};
-use crate::lrate::{LearningRate, Schedule};
-use crate::metrics::{rmse, Trace, TracePoint};
-use crate::partition::{schedule_epoch, BlockId, Grid};
-use crate::sched::{BatchHogwildStream, UpdateStream};
+use crate::lrate::Schedule;
+use crate::metrics::Trace;
+use crate::partition::Grid;
 
 /// Configuration of a partitioned multi-GPU run.
 #[derive(Debug, Clone)]
@@ -56,6 +66,9 @@ pub struct MultiGpuConfig {
     /// Enforce the §7.6 rule `grid ≥ gpus×gpus... (i ≥ 2·gpus and
     /// j ≥ 2·gpus)` strictly; set false to reproduce the failure modes.
     pub enforce_grid_rule: bool,
+    /// Train the biased model (`μ + b_u + b_v + p·q`) instead of the plain
+    /// factorization.
+    pub bias: bool,
 }
 
 impl MultiGpuConfig {
@@ -75,6 +88,7 @@ impl MultiGpuConfig {
             divergence_ceiling: 1e3,
             overlap: true,
             enforce_grid_rule: false,
+            bias: false,
         }
     }
 }
@@ -99,6 +113,8 @@ pub struct MultiGpuResult<E: Element> {
     pub p: FactorMatrix<E>,
     /// Learned column factors.
     pub q: FactorMatrix<E>,
+    /// Bias terms, when [`MultiGpuConfig::bias`] was set.
+    pub bias: Option<BiasTerms>,
     /// Convergence trace (RMSE vs simulated time).
     pub trace: Trace,
     /// Per-epoch timing breakdown.
@@ -133,8 +149,11 @@ pub fn train_partitioned<E: Element>(
     }
     let grid = Grid::build(train, config.grid_i, config.grid_j);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut p: FactorMatrix<E> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
-    let mut q: FactorMatrix<E> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
+    let mut model: EngineModel<E> = if config.bias {
+        EngineModel::init_biased(train, config.k, &mut rng)
+    } else {
+        EngineModel::init_unbiased(train, config.k, &mut rng)
+    };
 
     let cost = SgdUpdateCost {
         k: config.k,
@@ -145,155 +164,45 @@ pub fn train_partitioned<E: Element>(
         },
         rating_access: cumf_gpu_sim::RatingAccess::Streamed,
     };
-    let mut trace = Trace::default();
-    let mut timings = Vec::with_capacity(config.epochs as usize);
-    let mut lr = LearningRate::new(config.schedule.clone());
-    let mut seconds = 0.0f64;
-    let mut updates = 0u64;
-    let mut diverged = false;
+    let mut backend = PartitionedBackend::new(
+        train,
+        grid,
+        config.gpus,
+        config.workers_per_gpu,
+        config.batch,
+        config.overlap,
+        cost,
+        gpu,
+        link,
+        rng,
+    );
+    let mut time = BackendTime;
+    let mut guard = DivergenceGuard::new(config.divergence_ceiling);
+    let mut observers: Vec<&mut dyn EpochObserver<E>> = vec![&mut guard];
 
-    for epoch in 0..config.epochs {
-        let gamma = lr.gamma(epoch);
-        let schedule = schedule_epoch(&grid, config.gpus, &mut rng);
-
-        // --- Convergence: execute every block's updates (wave by wave;
-        // independence makes program order exact).
-        for wave in &schedule.waves {
-            for &slot in wave {
-                if let Some(block_id) = slot {
-                    updates +=
-                        execute_block(train, &grid, block_id, &mut p, &mut q, config, gamma, epoch);
-                }
-            }
-        }
-
-        // --- Timing: per-GPU pipeline of its assigned blocks.
-        let timing = epoch_timing(&schedule.waves, &grid, config, &cost, gpu, link);
-        seconds += timing.seconds;
-        timings.push(timing);
-
-        let test_rmse = rmse(test, &p, &q);
-        lr.observe(test_rmse);
-        trace.push(TracePoint {
-            epoch: epoch + 1,
-            updates,
-            rmse: test_rmse,
-            seconds,
-        });
-        if !test_rmse.is_finite() || test_rmse > config.divergence_ceiling {
-            diverged = true;
-            break;
-        }
-    }
+    let pipeline = EpochPipeline {
+        label: "partitioned",
+        epochs: config.epochs,
+        lambda: config.lambda,
+        schedule: config.schedule.clone(),
+    };
+    let run = pipeline.run(
+        &mut model,
+        &mut backend,
+        &mut time,
+        &mut observers,
+        test,
+        None,
+    );
 
     MultiGpuResult {
-        p,
-        q,
-        trace,
-        timings,
-        diverged,
+        p: model.p,
+        q: model.q,
+        bias: model.bias,
+        trace: run.trace,
+        timings: run.timings,
+        diverged: run.diverged,
     }
-}
-
-/// Runs one block's SGD updates with batch-Hogwild! semantics confined to
-/// the block's coordinate window.
-#[allow(clippy::too_many_arguments)]
-fn execute_block<E: Element>(
-    train: &CooMatrix,
-    grid: &Grid,
-    id: BlockId,
-    p: &mut FactorMatrix<E>,
-    q: &mut FactorMatrix<E>,
-    config: &MultiGpuConfig,
-    gamma: f32,
-    epoch: u32,
-) -> u64 {
-    let samples = grid.block(id);
-    if samples.is_empty() {
-        return 0;
-    }
-    // Materialise the block as a COO window in *global* coordinates: the
-    // engine updates P/Q rows directly, mirroring the device-side segments
-    // being written back (§6.1).
-    let mut block = CooMatrix::with_capacity(train.rows(), train.cols(), samples.len());
-    for &s in samples {
-        let e = train.get(s);
-        block.push(e.u, e.v, e.r);
-    }
-    let workers = (config.workers_per_gpu as usize).min(samples.len().max(1));
-    let mut stream = BatchHogwildStream::new(block.nnz(), workers, config.batch as usize);
-    stream.begin_epoch(epoch);
-    let stats = run_epoch(
-        &block,
-        p,
-        q,
-        &mut stream,
-        gamma,
-        config.lambda,
-        ExecMode::StaleAdditive,
-    );
-    stats.updates
-}
-
-/// Computes the epoch's simulated time: each GPU pipelines its block
-/// sequence (H2D block+segments, compute, D2H segments); the epoch ends
-/// when the slowest GPU finishes.
-fn epoch_timing(
-    waves: &[Vec<Option<BlockId>>],
-    grid: &Grid,
-    config: &MultiGpuConfig,
-    cost: &SgdUpdateCost,
-    gpu: &GpuSpec,
-    link: &LinkSpec,
-) -> EpochTiming {
-    let elem_bytes = cost.precision.bytes() as f64;
-    let k = config.k as f64;
-    let mut worst = EpochTiming {
-        seconds: 0.0,
-        compute_seconds: 0.0,
-        transfer_seconds: 0.0,
-        idle_slots: 0,
-    };
-    for g in 0..config.gpus as usize {
-        let jobs: Vec<BlockJob> = waves
-            .iter()
-            .filter_map(|wave| wave[g])
-            .map(|id| {
-                let samples = grid.block(id).len() as f64;
-                let seg_bytes = (grid.row_range(id.bi).len() as f64
-                    + grid.col_range(id.bj).len() as f64)
-                    * k
-                    * elem_bytes;
-                BlockJob {
-                    h2d_bytes: samples * 12.0 + seg_bytes,
-                    compute_bytes: samples * cost.bytes() as f64,
-                    d2h_bytes: seg_bytes,
-                }
-            })
-            .collect();
-        let result = if config.overlap {
-            overlapped(&jobs, gpu, link, config.workers_per_gpu)
-        } else {
-            serial(&jobs, gpu, link, config.workers_per_gpu)
-        };
-        if result.makespan > worst.seconds {
-            worst.seconds = result.makespan;
-            worst.compute_seconds = result.compute_time;
-            worst.transfer_seconds = result.transfer_time;
-        }
-    }
-    worst.idle_slots = waves
-        .iter()
-        .flat_map(|w| w.iter())
-        .filter(|b| b.is_none())
-        .count();
-    // Inter-GPU synchronisation: segments exchanged through host memory at
-    // wave boundaries when more than one GPU runs (the sub-linear-scaling
-    // cost the paper reports in §7.7).
-    if config.gpus > 1 {
-        worst.seconds += waves.len() as f64 * link.latency_s * config.gpus as f64;
-    }
-    EpochTiming { ..worst }
 }
 
 #[cfg(test)]
@@ -344,6 +253,7 @@ mod tests {
             r.trace.final_rmse().unwrap()
         );
         assert!(r.timings.iter().all(|t| t.seconds > 0.0));
+        assert!(r.bias.is_none());
     }
 
     #[test]
@@ -425,5 +335,33 @@ mod tests {
             train_partitioned::<f32>(&d.train, &d.test, &c, &TITAN_X_MAXWELL, &PCIE3_X16)
         });
         assert!(result.is_err(), "2x2 grid with 2 GPUs must be rejected");
+    }
+
+    #[test]
+    fn biased_partitioned_trains_end_to_end() {
+        // The engine seam's new combination: bias terms + grid partitioning.
+        let d = generate(&SynthConfig {
+            m: 400,
+            n: 300,
+            k_true: 4,
+            train_samples: 20_000,
+            test_samples: 2_000,
+            noise_std: 0.1,
+            row_skew: 0.4,
+            col_skew: 0.4,
+            rating_offset: 3.5,
+            seed: 91,
+        });
+        let mut c = config(4, 4, 2);
+        c.bias = true;
+        let r = train_partitioned::<f32>(&d.train, &d.test, &c, &TITAN_X_MAXWELL, &PCIE3_X16);
+        assert!(!r.diverged);
+        let bias = r.bias.expect("biased run must return bias terms");
+        assert!(bias.mu > 3.0, "global mean must absorb the offset");
+        assert!(
+            r.trace.final_rmse().unwrap() < 0.3,
+            "rmse {}",
+            r.trace.final_rmse().unwrap()
+        );
     }
 }

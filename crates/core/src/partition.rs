@@ -121,7 +121,7 @@ fn range_of(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
 /// blocks run concurrently (one per GPU); `None` means that GPU idles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WaveSchedule {
-    /// waves[w][g] = block assigned to GPU `g` in wave `w`.
+    /// `waves[w][g]` = block assigned to GPU `g` in wave `w`.
     pub waves: Vec<Vec<Option<BlockId>>>,
 }
 

@@ -1,24 +1,37 @@
 //! The single-GPU cuMF_SGD training loop.
 //!
-//! Composes a scheduling policy ([`crate::sched`]), an execution engine
-//! ([`crate::concurrent`]), a learning-rate schedule ([`crate::lrate`]) and
-//! an optional machine-time model into per-epoch convergence traces — the
-//! raw material of every RMSE-vs-time figure in the paper.
+//! A thin client of the layered [`crate::engine`]: it translates a
+//! [`SolverConfig`] into a scheduling policy ([`crate::sched`]), an
+//! execution engine ([`crate::engine::exec`]), a time domain, and the
+//! solver's observer stack (obs probes, divergence guard, optional
+//! checkpointing), then hands the epoch loop to
+//! [`EpochPipeline`] — producing the
+//! per-epoch convergence traces that are the raw material of every
+//! RMSE-vs-time figure in the paper.
+
+use std::path::PathBuf;
 
 use cumf_rng::ChaCha8Rng;
 use cumf_rng::SeedableRng;
 
 use cumf_data::CooMatrix;
-use cumf_gpu_sim::SgdUpdateCost;
 
-use crate::concurrent::{run_epoch, EpochStats, ExecMode};
+use crate::concurrent::{EpochStats, ExecMode};
+use crate::engine::{
+    engine_for, load_checkpoint, Checkpointer, DivergenceGuard, EngineModel, EpochObserver,
+    EpochPipeline, ModelTime, NoSimTime, ObsProbes, StreamBackend, TimeDomain,
+};
 use crate::feature::{Element, FactorMatrix};
-use crate::lrate::{LearningRate, Schedule};
-use crate::metrics::{rmse, Trace, TracePoint};
+use crate::lrate::Schedule;
+use crate::metrics::Trace;
+use crate::model_io::ModelIoError;
 use crate::sched::{
     BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream, UpdateStream,
     WavefrontStream,
 };
+
+pub use crate::engine::time::TimeModel;
+pub use crate::engine::TrainReport;
 
 /// Which scheduling policy the solver runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +99,36 @@ impl Scheme {
             Scheme::LibmfTable { .. } => "libmf-table",
         }
     }
+
+    /// The deterministic update stream implementing this policy over `n`
+    /// training samples, derived from the run's `seed`.
+    pub fn stream(&self, train: &CooMatrix, seed: u64) -> Box<dyn UpdateStream> {
+        match *self {
+            Scheme::Serial => Box::new(SerialStream::new(train.nnz())),
+            Scheme::Hogwild { workers } => Box::new(HogwildStream::new(
+                train.nnz(),
+                workers as usize,
+                seed ^ 0x5eed,
+            )),
+            Scheme::BatchHogwild { workers, batch } => Box::new(BatchHogwildStream::new(
+                train.nnz(),
+                workers as usize,
+                batch as usize,
+            )),
+            Scheme::Wavefront { workers, cols } => Box::new(WavefrontStream::new(
+                train,
+                workers as usize,
+                cols as usize,
+                seed ^ 0x3afe,
+            )),
+            Scheme::LibmfTable { workers, a } => Box::new(LibmfTableStream::new(
+                train,
+                workers as usize,
+                a as usize,
+                seed ^ 0x71b,
+            )),
+        }
+    }
 }
 
 /// Solver configuration.
@@ -125,73 +168,16 @@ impl SolverConfig {
     }
 }
 
-/// Converts epoch round counts into simulated seconds on a modelled
-/// machine: one round = one update per worker at its fair bandwidth share.
+/// Where, how often, and whether to resume from a training checkpoint.
 #[derive(Debug, Clone)]
-pub struct TimeModel {
-    /// Per-update memory traffic model.
-    pub cost: SgdUpdateCost,
-    /// Total effective bandwidth of the worker ensemble, bytes/s.
-    pub total_bandwidth: f64,
-    /// Fixed per-epoch overhead (kernel launches, scheduling), seconds.
-    pub epoch_overhead: f64,
-}
-
-impl TimeModel {
-    /// Seconds one epoch takes given its observed round structure.
-    pub fn epoch_seconds(&self, stats: &EpochStats, workers: u32) -> f64 {
-        let per_round = self.cost.bytes() as f64 * workers as f64 / self.total_bandwidth;
-        self.epoch_overhead + stats.rounds as f64 * per_round
-    }
-}
-
-/// Compact end-of-run summary, also mirrored into the observability
-/// registry (`cumf_solver_run_*` series) when [`train`] returns.
-#[derive(Debug, Clone)]
-pub struct TrainReport {
-    /// Scheduling policy name.
-    pub scheme: &'static str,
-    /// Epochs actually executed (early exit on divergence).
-    pub epochs_run: u32,
-    /// SGD updates applied across the run.
-    pub total_updates: u64,
-    /// Test RMSE after the last executed epoch (NaN when no epoch ran).
-    pub final_rmse: f64,
-    /// Host wall-clock seconds spent in the training loop.
-    pub wall_seconds: f64,
-    /// Simulated seconds, when a [`TimeModel`] was attached (else 0).
-    pub sim_seconds: f64,
-    /// Updates per wall-clock second (0 when no time elapsed).
-    pub updates_per_wall_sec: f64,
-    /// True if the run hit the divergence ceiling.
-    pub diverged: bool,
-}
-
-impl TrainReport {
-    /// Mirrors the snapshot into the global observability registry.
-    fn publish(&self) {
-        cumf_obs::counter("cumf_solver_runs_total", "Training runs completed").inc();
-        cumf_obs::gauge(
-            "cumf_solver_run_wall_seconds",
-            "Wall-clock seconds of the most recent training run",
-        )
-        .set(self.wall_seconds);
-        cumf_obs::gauge(
-            "cumf_solver_run_sim_seconds",
-            "Simulated seconds of the most recent training run",
-        )
-        .set(self.sim_seconds);
-        cumf_obs::gauge(
-            "cumf_solver_run_updates_per_sec",
-            "Updates per wall-clock second of the most recent training run",
-        )
-        .set(self.updates_per_wall_sec);
-        cumf_obs::gauge(
-            "cumf_solver_run_final_rmse",
-            "Final test RMSE of the most recent training run",
-        )
-        .set(self.final_rmse);
-    }
+pub struct CheckpointSpec {
+    /// Checkpoint file path.
+    pub path: PathBuf,
+    /// Save after every `every`-th epoch.
+    pub every: u32,
+    /// If true and `path` exists, continue the checkpointed run instead of
+    /// starting fresh.
+    pub resume: bool,
 }
 
 /// Output of a training run.
@@ -227,165 +213,105 @@ pub fn train<E: Element>(
     config: &SolverConfig,
     time: Option<&TimeModel>,
 ) -> TrainResult<E> {
+    train_resumable(train, test, config, time, None)
+        .expect("training without checkpointing performs no IO")
+}
+
+/// [`train`], with optional checkpoint/resume. With `Some(spec)`, a
+/// checkpoint is written every `spec.every` epochs; with `spec.resume`
+/// set and an existing checkpoint at `spec.path`, the run continues where
+/// it stopped — deterministic streams and the checkpointed LR state make
+/// the result bit-identical to an uninterrupted run.
+pub fn train_resumable<E: Element>(
+    train: &CooMatrix,
+    test: &CooMatrix,
+    config: &SolverConfig,
+    time: Option<&TimeModel>,
+    checkpoint: Option<&CheckpointSpec>,
+) -> Result<TrainResult<E>, ModelIoError> {
     assert!(config.k > 0, "k must be positive");
     assert!(!train.is_empty(), "training set is empty");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut p: FactorMatrix<E> = FactorMatrix::random_init(train.rows(), config.k, &mut rng);
-    let mut q: FactorMatrix<E> = FactorMatrix::random_init(train.cols(), config.k, &mut rng);
 
-    let mut stream: Box<dyn UpdateStream> = match config.scheme {
-        Scheme::Serial => Box::new(SerialStream::new(train.nnz())),
-        Scheme::Hogwild { workers } => Box::new(HogwildStream::new(
-            train.nnz(),
-            workers as usize,
-            config.seed ^ 0x5eed,
-        )),
-        Scheme::BatchHogwild { workers, batch } => Box::new(BatchHogwildStream::new(
-            train.nnz(),
-            workers as usize,
-            batch as usize,
-        )),
-        Scheme::Wavefront { workers, cols } => Box::new(WavefrontStream::new(
-            train,
-            workers as usize,
-            cols as usize,
-            config.seed ^ 0x3afe,
-        )),
-        Scheme::LibmfTable { workers, a } => Box::new(LibmfTableStream::new(
-            train,
-            workers as usize,
-            a as usize,
-            config.seed ^ 0x71b,
-        )),
+    let (mut model, resume_state) = match checkpoint {
+        Some(spec) if spec.resume && spec.path.exists() => {
+            let (model, state) = load_checkpoint::<E>(&spec.path)?;
+            if model.p.rows() != train.rows()
+                || model.q.rows() != train.cols()
+                || model.p.k() != config.k
+            {
+                return Err(ModelIoError::Format(format!(
+                    "checkpoint shape {}x{} k={} does not match run {}x{} k={}",
+                    model.p.rows(),
+                    model.q.rows(),
+                    model.p.k(),
+                    train.rows(),
+                    train.cols(),
+                    config.k
+                )));
+            }
+            (model, Some(state))
+        }
+        _ => {
+            let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+            (EngineModel::init_unbiased(train, config.k, &mut rng), None)
+        }
     };
 
     let mode = config.mode.unwrap_or_else(|| config.scheme.default_mode());
-    let mut lr = LearningRate::new(config.schedule.clone());
-    let mut trace = Trace::default();
-    let mut epoch_stats = Vec::with_capacity(config.epochs as usize);
-    let mut seconds = 0.0f64;
-    let mut updates = 0u64;
-    let mut diverged = false;
-
-    // Observability probes: registered once per run, updated lock-free in
-    // the epoch loop (each probe is a no-op unless recording is enabled).
-    let _run_span = cumf_obs::span("solver", format!("train:{}", config.scheme.name()));
-    let obs_epochs = cumf_obs::counter("cumf_solver_epochs_total", "Training epochs executed");
-    let obs_updates = cumf_obs::counter("cumf_solver_updates_total", "SGD updates applied");
-    let obs_stalls = cumf_obs::counter(
-        "cumf_solver_stalls_total",
-        "Worker-round slots lost to scheduler stalls",
-    );
-    let obs_row_coll = cumf_obs::counter(
-        "cumf_solver_row_collisions_total",
-        "Rounds where two or more workers touched the same P row",
-    );
-    let obs_col_coll = cumf_obs::counter(
-        "cumf_solver_col_collisions_total",
-        "Rounds where two or more workers touched the same Q column",
-    );
-    let obs_rmse = cumf_obs::gauge("cumf_solver_rmse", "Test RMSE after the most recent epoch");
-    let obs_gamma = cumf_obs::gauge(
-        "cumf_solver_gamma",
-        "Learning rate of the most recent epoch",
-    );
-    let obs_epoch_secs = cumf_obs::histogram(
-        "cumf_solver_epoch_seconds",
-        "Wall-clock seconds per training epoch (updates only, excluding evaluation)",
-    );
-    let obs_eval_secs = cumf_obs::histogram(
-        "cumf_solver_rmse_eval_seconds",
-        "Wall-clock seconds per test-RMSE evaluation",
-    );
-    let obs_sim_secs = cumf_obs::histogram(
-        "cumf_solver_sim_epoch_seconds",
-        "Simulated seconds per epoch under the attached machine-time model",
-    );
-    let run_t0 = std::time::Instant::now();
-
-    for epoch in 0..config.epochs {
-        let mut epoch_span = cumf_obs::span("solver", "epoch");
-        let epoch_t0 = std::time::Instant::now();
-        stream.begin_epoch(epoch);
-        let gamma = lr.gamma(epoch);
-        let stats = run_epoch(
-            train,
-            &mut p,
-            &mut q,
-            stream.as_mut(),
-            gamma,
-            config.lambda,
-            mode,
-        );
-        obs_epoch_secs.record(epoch_t0.elapsed().as_secs_f64());
-        updates += stats.updates;
-        if let Some(tm) = time {
-            let sim_epoch = tm.epoch_seconds(&stats, config.scheme.workers());
-            obs_sim_secs.record(sim_epoch);
-            seconds += sim_epoch;
-        }
-        let eval_span = cumf_obs::span("solver", "rmse_eval");
-        let eval_t0 = std::time::Instant::now();
-        let test_rmse = rmse(test, &p, &q);
-        obs_eval_secs.record(eval_t0.elapsed().as_secs_f64());
-        drop(eval_span);
-        lr.observe(test_rmse);
-        trace.push(TracePoint {
-            epoch: epoch + 1,
-            updates,
-            rmse: test_rmse,
-            seconds,
-        });
-        obs_epochs.inc();
-        obs_updates.add(stats.updates);
-        obs_stalls.add(stats.stalls);
-        obs_row_coll.add(stats.row_collisions);
-        obs_col_coll.add(stats.col_collisions);
-        obs_rmse.set(test_rmse);
-        obs_gamma.set(gamma as f64);
-        epoch_span.set_arg("epoch", (epoch + 1) as f64);
-        epoch_span.set_arg("updates", stats.updates as f64);
-        epoch_span.set_arg("rounds", stats.rounds as f64);
-        epoch_span.set_arg("rmse", test_rmse);
-        epoch_span.set_arg("gamma", gamma as f64);
-        epoch_stats.push(stats);
-        if !test_rmse.is_finite() || test_rmse > config.divergence_ceiling {
-            diverged = true;
-            break;
-        }
-    }
-
-    let wall_seconds = run_t0.elapsed().as_secs_f64();
-    let report = TrainReport {
-        scheme: config.scheme.name(),
-        epochs_run: trace.points.len() as u32,
-        total_updates: updates,
-        final_rmse: trace.final_rmse().unwrap_or(f64::NAN),
-        wall_seconds,
-        sim_seconds: seconds,
-        updates_per_wall_sec: if wall_seconds > 0.0 {
-            updates as f64 / wall_seconds
-        } else {
-            0.0
-        },
-        diverged,
+    let thread_batch = match config.scheme {
+        Scheme::BatchHogwild { batch, .. } => batch as usize,
+        _ => 256,
     };
-    report.publish();
+    let mut backend = StreamBackend::new(
+        train,
+        config.scheme.stream(train, config.seed),
+        engine_for::<E>(mode, config.scheme.workers() as usize, thread_batch),
+        config.scheme.workers(),
+    );
 
-    TrainResult {
-        p,
-        q,
-        trace,
-        epoch_stats,
-        report,
-        diverged,
+    let mut time_domain: Box<dyn TimeDomain> = match time {
+        Some(tm) => Box::new(ModelTime(tm.clone())),
+        None => Box::new(NoSimTime),
+    };
+
+    let mut probes = ObsProbes::new();
+    let mut guard = DivergenceGuard::new(config.divergence_ceiling);
+    let mut checkpointer = checkpoint.map(|spec| Checkpointer::new(&spec.path, spec.every));
+    let mut observers: Vec<&mut dyn EpochObserver<E>> = vec![&mut probes, &mut guard];
+    if let Some(ckpt) = checkpointer.as_mut() {
+        observers.push(ckpt);
     }
+
+    let pipeline = EpochPipeline {
+        label: config.scheme.name(),
+        epochs: config.epochs,
+        lambda: config.lambda,
+        schedule: config.schedule.clone(),
+    };
+    let run = pipeline.run(
+        &mut model,
+        &mut backend,
+        time_domain.as_mut(),
+        &mut observers,
+        test,
+        resume_state,
+    );
+
+    Ok(TrainResult {
+        p: model.p,
+        q: model.q,
+        trace: run.trace,
+        epoch_stats: run.epoch_stats,
+        report: run.report,
+        diverged: run.diverged,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::half::F16;
+    use crate::SgdUpdateCost;
     use cumf_data::synth::{generate, SynthConfig};
 
     fn small_dataset() -> cumf_data::synth::SynthDataset {
@@ -565,5 +491,60 @@ mod tests {
         let d = small_dataset();
         let empty = CooMatrix::new(5, 5);
         let _ = train::<f32>(&empty, &d.test, &base_config(Scheme::Serial), None);
+    }
+
+    #[test]
+    fn threaded_mode_override_converges() {
+        // The engine seam in action: any scheme's samples executed by the
+        // real-thread Hogwild! engine — previously a separate entry point.
+        let d = small_dataset();
+        let mut cfg = base_config(Scheme::BatchHogwild {
+            workers: 4,
+            batch: 64,
+        });
+        cfg.mode = Some(ExecMode::Threaded);
+        let r = train::<f32>(&d.train, &d.test, &cfg, None);
+        assert!(!r.diverged);
+        assert!(r.trace.final_rmse().unwrap() < 0.25);
+        assert_eq!(r.total_updates(), 15_000 * 15);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        // Interrupt at epoch 5 of 15, resume, and the full trace must be
+        // bit-identical to never having stopped.
+        let d = small_dataset();
+        let cfg = base_config(Scheme::BatchHogwild {
+            workers: 8,
+            batch: 64,
+        });
+        let full = train::<f32>(&d.train, &d.test, &cfg, None);
+
+        let dir = std::env::temp_dir().join("cumf_solver_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.cmfk");
+        let _ = std::fs::remove_file(&path);
+
+        let mut first = cfg.clone();
+        first.epochs = 5;
+        let spec = CheckpointSpec {
+            path: path.clone(),
+            every: 5,
+            resume: true,
+        };
+        let _ = train_resumable::<f32>(&d.train, &d.test, &first, None, Some(&spec)).unwrap();
+        let resumed = train_resumable::<f32>(&d.train, &d.test, &cfg, None, Some(&spec)).unwrap();
+
+        assert_eq!(resumed.trace.points.len(), full.trace.points.len());
+        for (a, b) in resumed.trace.points.iter().zip(&full.trace.points) {
+            assert_eq!(a.epoch, b.epoch);
+            assert_eq!(a.updates, b.updates);
+            assert_eq!(a.rmse.to_bits(), b.rmse.to_bits(), "epoch {}", a.epoch);
+        }
+        assert_eq!(resumed.p, full.p);
+        assert_eq!(resumed.q, full.q);
+        // Only the post-resume epochs were executed by the second call.
+        assert_eq!(resumed.epoch_stats.len(), 10);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,7 +1,7 @@
 //! Train/test splitting.
 //!
-//! Hugewiki ships without a test set; the paper "randomly sample[s] and
-//! extract[s] out 1% of the data as the test set" (§2.2). This module
+//! Hugewiki ships without a test set; the paper "randomly sample\[s\] and
+//! extract\[s\] out 1% of the data as the test set" (§2.2). This module
 //! implements that holdout split.
 
 use cumf_rng::Rng;

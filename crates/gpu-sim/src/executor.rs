@@ -13,7 +13,7 @@
 
 use cumf_des::{Block, Ctx, LockId, Process, ServerId, SimTime, Simulation};
 
-use crate::kernel::SgdUpdateCost;
+use crate::SgdUpdateCost;
 
 /// Scheduling-policy overhead models (§5 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -14,7 +14,7 @@
 //! ridge, which is the paper's entire performance thesis.
 
 use crate::arch::{CpuSpec, GpuSpec};
-use crate::kernel::SgdUpdateCost;
+use crate::SgdUpdateCost;
 
 /// A machine's roofline: peak compute and peak (effective) bandwidth.
 #[derive(Debug, Clone, Copy, PartialEq)]

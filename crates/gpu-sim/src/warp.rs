@@ -86,7 +86,7 @@ pub fn registers_per_lane(k: u32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::SgdUpdateCost;
+    use crate::SgdUpdateCost;
 
     fn vecs(k: usize, seed: u32) -> (Vec<f32>, Vec<f32>) {
         let f = |i: usize, s: u32| ((i as f32 + s as f32) * 0.37).sin() * 0.5;

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 use cumf_sgd::core::model_io::{load_model_file, save_model_file, Model};
-use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::solver::{train, train_resumable, CheckpointSpec, Scheme, SolverConfig};
 use cumf_sgd::core::{rmse, Schedule, F16};
 use cumf_sgd::data::io::{read_binary_file, read_text_file, write_binary_file};
 use cumf_sgd::data::{CooMatrix, DatasetSpec, HUGEWIKI, NETFLIX, YAHOO_MUSIC};
@@ -70,6 +70,7 @@ USAGE:
                 [--scheme serial|hogwild|batch-hogwild|wavefront|libmf]
                 [--workers 16] [--batch 256] [--f16] [--save model.cmfm]
                 [--trace out.json] [--metrics out.prom]
+                [--checkpoint run.cmfk] [--checkpoint-every 1] [--resume]
   cumf evaluate [--model model.cmfm] [--data test.bin] [--f16]
   cumf predict  [--model model.cmfm] [--user U] [--item V] [--f16]
   cumf profile  [--preset netflix|yahoo|hugewiki] [--scale 0.002] [--k 16]
@@ -80,7 +81,12 @@ Data files may be .bin (compact binary) or text (`u v r` per line).
 --trace writes Chrome trace_event JSON (open in Perfetto or
 chrome://tracing); --metrics writes Prometheus text exposition. Either
 flag also runs the calibrated GPU machine model after training so the
-trace spans all three layers (solver, gpu-sim, DES).";
+trace spans all three layers (solver, gpu-sim, DES).
+
+--checkpoint saves a resumable snapshot every --checkpoint-every epochs;
+add --resume to continue an interrupted run from that snapshot (the
+deterministic schedulers make the result identical to an uninterrupted
+run).";
 
 type Flags = HashMap<String, String>;
 
@@ -92,7 +98,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if name == "f16" {
+        if name == "f16" || name == "resume" {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -202,6 +208,17 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         divergence_ceiling: 1e3,
     };
     let save = get(flags, "save", "model.cmfm");
+    let checkpoint = match flags.get("checkpoint") {
+        Some(path) => Some(CheckpointSpec {
+            path: std::path::PathBuf::from(path),
+            every: get_parse(flags, "checkpoint-every", 1)?,
+            resume: flags.contains_key("resume"),
+        }),
+        None if flags.contains_key("resume") => {
+            return Err("--resume requires --checkpoint <path>".into());
+        }
+        None => None,
+    };
     let trace_out = flags.get("trace").cloned();
     let metrics_out = flags.get("metrics").cloned();
     let observing = trace_out.is_some() || metrics_out.is_some();
@@ -218,13 +235,17 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         config.epochs
     );
     let outcome = if flags.contains_key("f16") {
-        let result = train::<F16>(&train_data, &test_data, &config, None);
+        let result =
+            train_resumable::<F16>(&train_data, &test_data, &config, None, checkpoint.as_ref())
+                .map_err(|e| e.to_string())?;
         report_and_save(result.trace.final_rmse(), result.diverged, save, || {
             save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
                 .map_err(|e| e.to_string())
         })
     } else {
-        let result = train::<f32>(&train_data, &test_data, &config, None);
+        let result =
+            train_resumable::<f32>(&train_data, &test_data, &config, None, checkpoint.as_ref())
+                .map_err(|e| e.to_string())?;
         report_and_save(result.trace.final_rmse(), result.diverged, save, || {
             save_model_file(save, &Model::new(result.p.clone(), result.q.clone()))
                 .map_err(|e| e.to_string())

@@ -1,0 +1,297 @@
+//! Cross-path contracts of the layered engine: the single-GPU solver, the
+//! partitioned multi-GPU path, the biased model, and checkpoint/resume all
+//! run through one `EpochPipeline`, so their behaviours must compose and
+//! coincide where the layers say they do.
+
+use std::process::Command;
+
+use cumf_sgd::core::engine::{load_checkpoint, save_checkpoint, ResumeState};
+use cumf_sgd::core::multi_gpu::{train_partitioned, MultiGpuConfig};
+use cumf_sgd::core::solver::{train, train_resumable, CheckpointSpec, Scheme, SolverConfig};
+use cumf_sgd::core::{EngineModel, ExecMode, Schedule, Trace, F16};
+use cumf_sgd::data::synth::{generate, SynthConfig, SynthDataset};
+use cumf_sgd::gpu_sim::{PCIE3_X16, TITAN_X_MAXWELL};
+use cumf_sgd::rng::{ChaCha8Rng, SeedableRng};
+
+fn dataset(offset: f32, seed: u64) -> SynthDataset {
+    generate(&SynthConfig {
+        m: 300,
+        n: 200,
+        k_true: 4,
+        train_samples: 15_000,
+        test_samples: 1_500,
+        noise_std: 0.1,
+        row_skew: 0.4,
+        col_skew: 0.4,
+        rating_offset: offset,
+        seed,
+    })
+}
+
+fn assert_traces_converge_identically(a: &Trace, b: &Trace) {
+    assert_eq!(a.points.len(), b.points.len(), "trace lengths differ");
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.epoch, y.epoch);
+        assert_eq!(x.updates, y.updates, "epoch {}", x.epoch);
+        assert_eq!(
+            x.rmse.to_bits(),
+            y.rmse.to_bits(),
+            "epoch {}: {} vs {}",
+            x.epoch,
+            x.rmse,
+            y.rmse
+        );
+    }
+}
+
+/// A 1×1 grid on 1 GPU degenerates to the single-GPU solver: same stream,
+/// same engine, same model init — the convergence trace must be
+/// bit-identical (only the time domain differs).
+#[test]
+fn one_by_one_grid_matches_single_gpu_solver_bitwise() {
+    let d = dataset(1.0, 33);
+    let workers = 8u32;
+    let batch = 64u32;
+    let seed = 7u64;
+
+    let mut mg = MultiGpuConfig::new(6, 1, 1, 1);
+    mg.epochs = 8;
+    mg.lambda = 0.02;
+    mg.schedule = Schedule::paper_default(0.1, 0.1);
+    mg.workers_per_gpu = workers;
+    mg.batch = batch;
+    mg.seed = seed;
+    let part = train_partitioned::<f32>(&d.train, &d.test, &mg, &TITAN_X_MAXWELL, &PCIE3_X16);
+
+    let solo = train::<f32>(
+        &d.train,
+        &d.test,
+        &SolverConfig {
+            k: 6,
+            lambda: 0.02,
+            schedule: Schedule::paper_default(0.1, 0.1),
+            epochs: 8,
+            scheme: Scheme::BatchHogwild { workers, batch },
+            seed,
+            mode: Some(ExecMode::StaleAdditive),
+            divergence_ceiling: 1e3,
+        },
+        None,
+    );
+
+    assert_traces_converge_identically(&part.trace, &solo.trace);
+    assert_eq!(part.p, solo.p, "P factors must be bit-identical");
+    assert_eq!(part.q, solo.q, "Q factors must be bit-identical");
+}
+
+/// Biased + partitioned — the combination the engine refactor unlocked —
+/// must beat the unbiased partitioned run on offset-heavy data.
+#[test]
+fn biased_partitioned_beats_unbiased_on_offset_heavy_data() {
+    let d = dataset(3.5, 91);
+    let mut cfg = MultiGpuConfig::new(6, 4, 4, 2);
+    cfg.epochs = 3;
+    cfg.lambda = 0.02;
+    cfg.schedule = Schedule::NomadDecay {
+        alpha: 0.1,
+        beta: 0.1,
+    };
+    cfg.workers_per_gpu = 8;
+    cfg.batch = 32;
+
+    let plain = train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16);
+    let mut biased_cfg = cfg.clone();
+    biased_cfg.bias = true;
+    let biased =
+        train_partitioned::<f32>(&d.train, &d.test, &biased_cfg, &TITAN_X_MAXWELL, &PCIE3_X16);
+
+    assert!(!biased.diverged);
+    assert!(biased.bias.is_some());
+    let b = biased.trace.final_rmse().unwrap();
+    let p = plain.trace.final_rmse().unwrap();
+    assert!(
+        b < p,
+        "bias terms should absorb the 3.5 offset in early epochs: biased {b} vs plain {p}"
+    );
+}
+
+/// FP16 storage + the real-thread Hogwild! engine — the other previously
+/// impossible combination — converges like the f32 run.
+#[test]
+fn f16_threaded_hogwild_converges() {
+    let d = dataset(1.0, 33);
+    let mut cfg = SolverConfig::new(
+        6,
+        Scheme::BatchHogwild {
+            workers: 4,
+            batch: 64,
+        },
+    );
+    cfg.epochs = 12;
+    cfg.lambda = 0.02;
+    cfg.schedule = Schedule::paper_default(0.1, 0.1);
+    cfg.mode = Some(ExecMode::Threaded);
+    let r = train::<F16>(&d.train, &d.test, &cfg, None);
+    assert!(!r.diverged);
+    let rmse = r.trace.final_rmse().unwrap();
+    assert!(rmse < 0.25, "f16 + threaded Hogwild! rmse {rmse}");
+    assert_eq!(r.total_updates(), 15_000 * 12);
+}
+
+/// Interrupting at an arbitrary epoch and resuming reproduces the
+/// uninterrupted run exactly, including the learning-rate state of an
+/// adaptive (BoldDriver) schedule.
+#[test]
+fn resume_with_adaptive_schedule_is_bit_exact() {
+    let d = dataset(1.0, 33);
+    let mut cfg = SolverConfig::new(
+        6,
+        Scheme::BatchHogwild {
+            workers: 8,
+            batch: 64,
+        },
+    );
+    cfg.epochs = 9;
+    cfg.lambda = 0.02;
+    cfg.schedule = Schedule::BoldDriver {
+        initial: 0.05,
+        up: 1.05,
+        down: 0.5,
+    };
+    let full = train::<f32>(&d.train, &d.test, &cfg, None);
+
+    let dir = std::env::temp_dir().join("cumf_engine_paths_resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bold.cmfk");
+    let _ = std::fs::remove_file(&path);
+
+    let spec = CheckpointSpec {
+        path: path.clone(),
+        every: 2,
+        resume: true,
+    };
+    let mut first = cfg.clone();
+    first.epochs = 4; // stops right after a checkpointed epoch
+    let _ = train_resumable::<f32>(&d.train, &d.test, &first, None, Some(&spec)).unwrap();
+    let resumed = train_resumable::<f32>(&d.train, &d.test, &cfg, None, Some(&spec)).unwrap();
+
+    assert_traces_converge_identically(&resumed.trace, &full.trace);
+    assert_eq!(resumed.p, full.p);
+    assert_eq!(resumed.q, full.q);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Checkpoints round-trip the full engine model — including bias terms —
+/// and reject files from the (different) model format.
+#[test]
+fn checkpoint_round_trips_biased_model() {
+    let d = dataset(3.5, 91);
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let model = EngineModel::<f32>::init_biased(&d.train, 4, &mut rng);
+    let state = ResumeState {
+        next_epoch: 3,
+        updates: 123,
+        sim_seconds: 1.5,
+        trace: Trace::default(),
+        lr: None,
+    };
+    let dir = std::env::temp_dir().join("cumf_engine_paths_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("biased.cmfk");
+    save_checkpoint(&path, &model, &state).unwrap();
+    let (loaded, loaded_state) = load_checkpoint::<f32>(&path).unwrap();
+    assert_eq!(loaded, model);
+    assert_eq!(loaded_state, state);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// End-to-end CLI: `cumf train --checkpoint ... --resume` continues an
+/// interrupted run and produces the same model file as one uninterrupted
+/// invocation.
+#[test]
+fn cli_checkpoint_resume_round_trip() {
+    let dir = std::env::temp_dir().join("cumf_cli_resume_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let train_bin = dir.join("train.bin");
+    let test_bin = dir.join("test.bin");
+    let d = dataset(1.0, 33);
+    cumf_sgd::data::io::write_binary_file(&train_bin, &d.train).unwrap();
+    cumf_sgd::data::io::write_binary_file(&test_bin, &d.test).unwrap();
+
+    let cumf = env!("CARGO_BIN_EXE_cumf");
+    let run = |extra: &[&str]| {
+        let mut cmd = Command::new(cumf);
+        cmd.arg("train")
+            .arg("--data")
+            .arg(&train_bin)
+            .arg("--test")
+            .arg(&test_bin)
+            .args([
+                "--k",
+                "6",
+                "--epochs",
+                "10",
+                "--workers",
+                "8",
+                "--batch",
+                "64",
+            ])
+            .args(extra);
+        let out = cmd.output().expect("cumf binary runs");
+        assert!(
+            out.status.success(),
+            "cumf train failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    let model_full = dir.join("full.cmfm");
+    run(&["--save", model_full.to_str().unwrap()]);
+
+    let ckpt = dir.join("run.cmfk");
+    let model_resumed = dir.join("resumed.cmfm");
+    // Interrupt: run only 4 of 10 epochs, checkpointing every 2.
+    let mut cmd = Command::new(cumf);
+    cmd.arg("train")
+        .arg("--data")
+        .arg(&train_bin)
+        .arg("--test")
+        .arg(&test_bin)
+        .args([
+            "--k",
+            "6",
+            "--epochs",
+            "4",
+            "--workers",
+            "8",
+            "--batch",
+            "64",
+        ])
+        .args([
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "2",
+        ])
+        .args(["--save", model_resumed.to_str().unwrap()]);
+    assert!(cmd.output().unwrap().status.success());
+    // Resume to the full 10 epochs.
+    run(&[
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "2",
+        "--resume",
+        "--save",
+        model_resumed.to_str().unwrap(),
+    ]);
+
+    let full_bytes = std::fs::read(&model_full).unwrap();
+    let resumed_bytes = std::fs::read(&model_resumed).unwrap();
+    assert_eq!(
+        full_bytes, resumed_bytes,
+        "resumed model file must be byte-identical to the uninterrupted run's"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
