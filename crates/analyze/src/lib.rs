@@ -1,0 +1,239 @@
+//! # cumf-analyze — concurrency analyzers for the cuMF_SGD reproduction
+//!
+//! Three offline analyzers over the engine layers in `cumf-core`, all
+//! dependency-free:
+//!
+//! * [`prover`] — drives the schedule **conflict prover**
+//!   (`cumf_core::sched::conflict`) over randomized datasets: the
+//!   paper's conflict-free-by-construction schedules (wavefront-update
+//!   §5.2, LIBMF global table) must certify, and batch-Hogwild! (§5.1)
+//!   must be refuted with a concrete collision witness on a 1×1 matrix.
+//! * [`mc`] + [`models`] — a loom-style **interleaving model checker**:
+//!   exhaustive DFS over all thread interleavings of small transition
+//!   systems modelling the canonical P-then-Q stripe-lock order,
+//!   torn-row protection under `StripedFactors`, `AtomicFactors`'
+//!   whole-word cells, and the batch-Hogwild! work-claiming counter —
+//!   each paired with a deliberately broken twin the checker must refute.
+//! * `sanitizer` (compiled with the `sanitize` feature) — drivers for
+//!   the Eraser-style **dynamic lockset
+//!   sanitizer** (the feature forwards to
+//!   `cumf-core/sanitize`): the lock-striped executor must produce zero
+//!   reports, the lock-free Hogwild! executor must produce at least one.
+//!
+//! [`run_all`] runs every analyzer and aggregates pass/fail per section;
+//! the `cumf analyze` CLI subcommand and the CI gate are thin wrappers
+//! over it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mc;
+pub mod models;
+pub mod prover;
+#[cfg(feature = "sanitize")]
+pub mod sanitizer;
+
+pub use mc::{check, CheckOutcome, Model, Violation, ViolationKind};
+pub use models::{CellModel, LockOrderModel, RowModel, WorkClaimModel};
+pub use prover::ProverCase;
+
+/// State budget for each model-checker run; every model in [`models`] is
+/// orders of magnitude below this.
+pub const MC_STATE_BUDGET: usize = 1_000_000;
+
+/// One analyzer section's aggregated outcome.
+#[derive(Debug, Clone)]
+pub struct SectionResult {
+    /// Section name (`prover`, `model-check`, `sanitize`).
+    pub name: &'static str,
+    /// Whether every case in the section passed.
+    pub pass: bool,
+    /// Whether the section actually ran (the sanitizer section is
+    /// skipped when the `sanitize` feature is off).
+    pub ran: bool,
+    /// Per-case detail lines.
+    pub lines: Vec<String>,
+}
+
+impl std::fmt::Display for SectionResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let status = if !self.ran {
+            "SKIP"
+        } else if self.pass {
+            "PASS"
+        } else {
+            "FAIL"
+        };
+        writeln!(f, "== {} [{status}] ==", self.name)?;
+        for line in &self.lines {
+            writeln!(f, "  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The whole analysis campaign's outcome.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// One entry per analyzer section.
+    pub sections: Vec<SectionResult>,
+}
+
+impl AnalysisReport {
+    /// True when every section that ran passed.
+    pub fn pass(&self) -> bool {
+        self.sections.iter().all(|s| !s.ran || s.pass)
+    }
+}
+
+impl std::fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for s in &self.sections {
+            write!(f, "{s}")?;
+        }
+        write!(f, "analysis: {}", if self.pass() { "PASS" } else { "FAIL" })
+    }
+}
+
+/// Runs the prover campaign as a section.
+pub fn prover_section(seed: u64) -> SectionResult {
+    let cases = prover::run(seed);
+    SectionResult {
+        name: "prover",
+        pass: cases.iter().all(|c| c.pass()),
+        ran: true,
+        lines: cases.iter().map(|c| c.to_string()).collect(),
+    }
+}
+
+/// Runs every interleaving model (real protocol + broken twin) as a
+/// section. The real protocols must verify exhaustively; each broken
+/// twin must produce its specific counterexample — a checker that cannot
+/// refute the twins proves nothing about the protocols.
+pub fn model_check_section() -> SectionResult {
+    // (outcome, pass condition description, did it match expectations)
+    let mut lines = Vec::new();
+    let mut pass = true;
+    let mut record = |out: CheckOutcome, ok: bool, expectation: &str| {
+        let status = if ok { "ok" } else { "FAIL" };
+        lines.push(format!("[{status}] {out} — expected {expectation}"));
+        pass &= ok;
+    };
+
+    let out = check(&LockOrderModel::canonical(), MC_STATE_BUDGET);
+    record(out.clone(), out.verified(), "deadlock-free");
+    let out = check(&LockOrderModel::reversed(), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        matches!(&out.violation, Some(v) if v.kind == ViolationKind::Deadlock),
+        "ABBA deadlock counterexample",
+    );
+
+    let out = check(&RowModel::locked(), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        out.verified() && !out.probe_reached,
+        "no torn row reachable",
+    );
+    let out = check(&RowModel::unlocked(), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        out.probe_reached,
+        "torn row reachable without the lock",
+    );
+
+    let out = check(&CellModel::atomic(), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        out.verified() && !out.probe_reached,
+        "no torn cell reachable",
+    );
+    let out = check(&CellModel::split(), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        out.probe_reached,
+        "torn cell reachable with split stores",
+    );
+
+    for (n, batch, threads) in [(4, 1, 2), (6, 2, 3), (5, 2, 2)] {
+        let out = check(&WorkClaimModel::atomic(n, batch, threads), MC_STATE_BUDGET);
+        record(out.clone(), out.verified(), "claims disjoint and complete");
+    }
+    let out = check(&WorkClaimModel::split(4, 1, 2), MC_STATE_BUDGET);
+    record(
+        out.clone(),
+        matches!(&out.violation, Some(v) if v.kind == ViolationKind::Invariant),
+        "double-claim counterexample",
+    );
+
+    SectionResult {
+        name: "model-check",
+        pass,
+        ran: true,
+        lines,
+    }
+}
+
+/// Runs the sanitizer drivers as a section (skipped without the
+/// `sanitize` feature).
+pub fn sanitize_section(seed: u64) -> SectionResult {
+    #[cfg(feature = "sanitize")]
+    {
+        let cases = sanitizer::run(seed);
+        SectionResult {
+            name: "sanitize",
+            pass: cases.iter().all(|c| c.pass()),
+            ran: true,
+            lines: cases.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+    #[cfg(not(feature = "sanitize"))]
+    {
+        let _ = seed;
+        SectionResult {
+            name: "sanitize",
+            pass: true,
+            ran: false,
+            lines: vec![
+                "skipped: rebuild with `--features sanitize` to run the lockset sanitizer"
+                    .to_string(),
+            ],
+        }
+    }
+}
+
+/// Runs all three analyzers and aggregates the outcome.
+pub fn run_all(seed: u64) -> AnalysisReport {
+    AnalysisReport {
+        sections: vec![
+            prover_section(seed),
+            model_check_section(),
+            sanitize_section(seed),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_campaign_passes() {
+        let report = run_all(42);
+        assert!(report.pass(), "{report}");
+        assert_eq!(report.sections.len(), 3);
+        // Rendered report names every section.
+        let text = report.to_string();
+        for name in ["prover", "model-check", "sanitize"] {
+            assert!(text.contains(name), "missing section {name}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn a_failing_section_fails_the_report() {
+        let mut report = run_all(7);
+        report.sections[0].pass = false;
+        assert!(!report.pass());
+        assert!(report.to_string().contains("FAIL"));
+    }
+}

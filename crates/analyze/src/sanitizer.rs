@@ -1,0 +1,164 @@
+//! Drivers for the Eraser-style dynamic lockset sanitizer
+//! (`cumf_core::sanitize`, compiled in via the `sanitize` feature).
+//!
+//! The sanitizer instruments `StripedFactors::with_row_locked` and the
+//! lock-free `AtomicFactors` row accesses; these drivers run the two real
+//! threaded executors under it and check the expected signal on each
+//! side:
+//!
+//! * [`striped_scenario`] — the lock-striped executor: every shared row
+//!   access holds its stripe lock, so every candidate lockset stays
+//!   non-empty and the sanitizer must report **zero** races;
+//! * [`hogwild_scenario`] — the batch-Hogwild! executor: row accesses are
+//!   deliberately lock-free (the paper's point is that SGD tolerates the
+//!   races), so on collision-heavy data the sanitizer must report **at
+//!   least one** empty lockset. A positive control: if this scenario went
+//!   quiet, the instrumentation would be dead, not the code correct.
+
+use std::sync::{Arc, Mutex};
+
+use cumf_core::concurrent::{striped_locked_epoch, threaded_hogwild_epoch};
+use cumf_core::concurrent::{AtomicFactors, StripedFactors};
+use cumf_core::feature::FactorMatrix;
+use cumf_core::sanitize;
+use cumf_data::coo::CooMatrix;
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// Result of one sanitizer scenario.
+#[derive(Debug, Clone)]
+pub struct SanitizerCase {
+    /// Scenario name.
+    pub scenario: String,
+    /// Whether races were expected.
+    pub expect_races: bool,
+    /// Number of racy locations reported.
+    pub races: usize,
+    /// Rendered reports (empty when none).
+    pub reports: Vec<String>,
+}
+
+impl SanitizerCase {
+    /// The case passes when the signal matches the expectation.
+    pub fn pass(&self) -> bool {
+        (self.races > 0) == self.expect_races
+    }
+}
+
+impl std::fmt::Display for SanitizerCase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let status = if self.pass() { "ok" } else { "FAIL" };
+        write!(
+            f,
+            "[{status}] {}: {} racy location(s), expected {}",
+            self.scenario,
+            self.races,
+            if self.expect_races { "some" } else { "none" }
+        )?;
+        for r in self.reports.iter().take(3) {
+            write!(f, "\n    {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The sanitizer keeps process-global state; scenarios must not overlap
+/// (two concurrent `set_enabled(true)` calls would clear each other's
+/// observations). All drivers serialize on this gate.
+fn gate() -> &'static Mutex<()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    &GATE
+}
+
+/// Collision-heavy dataset: a tiny `m`×`n` matrix with `nnz` samples, so
+/// concurrent workers repeatedly hit the same factor rows.
+fn collision_data(m: u32, n: u32, nnz: usize, seed: u64) -> CooMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut data = CooMatrix::new(m, n);
+    for _ in 0..nnz {
+        data.push(
+            rng.gen_range(0..m),
+            rng.gen_range(0..n),
+            rng.gen_range(-1.0f32..1.0),
+        );
+    }
+    data
+}
+
+/// Runs the lock-striped executor under the sanitizer. Expected: zero
+/// races — every instrumented access holds its stripe lock.
+pub fn striped_scenario(seed: u64) -> SanitizerCase {
+    let _gate = gate().lock().unwrap();
+    let data = collision_data(4, 4, 20_000, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xab);
+    let pm = FactorMatrix::<f32>::random_init(4, 8, &mut rng);
+    let qm = FactorMatrix::<f32>::random_init(4, 8, &mut rng);
+    let p = StripedFactors::from_matrix(&pm, 2);
+    let q = StripedFactors::from_matrix(&qm, 2);
+
+    sanitize::set_enabled(true);
+    let updates = striped_locked_epoch(&data, &p, &q, 4, 64, 0.05, 0.05);
+    sanitize::set_enabled(false);
+    let reports = sanitize::take_reports();
+
+    assert_eq!(
+        updates as usize,
+        data.nnz(),
+        "executor must run every update"
+    );
+    SanitizerCase {
+        scenario: "striped-locked executor (4 threads, stripe locks held)".to_string(),
+        expect_races: false,
+        races: reports.len(),
+        reports: reports.iter().map(|r| r.to_string()).collect(),
+    }
+}
+
+/// Runs the lock-free batch-Hogwild! executor under the sanitizer on
+/// collision-heavy data. Expected: at least one empty lockset (retries a
+/// few epochs in case the scheduler serialized the tiny run).
+pub fn hogwild_scenario(seed: u64) -> SanitizerCase {
+    let _gate = gate().lock().unwrap();
+    let data = collision_data(2, 2, 50_000, seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xcd);
+    let pm = FactorMatrix::<f32>::random_init(2, 8, &mut rng);
+    let qm = FactorMatrix::<f32>::random_init(2, 8, &mut rng);
+    let p = Arc::new(AtomicFactors::from_matrix(&pm));
+    let q = Arc::new(AtomicFactors::from_matrix(&qm));
+
+    sanitize::set_enabled(true);
+    let mut reports = Vec::new();
+    // One epoch virtually always suffices; retry in case the OS scheduler
+    // let a single thread drain the whole counter.
+    for _ in 0..5 {
+        threaded_hogwild_epoch(&data, &p, &q, 4, 64, 0.01, 0.05);
+        reports = sanitize::take_reports();
+        if !reports.is_empty() {
+            break;
+        }
+    }
+    sanitize::set_enabled(false);
+
+    SanitizerCase {
+        scenario: "batch-hogwild executor (4 threads, lock-free rows)".to_string(),
+        expect_races: true,
+        races: reports.len(),
+        reports: reports.iter().map(|r| r.to_string()).collect(),
+    }
+}
+
+/// Both scenarios, in order.
+pub fn run(seed: u64) -> Vec<SanitizerCase> {
+    vec![striped_scenario(seed), hogwild_scenario(seed)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_scenarios_give_the_expected_signal() {
+        for case in run(0xE5A5E5) {
+            assert!(case.pass(), "{case}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! * [`als`] — alternating least squares (the cuMF_ALS comparator), with
 //!   a from-scratch Cholesky solver in [`linalg`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod als;

@@ -25,6 +25,7 @@
 //! | `tab04`  | Table 4 — time-to-RMSE speedups vs LIBMF |
 //! | `tab05`  | Table 5 — updates/s: BIDMach vs cuMF_SGD |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

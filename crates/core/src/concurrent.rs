@@ -75,9 +75,31 @@ impl EpochStats {
     }
 }
 
+/// Default consecutive-sample claim size for the threaded executors — the
+/// paper's `f = 256` ([`crate::sched::BatchHogwildStream::DEFAULT_F`]).
+pub const DEFAULT_THREAD_BATCH: usize = crate::sched::BatchHogwildStream::DEFAULT_F;
+
+/// Execution knobs for [`run_epoch_with`] that are not part of the
+/// scheduling policy itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecParams {
+    /// Samples each OS thread claims per shared-counter grab in
+    /// [`ExecMode::Threaded`] (ignored by the other modes).
+    pub thread_batch: usize,
+}
+
+impl Default for ExecParams {
+    fn default() -> Self {
+        ExecParams {
+            thread_batch: DEFAULT_THREAD_BATCH,
+        }
+    }
+}
+
 /// Runs one epoch of `stream` against `(p, q)` with learning rate `gamma`
 /// and regularisation `lambda`. Thin compatibility wrapper over the
-/// bias-capable epoch bodies in [`crate::engine::exec`].
+/// bias-capable epoch bodies in [`crate::engine::exec`], using the default
+/// [`ExecParams`].
 pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
     data: &CooMatrix,
     p: &mut FactorMatrix<E>,
@@ -86,6 +108,31 @@ pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
     gamma: f32,
     lambda: f32,
     mode: ExecMode,
+) -> EpochStats {
+    run_epoch_with(
+        data,
+        p,
+        q,
+        stream,
+        gamma,
+        lambda,
+        mode,
+        ExecParams::default(),
+    )
+}
+
+/// [`run_epoch`] with explicit [`ExecParams`] — the configurable seam the
+/// model checker and benches use to exercise small thread batches.
+#[allow(clippy::too_many_arguments)]
+pub fn run_epoch_with<E: Element, S: UpdateStream + ?Sized>(
+    data: &CooMatrix,
+    p: &mut FactorMatrix<E>,
+    q: &mut FactorMatrix<E>,
+    stream: &mut S,
+    gamma: f32,
+    lambda: f32,
+    mode: ExecMode,
+    params: ExecParams,
 ) -> EpochStats {
     let view = ModelView { p, q, bias: None };
     match mode {
@@ -99,7 +146,7 @@ pub fn run_epoch<E: Element, S: UpdateStream + ?Sized>(
             data,
             view,
             stream.workers().max(1),
-            256,
+            params.thread_batch.max(1),
             gamma,
             lambda,
         ),
@@ -118,6 +165,9 @@ pub struct AtomicFactors {
     rows: u32,
     k: u32,
     data: Vec<AtomicU32>,
+    /// Sanitizer instance id (lockset analysis, feature `sanitize`).
+    #[cfg(feature = "sanitize")]
+    san_id: u64,
 }
 
 impl AtomicFactors {
@@ -131,6 +181,8 @@ impl AtomicFactors {
                 .iter()
                 .map(|e| AtomicU32::new(e.to_f32().to_bits()))
                 .collect(),
+            #[cfg(feature = "sanitize")]
+            san_id: crate::sanitize::new_instance(),
         }
     }
 
@@ -146,6 +198,12 @@ impl AtomicFactors {
 
     /// Reads row `r` into `out`.
     pub fn load_row(&self, r: u32, out: &mut [f32]) {
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::on_access(
+            "atomic",
+            (self.san_id, r),
+            crate::sanitize::AccessKind::Read,
+        );
         let k = self.k as usize;
         let base = r as usize * k;
         for (o, cell) in out.iter_mut().zip(&self.data[base..base + k]) {
@@ -155,6 +213,12 @@ impl AtomicFactors {
 
     /// Writes row `r` from `vals` (racy by design).
     pub fn store_row(&self, r: u32, vals: &[f32]) {
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::on_access(
+            "atomic",
+            (self.san_id, r),
+            crate::sanitize::AccessKind::Write,
+        );
         let k = self.k as usize;
         let base = r as usize * k;
         for (cell, &v) in self.data[base..base + k].iter().zip(vals) {
@@ -412,6 +476,10 @@ pub struct StripedFactors {
     data: Vec<std::cell::UnsafeCell<f32>>,
     obs_acquired: cumf_obs::Counter,
     obs_contended: cumf_obs::Counter,
+    obs_poisoned: cumf_obs::Counter,
+    /// Sanitizer instance id (lockset analysis, feature `sanitize`).
+    #[cfg(feature = "sanitize")]
+    san_id: u64,
 }
 
 // SAFETY: all mutable access to `data` rows happens while holding the
@@ -441,6 +509,12 @@ impl StripedFactors {
                 "cumf_core_stripe_contended_total",
                 "Row-stripe acquisitions that found the stripe already held",
             ),
+            obs_poisoned: cumf_obs::counter(
+                "cumf_core_stripe_poisoned_total",
+                "Row-stripe acquisitions that found the stripe poisoned by a panicked writer",
+            ),
+            #[cfg(feature = "sanitize")]
+            san_id: crate::sanitize::new_instance(),
         }
     }
 
@@ -457,19 +531,47 @@ impl StripedFactors {
 
     /// Runs `f` with a mutable view of row `row` while holding its stripe
     /// lock.
+    ///
+    /// Acquisitions are tallied only once the guard is actually held;
+    /// a stripe found busy counts as contended, while a stripe poisoned by
+    /// a panicked writer is counted separately (`stripe_poisoned_total`)
+    /// and propagates a panic — the factors under it are torn.
     #[inline]
     fn with_row_locked<R>(&self, row: u32, f: impl FnOnce(&mut [f32]) -> R) -> R {
-        let lock = &self.locks[self.stripe(row)];
-        self.obs_acquired.inc();
+        let stripe = self.stripe(row);
+        let lock = &self.locks[stripe];
         let _guard = match lock.try_lock() {
             Ok(guard) => guard,
-            Err(_) => {
-                // Contended (or poisoned — a panicking writer leaves the
-                // factors torn either way, so propagate the panic).
+            Err(std::sync::TryLockError::WouldBlock) => {
                 self.obs_contended.inc();
-                lock.lock().unwrap()
+                match lock.lock() {
+                    Ok(guard) => guard,
+                    Err(_) => {
+                        self.obs_poisoned.inc();
+                        panic!(
+                            "factor stripe {stripe} poisoned: a writer panicked while \
+                             holding it, the rows it covers may be torn"
+                        );
+                    }
+                }
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                self.obs_poisoned.inc();
+                panic!(
+                    "factor stripe {stripe} poisoned: a writer panicked while \
+                     holding it, the rows it covers may be torn"
+                );
             }
         };
+        self.obs_acquired.inc();
+        #[cfg(feature = "sanitize")]
+        let _held = crate::sanitize::hold((self.san_id << 16) | stripe as u64);
+        #[cfg(feature = "sanitize")]
+        crate::sanitize::on_access(
+            "striped",
+            (self.san_id, row),
+            crate::sanitize::AccessKind::Write,
+        );
         let k = self.k as usize;
         let base = row as usize * k;
         // SAFETY: the stripe lock serialises all access to rows of this
@@ -577,6 +679,46 @@ mod striped_tests {
         let back: FactorMatrix<f32> = s.into_matrix();
         assert_eq!(back.row(3), &[7.0, 8.0, 9.0]);
         assert_eq!(back.row(0), m.row(0));
+    }
+
+    #[test]
+    fn poisoned_stripe_counts_distinctly_and_acquisition_counts_after_hold() {
+        cumf_obs::set_enabled(true);
+        let acquired = cumf_obs::counter(
+            "cumf_core_stripe_acquisitions_total",
+            "Row-stripe lock acquisitions in the lock-striped executor",
+        );
+        let poisoned = cumf_obs::counter(
+            "cumf_core_stripe_poisoned_total",
+            "Row-stripe acquisitions that found the stripe poisoned by a panicked writer",
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m: FactorMatrix<f32> = FactorMatrix::random_init(4, 2, &mut rng);
+        let s = StripedFactors::from_matrix(&m, 1);
+        let acquired_0 = acquired.get();
+        let poisoned_0 = poisoned.get();
+        // A writer panicking under the stripe poisons it (one successful
+        // acquisition).
+        let join = std::thread::scope(|scope| {
+            scope
+                .spawn(|| s.with_row_locked(0, |_| panic!("writer dies mid-update")))
+                .join()
+        });
+        assert!(join.is_err());
+        // The next acquisition must surface the poison distinctly: the
+        // poisoned counter ticks, the acquisition counter does NOT (the
+        // guard was never held).
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.with_row_locked(1, |row| row[0])
+        }));
+        let err = *attempt.unwrap_err().downcast::<String>().unwrap();
+        assert!(err.contains("poisoned"), "{err}");
+        assert_eq!(poisoned.get() - poisoned_0, 1);
+        assert_eq!(
+            acquired.get() - acquired_0,
+            1,
+            "only the writer's successful acquisition may be counted"
+        );
     }
 
     #[test]

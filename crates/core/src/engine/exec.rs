@@ -133,6 +133,14 @@ pub fn engine_for<E: Element>(
 /// One epoch of immediate in-order application. With biases present, each
 /// sample updates `b_u`/`b_v` with the prediction error before the factor
 /// rows (both against the pre-update values, as in Algorithm 1).
+///
+/// Sequential execution is only *exact* for conflict-free schedules, so
+/// this engine verifies the invariant as it goes: rounds in which two
+/// workers touch the same P row or Q column are counted in
+/// [`EpochStats::row_collisions`]/[`EpochStats::col_collisions`]. A racy
+/// schedule therefore no longer serialises *silently* — upstream callers
+/// ([`crate::solver`]) additionally refuse sequential execution unless the
+/// schedule carries a [`crate::sched::ConflictCert`].
 pub fn sequential_epoch<E: Element, S: UpdateStream + ?Sized>(
     data: &CooMatrix,
     mut model: ModelView<'_, E>,
@@ -147,8 +155,12 @@ pub fn sequential_epoch<E: Element, S: UpdateStream + ?Sized>(
     let mut live = s;
     let mut pu = vec![0.0f32; k];
     let mut qv = vec![0.0f32; k];
+    let mut round_rows: Vec<u32> = Vec::with_capacity(s);
+    let mut round_cols: Vec<u32> = Vec::with_capacity(s);
     while live > 0 {
         stats.rounds += 1;
+        round_rows.clear();
+        round_cols.clear();
         for (w, done) in exhausted.iter_mut().enumerate() {
             if *done {
                 continue;
@@ -156,6 +168,8 @@ pub fn sequential_epoch<E: Element, S: UpdateStream + ?Sized>(
             match stream.next(w) {
                 StreamItem::Sample(i) => {
                     let e = data.get(i);
+                    round_rows.push(e.u);
+                    round_cols.push(e.v);
                     match model.bias.as_deref_mut() {
                         None => {
                             // Split borrows: p and q are distinct matrices.
@@ -196,6 +210,16 @@ pub fn sequential_epoch<E: Element, S: UpdateStream + ?Sized>(
                     *done = true;
                     live -= 1;
                 }
+            }
+        }
+        if s > 1 {
+            round_rows.sort_unstable();
+            if round_rows.windows(2).any(|w| w[0] == w[1]) {
+                stats.row_collisions += 1;
+            }
+            round_cols.sort_unstable();
+            if round_cols.windows(2).any(|w| w[0] == w[1]) {
+                stats.col_collisions += 1;
             }
         }
     }

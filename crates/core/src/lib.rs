@@ -54,11 +54,15 @@ pub mod metrics;
 pub mod model_io;
 pub mod multi_gpu;
 pub mod partition;
+#[cfg(feature = "sanitize")]
+pub mod sanitize;
 pub mod sched;
 pub mod solver;
 
 pub use bias::{train_biased, BiasedConfig, BiasedModel, BiasedResult};
-pub use concurrent::{AtomicFactors, EpochStats, ExecMode, StripedFactors};
+pub use concurrent::{
+    AtomicFactors, EpochStats, ExecMode, ExecParams, StripedFactors, DEFAULT_THREAD_BATCH,
+};
 pub use engine::{
     BiasTerms, EngineModel, EpochBackend, EpochObserver, EpochPipeline, ExecEngine, PipelineRun,
     ResumeState, TimeDomain, TrainReport,
@@ -70,6 +74,7 @@ pub use metrics::{rmse, updates_per_sec, Trace, TracePoint};
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, Model};
 pub use multi_gpu::{train_partitioned, MultiGpuConfig, MultiGpuResult};
 pub use partition::{count_feasible_orders, schedule_epoch, BlockId, Grid, WaveSchedule};
+pub use sched::{certify, resolve_exec_mode, ConflictCert, ConflictWitness, Verdict};
 pub use solver::{train, Scheme, SolverConfig, TimeModel, TrainResult};
 
 /// Canonical re-export of the per-update memory cost model: core code and

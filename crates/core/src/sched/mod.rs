@@ -15,12 +15,14 @@
 //! property of the schedule rather than thread-timing noise.
 
 mod batch_hogwild;
+pub mod conflict;
 mod hogwild;
 mod libmf;
 mod serial;
 mod wavefront;
 
 pub use batch_hogwild::BatchHogwildStream;
+pub use conflict::{certify, resolve_exec_mode, Axis, ConflictCert, ConflictWitness, Verdict};
 pub use hogwild::HogwildStream;
 pub use libmf::LibmfTableStream;
 pub use serial::SerialStream;

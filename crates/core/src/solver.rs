@@ -26,8 +26,8 @@ use crate::lrate::Schedule;
 use crate::metrics::Trace;
 use crate::model_io::ModelIoError;
 use crate::sched::{
-    BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream, UpdateStream,
-    WavefrontStream,
+    resolve_exec_mode, BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream,
+    UpdateStream, Verdict, WavefrontStream,
 };
 
 pub use crate::engine::time::TimeModel;
@@ -195,6 +195,13 @@ pub struct TrainResult<E: Element> {
     pub report: TrainReport,
     /// True if training hit the divergence ceiling and stopped early.
     pub diverged: bool,
+    /// Execution mode actually used (after certificate resolution).
+    pub exec_mode: ExecMode,
+    /// The schedule prover's verdict, when sequential execution was
+    /// requested: the consumed [`crate::sched::ConflictCert`], or the
+    /// [`crate::sched::ConflictWitness`] that forced a downgrade to the
+    /// stale-additive conflict engine. `None` for racy-by-design modes.
+    pub schedule_verdict: Option<Verdict>,
 }
 
 impl<E: Element> TrainResult<E> {
@@ -257,10 +264,26 @@ pub fn train_resumable<E: Element>(
         }
     };
 
-    let mode = config.mode.unwrap_or_else(|| config.scheme.default_mode());
+    // Sequential execution is only exact for conflict-free schedules, so
+    // it must be *proven*: drive a probe instance of the schedule through
+    // the conflict prover and consume the certificate (or downgrade on a
+    // witness). Explicit `mode` overrides skip the prover — the caller
+    // asked for those semantics by name.
+    let (mode, schedule_verdict) = match config.mode {
+        Some(m) => (m, None),
+        None => {
+            let default = config.scheme.default_mode();
+            if default == ExecMode::Sequential && config.scheme.workers() > 1 {
+                let mut probe = config.scheme.stream(train, config.seed);
+                resolve_exec_mode(train, probe.as_mut(), default, config.epochs)
+            } else {
+                (default, None)
+            }
+        }
+    };
     let thread_batch = match config.scheme {
         Scheme::BatchHogwild { batch, .. } => batch as usize,
-        _ => 256,
+        _ => crate::concurrent::DEFAULT_THREAD_BATCH,
     };
     let mut backend = StreamBackend::new(
         train,
@@ -304,6 +327,8 @@ pub fn train_resumable<E: Element>(
         epoch_stats: run.epoch_stats,
         report: run.report,
         diverged: run.diverged,
+        exec_mode: mode,
+        schedule_verdict,
     })
 }
 

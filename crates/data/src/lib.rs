@@ -12,6 +12,7 @@
 //! * [`stream`] — bounded-memory chunked readers and on-disk partitioning
 //!   for out-of-core staging (§6).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod coo;

@@ -46,6 +46,7 @@
 //! assert!(report.link("dram").unwrap().bytes_transferred == 4.0 * 100.0 * 1e6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;

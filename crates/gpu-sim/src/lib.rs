@@ -19,6 +19,7 @@
 //! (Fig 2, Fig 5, Fig 10, Fig 11, Table 5) and every calibration is
 //! unit-tested against the corresponding paper figure.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arch;

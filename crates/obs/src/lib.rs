@@ -36,6 +36,8 @@
 //! is passed), so the instrumented hot paths cost a predicted-not-taken
 //! branch in ordinary runs.
 
+#![forbid(unsafe_code)]
+
 mod export;
 mod registry;
 mod trace;

@@ -16,6 +16,7 @@
 //! read identically; the streams themselves are **not** bit-compatible
 //! with `rand_chacha`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chacha;

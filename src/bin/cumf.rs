@@ -44,6 +44,7 @@ fn main() -> ExitCode {
         "evaluate" => cmd_evaluate(&flags),
         "predict" => cmd_predict(&flags),
         "profile" => cmd_profile(&flags),
+        "analyze" => cmd_analyze(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -76,6 +77,7 @@ USAGE:
   cumf profile  [--preset netflix|yahoo|hugewiki] [--scale 0.002] [--k 16]
                 [--epochs 5] [--scheme batch-hogwild] [--workers 8]
                 [--trace profile_trace.json] [--metrics profile_metrics.prom]
+  cumf analyze  [--all] [--prover] [--model-check] [--sanitize] [--seed 42]
 
 Data files may be .bin (compact binary) or text (`u v r` per line).
 --trace writes Chrome trace_event JSON (open in Perfetto or
@@ -86,7 +88,14 @@ trace spans all three layers (solver, gpu-sim, DES).
 --checkpoint saves a resumable snapshot every --checkpoint-every epochs;
 add --resume to continue an interrupted run from that snapshot (the
 deterministic schedulers make the result identical to an uninterrupted
-run).";
+run).
+
+`analyze` runs the offline concurrency analyzers (exit code 1 on any
+failure): the schedule conflict prover (wavefront / LIBMF certified
+conflict-free, batch-Hogwild! refuted with a witness), the interleaving
+model checker (stripe-lock order, torn rows/cells, work claiming), and —
+when built with `--features sanitize` — the Eraser-style lockset race
+sanitizer over the threaded executors. No section flag means --all.";
 
 type Flags = HashMap<String, String>;
 
@@ -98,7 +107,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if name == "f16" || name == "resume" {
+        if matches!(
+            name,
+            "f16" | "resume" | "all" | "prover" | "model-check" | "sanitize"
+        ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -407,6 +419,36 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
         return Err("profiled run diverged (try a lower --alpha)".into());
     }
     Ok(())
+}
+
+fn cmd_analyze(flags: &Flags) -> Result<(), String> {
+    use cumf_sgd::analyze;
+    let seed: u64 = get_parse(flags, "seed", 42)?;
+    let explicit = ["prover", "model-check", "sanitize"]
+        .iter()
+        .any(|s| flags.contains_key(*s));
+    let all = flags.contains_key("all") || !explicit;
+    let mut sections = Vec::new();
+    if all || flags.contains_key("prover") {
+        sections.push(analyze::prover_section(seed));
+    }
+    if all || flags.contains_key("model-check") {
+        sections.push(analyze::model_check_section());
+    }
+    if all || flags.contains_key("sanitize") {
+        let section = analyze::sanitize_section(seed);
+        if !section.ran && flags.contains_key("sanitize") {
+            return Err("the sanitizer is compiled out; rebuild with `--features sanitize`".into());
+        }
+        sections.push(section);
+    }
+    let report = analyze::AnalysisReport { sections };
+    println!("{report}");
+    if report.pass() {
+        Ok(())
+    } else {
+        Err("analysis failed (see sections above)".into())
+    }
 }
 
 fn report_and_save(

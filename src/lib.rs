@@ -5,6 +5,8 @@
 //!
 //! * [`core`] — the paper's contribution: kernels, schedulers, solvers,
 //!   partitioning, multi-GPU pipeline, binary16 storage;
+//! * [`analyze`] — the concurrency analyzers: schedule conflict prover,
+//!   interleaving model checker, and lockset race sanitizer;
 //! * [`baselines`] — LIBMF, NOMAD, BIDMach-style mini-batch ADAGRAD, ALS;
 //! * [`data`] — matrices, planted generators, presets, IO;
 //! * [`gpu_sim`] — the calibrated GPU/CPU/interconnect machine models;
@@ -15,8 +17,10 @@
 //! Depend on the individual crates directly in downstream projects; this
 //! crate exists for the repository's own examples and tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use cumf_analyze as analyze;
 pub use cumf_baselines as baselines;
 pub use cumf_core as core;
 pub use cumf_data as data;
