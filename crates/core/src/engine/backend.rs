@@ -17,7 +17,7 @@
 use cumf_data::CooMatrix;
 use cumf_gpu_sim::pipeline::{overlapped, serial, BlockJob};
 use cumf_gpu_sim::{GpuSpec, LinkSpec};
-use cumf_rng::ChaCha8Rng;
+use cumf_rng::{ChaCha8Rng, SeedableRng};
 
 use crate::concurrent::EpochStats;
 use crate::feature::Element;
@@ -137,6 +137,7 @@ pub struct PartitionedBackend<'a, E: Element> {
     gpu: &'a GpuSpec,
     link: &'a LinkSpec,
     rng: ChaCha8Rng,
+    epoch_seed: Option<u64>,
     _marker: std::marker::PhantomData<E>,
 }
 
@@ -168,8 +169,21 @@ impl<'a, E: Element> PartitionedBackend<'a, E> {
             gpu,
             link,
             rng,
+            epoch_seed: None,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Switches wave scheduling from the advancing RNG stream to a pure
+    /// per-epoch function of `seed`: epoch `e` always draws its schedule
+    /// from `ChaCha8(seed ⊕ h(e))`, no matter what ran before. The
+    /// historical stream stays the default; the fault supervisor needs
+    /// this mode so a rollback (or a rebuilt backend after device loss)
+    /// re-executes an epoch with *exactly* the schedule it had the first
+    /// time.
+    pub fn with_epoch_seed(mut self, seed: u64) -> Self {
+        self.epoch_seed = Some(seed);
+        self
     }
 
     /// Runs one block's SGD updates with batch-Hogwild! semantics confined
@@ -210,7 +224,15 @@ impl<E: Element> EpochBackend<E> for PartitionedBackend<'_, E> {
         lambda: f32,
         model: &mut EngineModel<E>,
     ) -> EpochOutcome {
-        let schedule = schedule_epoch(&self.grid, self.gpus, &mut self.rng);
+        let schedule = match self.epoch_seed {
+            Some(seed) => {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                schedule_epoch(&self.grid, self.gpus, &mut rng)
+            }
+            None => schedule_epoch(&self.grid, self.gpus, &mut self.rng),
+        };
 
         // --- Convergence: execute every block's updates (wave by wave;
         // independence makes program order exact).

@@ -10,12 +10,17 @@
 //!
 //! Binary layout (little-endian): magic `CMFK`, version, resume counters,
 //! optional LR state, the trace points, optional bias terms, then the
-//! factor matrices in the `model_io` element encoding.
+//! factor matrices in the `model_io` element encoding. Version 2 appends a
+//! checksum footer — magic `CSUM`, payload length, FNV-1a digest of every
+//! preceding byte — so `--resume` on a truncated or bit-flipped checkpoint
+//! fails loudly (naming the offending offset) instead of loading garbage.
+//! Version-1 files (no footer) still load.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{Cursor, Read, Write};
 use std::path::Path;
 
+use crate::faults::fnv1a64;
 use crate::feature::Element;
 use crate::lrate::LrState;
 use crate::metrics::{Trace, TracePoint};
@@ -24,7 +29,11 @@ use crate::model_io::{read_matrix, write_matrix, ModelIoError};
 use super::model::{BiasTerms, EngineModel};
 
 const MAGIC: &[u8; 4] = b"CMFK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Magic of the version-2 checksum footer.
+const FOOTER_MAGIC: &[u8; 4] = b"CSUM";
+/// Footer bytes: magic + payload length (u64) + FNV-1a digest (u64).
+const FOOTER_LEN: usize = 4 + 8 + 8;
 
 /// Loop state needed to continue a run where it left off.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,7 +114,9 @@ fn read_f32_vec<R: Read>(r: &mut R) -> std::io::Result<Vec<f32>> {
 }
 
 /// Writes a checkpoint of `model` + `state` to `path` (atomically enough
-/// for a single writer: written to a temp sibling, then renamed).
+/// for a single writer: written to a temp sibling, then renamed). The
+/// payload is serialised in memory first so the version-2 checksum footer
+/// can digest every byte that precedes it.
 pub fn save_checkpoint<E: Element>(
     path: impl AsRef<Path>,
     model: &EngineModel<E>,
@@ -114,7 +125,7 @@ pub fn save_checkpoint<E: Element>(
     let path = path.as_ref();
     let tmp = path.with_extension("tmp");
     {
-        let mut w = BufWriter::new(File::create(&tmp)?);
+        let mut w: Vec<u8> = Vec::new();
         w.write_all(MAGIC)?;
         write_u32(&mut w, VERSION)?;
         write_u32(&mut w, state.next_epoch)?;
@@ -156,31 +167,89 @@ pub fn save_checkpoint<E: Element>(
         write_u32(&mut w, model.p.k())?;
         write_matrix(&mut w, &model.p)?;
         write_matrix(&mut w, &model.q)?;
-        w.flush()?;
+        // Checksum footer over every payload byte.
+        let digest = fnv1a64(&w);
+        let payload_len = w.len() as u64;
+        w.write_all(FOOTER_MAGIC)?;
+        write_u64(&mut w, payload_len)?;
+        write_u64(&mut w, digest)?;
+        let mut f = File::create(&tmp)?;
+        f.write_all(&w)?;
+        f.flush()?;
     }
     std::fs::rename(&tmp, path)?;
     Ok(())
 }
 
+/// Splits a version-2 checkpoint into its payload, verifying the checksum
+/// footer. Errors name the offending offset so a truncated or bit-flipped
+/// file fails loudly instead of loading garbage.
+fn verify_footer(bytes: &[u8]) -> Result<&[u8], ModelIoError> {
+    if bytes.len() < FOOTER_LEN {
+        return Err(ModelIoError::Format(format!(
+            "checkpoint truncated at offset {}: too short to hold the \
+             {FOOTER_LEN}-byte checksum footer",
+            bytes.len()
+        )));
+    }
+    let footer_at = bytes.len() - FOOTER_LEN;
+    let (payload, footer) = bytes.split_at(footer_at);
+    if &footer[..4] != FOOTER_MAGIC {
+        return Err(ModelIoError::Format(format!(
+            "no checksum footer at offset {footer_at}: checkpoint truncated \
+             or corrupted (expected CSUM magic)"
+        )));
+    }
+    let stored_len = u64::from_le_bytes(footer[4..12].try_into().expect("8 bytes"));
+    if stored_len != payload.len() as u64 {
+        return Err(ModelIoError::Format(format!(
+            "checkpoint truncated: payload is {} bytes but the footer at \
+             offset {footer_at} records {stored_len}",
+            payload.len()
+        )));
+    }
+    let stored_digest = u64::from_le_bytes(footer[12..20].try_into().expect("8 bytes"));
+    let digest = fnv1a64(payload);
+    if digest != stored_digest {
+        return Err(ModelIoError::Format(format!(
+            "checkpoint checksum mismatch over bytes 0..{footer_at}: \
+             computed {digest:#018x}, footer records {stored_digest:#018x} \
+             (bit flip on disk or in transfer)"
+        )));
+    }
+    Ok(payload)
+}
+
 /// Loads a checkpoint written by [`save_checkpoint`]. The stored element
-/// width must match `E`.
+/// width must match `E`. Version-2 files are checksum-verified before any
+/// field is parsed; version-1 files (pre-footer) still load.
 pub fn load_checkpoint<E: Element>(
     path: impl AsRef<Path>,
 ) -> Result<(EngineModel<E>, ResumeState), ModelIoError> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return Err(ModelIoError::Format(format!(
+            "checkpoint truncated at offset {}: no room for magic + version",
+            bytes.len()
+        )));
+    }
+    if &bytes[..4] != MAGIC {
         return Err(ModelIoError::Format(
             "bad magic: not a cuMF checkpoint".into(),
         ));
     }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(ModelIoError::Format(format!(
-            "unsupported checkpoint version {version}"
-        )));
-    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let payload: &[u8] = match version {
+        1 => &bytes,
+        2 => verify_footer(&bytes)?,
+        other => {
+            return Err(ModelIoError::Format(format!(
+                "unsupported checkpoint version {other}"
+            )));
+        }
+    };
+    let mut r = Cursor::new(payload);
+    r.set_position(8); // past magic + version
     let next_epoch = read_u32(&mut r)?;
     let updates = read_u64(&mut r)?;
     let sim_seconds = read_f64(&mut r)?;
@@ -330,6 +399,73 @@ mod tests {
         std::fs::write(&path, b"CMFM\x01\x00\x00\x00").unwrap();
         let err = load_checkpoint::<f32>(&path).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    fn saved_bytes(name: &str) -> (std::path::PathBuf, Vec<u8>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let model = EngineModel::<f32> {
+            p: FactorMatrix::random_init(4, 3, &mut rng),
+            q: FactorMatrix::random_init(5, 3, &mut rng),
+            bias: None,
+        };
+        let path = ckpt_path(name);
+        save_checkpoint(&path, &model, &sample_state()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    #[test]
+    fn truncated_checkpoint_fails_loudly_with_offset() {
+        let (path, bytes) = saved_bytes("truncated.cmfk");
+        // Cut mid-payload: the footer magic is gone, so the loader must
+        // report the offset where it expected CSUM.
+        let cut = bytes.len() - FOOTER_LEN - 7;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = load_checkpoint::<f32>(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated") || msg.contains("CSUM"), "{msg}");
+        assert!(
+            msg.contains(&format!("{}", cut - FOOTER_LEN)) || msg.contains("offset"),
+            "error must name an offset: {msg}"
+        );
+        // Cut inside the footer: length check fires instead.
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let err = load_checkpoint::<f32>(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_fails_loudly_with_offset() {
+        let (path, mut bytes) = saved_bytes("bitflip.cmfk");
+        // Flip one bit deep in the factor data, past every header field.
+        let victim = bytes.len() - FOOTER_LEN - 10;
+        bytes[victim] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_checkpoint::<f32>(&path).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+        let footer_at = bytes.len() - FOOTER_LEN;
+        assert!(
+            msg.contains(&format!("0..{footer_at}")),
+            "error must name the digested byte range: {msg}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn version1_checkpoint_without_footer_still_loads() {
+        let (path, bytes) = saved_bytes("v1compat.cmfk");
+        // A version-1 file is exactly the version-2 payload with the
+        // version field set to 1 and no footer appended.
+        let mut v1 = bytes[..bytes.len() - FOOTER_LEN].to_vec();
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        std::fs::write(&path, &v1).unwrap();
+        let (model, state) = load_checkpoint::<f32>(&path).unwrap();
+        assert_eq!(state, sample_state());
+        assert_eq!(model.p.rows(), 4);
+        assert_eq!(model.q.rows(), 5);
         let _ = std::fs::remove_file(path);
     }
 

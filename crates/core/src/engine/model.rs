@@ -104,6 +104,22 @@ impl<E: Element> EngineModel<E> {
         }
     }
 
+    /// Number of non-finite (NaN/Inf) values anywhere in the trainable
+    /// state — factors and, when present, bias terms. A healthy model is
+    /// always 0; the supervisor's post-epoch scan uses a positive count as
+    /// the NaN-storm detection signal.
+    pub fn non_finite_count(&self) -> usize {
+        let mut n = self.p.non_finite_count() + self.q.non_finite_count();
+        if let Some(b) = &self.bias {
+            if !b.mu.is_finite() {
+                n += 1;
+            }
+            n += b.user.iter().filter(|x| !x.is_finite()).count();
+            n += b.item.iter().filter(|x| !x.is_finite()).count();
+        }
+        n
+    }
+
     /// Test RMSE of the model over `data` (0.0 for an empty set).
     pub fn rmse(&self, data: &CooMatrix) -> f64 {
         match &self.bias {

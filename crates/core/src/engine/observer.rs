@@ -145,32 +145,55 @@ impl<E: Element> EpochObserver<E> for ObsProbes {
 }
 
 /// Stops the run when test RMSE goes non-finite or exceeds a ceiling.
+///
+/// With [`DivergenceGuard::with_model_scan`] the guard additionally scans
+/// the model itself for non-finite factors after each epoch: an injected
+/// NaN storm can poison rows the test set never touches, so RMSE alone
+/// would let the corruption train onwards and surface epochs later. The
+/// scan makes the stop fire on the epoch the storm happened, which is what
+/// lets the supervisor's rollback (restoring factors *and* the checkpointed
+/// BoldDriver learning-rate state through the CMFK resume machinery)
+/// reproduce the fault-free trajectory bit-exactly.
 #[derive(Debug, Clone, Copy)]
 pub struct DivergenceGuard {
     ceiling: f64,
+    scan_model: bool,
 }
 
 impl DivergenceGuard {
     /// Guards against RMSE above `ceiling` (or non-finite).
     pub fn new(ceiling: f64) -> Self {
-        DivergenceGuard { ceiling }
+        DivergenceGuard {
+            ceiling,
+            scan_model: false,
+        }
     }
 
     /// Guards against non-finite RMSE only (the biased/baseline paths).
     pub fn non_finite_only() -> Self {
         DivergenceGuard {
             ceiling: f64::INFINITY,
+            scan_model: false,
         }
+    }
+
+    /// Also scan the model for non-finite factors/biases after each epoch
+    /// (the supervisor's NaN-storm detector).
+    pub fn with_model_scan(mut self) -> Self {
+        self.scan_model = true;
+        self
     }
 }
 
 impl<E: Element> EpochObserver<E> for DivergenceGuard {
-    fn on_epoch_end(&mut self, ctx: &EpochCtx<'_>, _model: &EngineModel<E>) -> PipelineControl {
+    fn on_epoch_end(&mut self, ctx: &EpochCtx<'_>, model: &EngineModel<E>) -> PipelineControl {
         if !ctx.rmse.is_finite() || ctx.rmse > self.ceiling {
-            PipelineControl::Stop { diverged: true }
-        } else {
-            PipelineControl::Continue
+            return PipelineControl::Stop { diverged: true };
         }
+        if self.scan_model && model.non_finite_count() > 0 {
+            return PipelineControl::Stop { diverged: true };
+        }
+        PipelineControl::Continue
     }
 }
 

@@ -1,0 +1,190 @@
+//! Retry policy and DES-based stall detection.
+//!
+//! Two small deterministic machines used by the injection layer:
+//!
+//! * [`RetryPolicy`] — bounded exponential backoff with seeded jitter.
+//!   The full delay sequence is a pure function of `(policy, seed)`, so a
+//!   supervised run retries on *exactly* the same simulated schedule every
+//!   time — which is what makes recovery-log digests comparable across
+//!   runs.
+//! * [`detect_stall`] — races a transfer-completion event against a
+//!   watchdog timeout on a [`cumf_des::EventQueue`]. This is the same
+//!   event-calendar machinery the GPU simulator runs on, so stall
+//!   detection lives on the simulated clock, not the wall clock.
+
+use cumf_des::{EventQueue, SimTime};
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// Bounded exponential backoff with deterministic jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (the first try counts; `3` means one try plus two
+    /// retries). Clamped to at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in simulated seconds.
+    pub base_delay_s: f64,
+    /// Multiplier applied per retry (exponential backoff).
+    pub multiplier: f64,
+    /// Ceiling on a single backoff delay, in simulated seconds.
+    pub max_delay_s: f64,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a factor drawn
+    /// uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the jitter stream — the entire delay sequence is a pure
+    /// function of the policy and this seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_s: 0.010,
+            multiplier: 2.0,
+            max_delay_s: 0.500,
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay (simulated seconds) before retry `retry_index`
+    /// (0-based: index 0 is the delay between the first failure and the
+    /// first retry). Deterministic: the jitter stream is re-seeded from
+    /// `(seed, retry_index)` on every call, so delays can be queried in
+    /// any order and always agree.
+    pub fn delay(&self, retry_index: u32) -> f64 {
+        let raw = self.base_delay_s * self.multiplier.powi(retry_index as i32);
+        let capped = raw.min(self.max_delay_s);
+        if self.jitter <= 0.0 {
+            return capped;
+        }
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (0x9e37_79b9_7f4a_7c15u64 ^ retry_index as u64));
+        let scale = 1.0 + self.jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        capped * scale
+    }
+
+    /// The full jittered delay sequence this policy would walk through
+    /// before giving up (`max_attempts - 1` entries).
+    pub fn delays(&self) -> Vec<f64> {
+        (0..self.max_attempts.max(1) - 1)
+            .map(|i| self.delay(i))
+            .collect()
+    }
+
+    /// Total backoff time if every attempt fails, in simulated seconds.
+    pub fn total_backoff_s(&self) -> f64 {
+        self.delays().iter().sum()
+    }
+}
+
+/// Outcome of racing a transfer against its watchdog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StallVerdict {
+    /// The transfer finished before the watchdog fired.
+    Completed {
+        /// Simulated seconds the transfer took.
+        after_s: f64,
+    },
+    /// The watchdog fired first: the transfer is considered stalled.
+    TimedOut {
+        /// Simulated time at which the stall was detected (= the timeout).
+        detected_at_s: f64,
+    },
+}
+
+/// Event payloads of the stall-detection calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallEvent {
+    Completion,
+    Watchdog,
+}
+
+/// Races a transfer that will take `transfer_s` simulated seconds against
+/// a watchdog set to `timeout_s`, on a fresh DES event calendar. Ties go
+/// to the completion event (it is scheduled first, and the queue is FIFO
+/// within a timestamp), so a transfer landing exactly on the deadline
+/// still counts as delivered.
+pub fn detect_stall(transfer_s: f64, timeout_s: f64) -> StallVerdict {
+    let mut q: EventQueue<StallEvent> = EventQueue::new();
+    q.schedule(SimTime::from_secs(transfer_s), StallEvent::Completion);
+    let watchdog = q.schedule(SimTime::from_secs(timeout_s), StallEvent::Watchdog);
+    match q.pop() {
+        Some((t, StallEvent::Completion)) => {
+            // The transfer won the race; the watchdog is disarmed.
+            q.cancel(watchdog);
+            StallVerdict::Completed {
+                after_s: t.as_secs(),
+            }
+        }
+        Some((t, StallEvent::Watchdog)) => StallVerdict::TimedOut {
+            detected_at_s: t.as_secs(),
+        },
+        None => unreachable!("two events were scheduled"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            base_delay_s: 0.01,
+            multiplier: 2.0,
+            max_delay_s: 0.05,
+            jitter: 0.25,
+            seed: 42,
+        };
+        let a = p.delays();
+        let b = p.delays();
+        assert_eq!(a, b, "same policy+seed must yield the same sequence");
+        assert_eq!(a.len(), 4);
+        for (i, d) in a.iter().enumerate() {
+            let raw = (0.01 * 2.0f64.powi(i as i32)).min(0.05);
+            assert!(
+                *d >= raw * 0.75 && *d <= raw * 1.25,
+                "delay {i} = {d} outside jitter band around {raw}"
+            );
+        }
+        let other = RetryPolicy { seed: 43, ..p };
+        assert_ne!(a, other.delays(), "different seed, different jitter");
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_exponential() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_delay_s: 0.01,
+            multiplier: 3.0,
+            max_delay_s: 10.0,
+            jitter: 0.0,
+            seed: 7,
+        };
+        assert_eq!(p.delays(), vec![0.01, 0.03, 0.09]);
+        assert!((p.total_backoff_s() - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_detection_races_on_the_sim_clock() {
+        match detect_stall(0.2, 1.0) {
+            StallVerdict::Completed { after_s } => assert!((after_s - 0.2).abs() < 1e-9),
+            v => panic!("fast transfer misjudged: {v:?}"),
+        }
+        match detect_stall(5.0, 1.0) {
+            StallVerdict::TimedOut { detected_at_s } => {
+                assert!((detected_at_s - 1.0).abs() < 1e-9)
+            }
+            v => panic!("stalled transfer misjudged: {v:?}"),
+        }
+        // Tie goes to the completion event.
+        match detect_stall(1.0, 1.0) {
+            StallVerdict::Completed { after_s } => assert!((after_s - 1.0).abs() < 1e-9),
+            v => panic!("deadline-exact transfer misjudged: {v:?}"),
+        }
+    }
+}

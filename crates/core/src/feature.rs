@@ -149,6 +149,28 @@ impl<E: Element> FactorMatrix<E> {
         }
     }
 
+    /// Number of non-finite (NaN/Inf) entries in the matrix. Zero on a
+    /// healthy model; the fault-injection supervisor's post-epoch scan
+    /// treats any positive count as a gradient storm to roll back.
+    pub fn non_finite_count(&self) -> usize {
+        self.data.iter().filter(|e| !e.to_f32().is_finite()).count()
+    }
+
+    /// FNV-1a digest over the element bit patterns, row-major. This is the
+    /// hand-off checksum of the fault layer: a P/Q segment is digested
+    /// before a (simulated) transfer and verified after, so corruption on
+    /// the link is detected rather than silently trained on.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for e in &self.data {
+            for b in e.to_f32().to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
     /// Copies rows `range` out as a new matrix (a P/Q *segment* for the
     /// multi-GPU partitioning of §6.1).
     pub fn segment(&self, range: std::ops::Range<u32>) -> FactorMatrix<E> {

@@ -24,6 +24,9 @@
 //!   §7.5 convergence constraints, and Fig 15's feasible-order analysis;
 //! * [`multi_gpu`] — §6's staged multi-GPU solver with transfer/compute
 //!   overlap;
+//! * [`faults`] — deterministic fault injection (device loss, transfer
+//!   corruption/stalls, NaN storms) and the self-healing training
+//!   supervisor with retry, rollback, and graceful-degradation policies;
 //! * [`metrics`] — test RMSE, Eq. 2 loss, Eq. 7 throughput, traces.
 //!
 //! ## Quick start
@@ -46,6 +49,7 @@
 pub mod bias;
 pub mod concurrent;
 pub mod engine;
+pub mod faults;
 pub mod feature;
 pub mod half;
 pub mod kernel;
@@ -66,6 +70,10 @@ pub use concurrent::{
 pub use engine::{
     BiasTerms, EngineModel, EpochBackend, EpochObserver, EpochPipeline, ExecEngine, PipelineRun,
     ResumeState, TimeDomain, TrainReport,
+};
+pub use faults::{
+    run_chaos, ChaosOptions, ChaosReport, FaultKind, FaultPlan, RecoveryKind, RecoveryLog,
+    RetryPolicy, SupervisedResult, SupervisorConfig, TrainError, TrainSupervisor,
 };
 pub use feature::{Element, FactorMatrix};
 pub use half::F16;

@@ -73,6 +73,20 @@ impl GpuSpec {
         .set(bw);
         bw
     }
+
+    /// A degraded copy of this spec with only `factor` of its streaming
+    /// multiprocessors still healthy (SM throttling under a thermal or
+    /// fault event): the SM count and — because the occupancy model feeds
+    /// off resident blocks — the achievable bandwidth both shrink. At
+    /// least one SM always survives; `factor` is clamped to `(0, 1]`.
+    pub fn throttled(&self, factor: f64) -> GpuSpec {
+        let factor = factor.clamp(f64::MIN_POSITIVE, 1.0);
+        GpuSpec {
+            sms: ((self.sms as f64 * factor).floor() as u32).max(1),
+            peak_bw: self.peak_bw * factor,
+            ..self.clone()
+        }
+    }
 }
 
 /// NVIDIA TITAN X, Maxwell generation — the paper's Maxwell platform GPU.
@@ -157,6 +171,19 @@ impl LinkSpec {
     /// Time to move `bytes` over the link, using achieved bandwidth.
     pub fn transfer_time(&self, bytes: f64) -> f64 {
         self.latency_s + bytes / self.achieved_bw
+    }
+
+    /// A degraded copy of this link: achieved bandwidth scaled by
+    /// `bw_factor` (clamped to `(0, 1]`) and `extra_latency_s` added per
+    /// transfer. Models a flapping or contended interconnect during fault
+    /// injection; the retransfer cost of a corrupted hand-off is priced on
+    /// the degraded link.
+    pub fn degraded(&self, bw_factor: f64, extra_latency_s: f64) -> LinkSpec {
+        LinkSpec {
+            achieved_bw: self.achieved_bw * bw_factor.clamp(f64::MIN_POSITIVE, 1.0),
+            latency_s: self.latency_s + extra_latency_s.max(0.0),
+            ..self.clone()
+        }
     }
 }
 

@@ -358,6 +358,32 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
     result
 }
 
+/// [`simulate_throughput`] on a faulted device: `sm_survival` is the
+/// fraction of streaming multiprocessors still healthy (SM throttling, or
+/// whole-device loss folded into a multi-GPU ensemble). Worker slots and
+/// bandwidth shrink together — the resident-block limit is per-SM — so the
+/// quoted throughput hit is what the fault-injection supervisor records
+/// when it degrades a run. Returns the degraded result together with the
+/// throughput ratio `degraded / healthy` (1.0 means no hit).
+pub fn simulate_throughput_degraded(
+    config: &ThroughputConfig,
+    sm_survival: f64,
+) -> (ThroughputResult, f64) {
+    let healthy = simulate_throughput(config);
+    let sm_survival = sm_survival.clamp(f64::MIN_POSITIVE, 1.0);
+    let degraded = simulate_throughput(&ThroughputConfig {
+        workers: ((config.workers as f64 * sm_survival).floor() as u32).max(1),
+        total_bandwidth: config.total_bandwidth * sm_survival,
+        ..*config
+    });
+    let ratio = if healthy.updates_per_sec > 0.0 {
+        degraded.updates_per_sec / healthy.updates_per_sec
+    } else {
+        1.0
+    };
+    (degraded, ratio)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

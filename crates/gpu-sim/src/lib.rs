@@ -35,7 +35,10 @@ pub use arch::{
     maxwell_platform, pascal_platform, CpuSpec, GpuSpec, LinkSpec, Platform, HPC_NETWORK,
     NOMAD_HPC_NODE, NVLINK, P100_PASCAL, PCIE3_X16, TITAN_X_MAXWELL, XEON_E5_2670X2,
 };
-pub use executor::{simulate_throughput, SchedulerModel, ThroughputConfig, ThroughputResult};
+pub use executor::{
+    simulate_throughput, simulate_throughput_degraded, SchedulerModel, ThroughputConfig,
+    ThroughputResult,
+};
 pub use kernel::{Precision, RatingAccess, SgdUpdateCost, COO_SAMPLE_BYTES};
 pub use memory::CpuCacheModel;
 pub use occupancy::{

@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "predict" => cmd_predict(&flags),
         "profile" => cmd_profile(&flags),
         "analyze" => cmd_analyze(&flags),
+        "chaos" => cmd_chaos(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -78,6 +79,7 @@ USAGE:
                 [--epochs 5] [--scheme batch-hogwild] [--workers 8]
                 [--trace profile_trace.json] [--metrics profile_metrics.prom]
   cumf analyze  [--all] [--prover] [--model-check] [--sanitize] [--seed 42]
+  cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
 
 Data files may be .bin (compact binary) or text (`u v r` per line).
 --trace writes Chrome trace_event JSON (open in Perfetto or
@@ -95,7 +97,15 @@ failure): the schedule conflict prover (wavefront / LIBMF certified
 conflict-free, batch-Hogwild! refuted with a witness), the interleaving
 model checker (stripe-lock order, torn rows/cells, work claiming), and —
 when built with `--features sanitize` — the Eraser-style lockset race
-sanitizer over the threaded executors. No section flag means --all.";
+sanitizer over the threaded executors. No section flag means --all.
+
+`chaos` runs the deterministic fault-injection matrix (device loss, SM
+throttling, transfer corruption/stalls, NaN storms, LR spikes) through
+the self-healing training supervisor and checks the recovery contract:
+same seed => identical recovery event log, recovered runs within
+--tolerance of the fault-free RMSE, unrecoverable faults surfacing as
+typed errors. Exit code 1 on any scenario failure. --quick is the CI
+profile; --metrics exports the cumf_faults_* counters.";
 
 type Flags = HashMap<String, String>;
 
@@ -109,7 +119,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "f16" | "resume" | "all" | "prover" | "model-check" | "sanitize"
+            "f16" | "resume" | "all" | "prover" | "model-check" | "sanitize" | "quick"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
@@ -448,6 +458,36 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
         Ok(())
     } else {
         Err("analysis failed (see sections above)".into())
+    }
+}
+
+fn cmd_chaos(flags: &Flags) -> Result<(), String> {
+    use cumf_sgd::core::faults::{run_chaos, ChaosOptions};
+    let opts = ChaosOptions {
+        seed: get_parse(flags, "seed", 42)?,
+        quick: flags.contains_key("quick"),
+        tolerance: get_parse(flags, "tolerance", 0.02)?,
+    };
+    let metrics_out = flags.get("metrics").cloned();
+    if metrics_out.is_some() {
+        obs::set_enabled(true);
+    }
+    println!(
+        "chaos: seed {}, {} profile, tolerance {:.1}%\n",
+        opts.seed,
+        if opts.quick { "quick" } else { "full" },
+        opts.tolerance * 100.0
+    );
+    let report = run_chaos(&opts);
+    println!("{}", report.render());
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, obs::prometheus()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if report.passed {
+        Ok(())
+    } else {
+        Err("chaos matrix failed (see report above)".into())
     }
 }
 

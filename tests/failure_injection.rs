@@ -2,8 +2,8 @@
 //! fires (and fires with the documented message), so misuse is loud.
 
 use cumf_sgd::core::multi_gpu::{train_partitioned, MultiGpuConfig};
-use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
-use cumf_sgd::core::Schedule;
+use cumf_sgd::core::solver::{train, CheckpointSpec, Scheme, SolverConfig};
+use cumf_sgd::core::{FaultPlan, Schedule, SupervisorConfig, TrainError, TrainSupervisor};
 use cumf_sgd::data::io::{read_binary, read_text, DataError};
 use cumf_sgd::data::synth::{generate, SynthConfig};
 use cumf_sgd::data::CooMatrix;
@@ -85,6 +85,123 @@ fn partitioned_misconfigurations_panic() {
         catch(|| train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16))
             .expect("must panic");
     assert!(msg.contains("exceeds matrix"), "{msg}");
+}
+
+fn supervisor() -> TrainSupervisor {
+    TrainSupervisor::new(SupervisorConfig::default(), FaultPlan::default())
+}
+
+/// The panicking misconfiguration above, retried through the supervisor:
+/// each case comes back as `TrainError::InvalidConfig` carrying the same
+/// message the assert would have printed, while the panicking API keeps
+/// panicking (previous tests). Both paths stay covered.
+#[test]
+fn supervisor_returns_typed_errors_where_train_panics() {
+    let d = small();
+    let sup = supervisor();
+
+    let typed = |cfg: &SolverConfig| -> String {
+        match sup.train::<f32>(&d.train, &d.test, cfg, None, None) {
+            Err(TrainError::InvalidConfig(m)) => m,
+            Err(other) => panic!("expected InvalidConfig, got {other}"),
+            Ok(_) => panic!("misconfiguration must not train"),
+        }
+    };
+
+    let mut cfg = SolverConfig::new(0, Scheme::Serial);
+    cfg.epochs = 1;
+    assert!(typed(&cfg).contains("k must be positive"));
+
+    let cfg = SolverConfig::new(4, Scheme::Serial);
+    let empty = CooMatrix::new(3, 3);
+    match sup.train::<f32>(&empty, &d.test, &cfg, None, None) {
+        Err(TrainError::InvalidConfig(m)) => assert!(m.contains("training set is empty"), "{m}"),
+        _ => panic!("empty training set must be InvalidConfig"),
+    }
+
+    let mut cfg = SolverConfig::new(
+        4,
+        Scheme::Wavefront {
+            workers: 8,
+            cols: 8,
+        },
+    );
+    cfg.epochs = 1;
+    let m = typed(&cfg);
+    assert!(m.contains("deadlock freedom"), "{m}");
+    // Message text identical to the panicking path's.
+    let panicked = catch(|| train::<f32>(&d.train, &d.test, &cfg, None)).expect("must panic");
+    assert!(panicked.contains(&m), "typed {m:?} vs panic {panicked:?}");
+
+    let mut cfg = SolverConfig::new(4, Scheme::LibmfTable { workers: 2, a: 500 });
+    cfg.epochs = 1;
+    assert!(typed(&cfg).contains("exceeds matrix"));
+}
+
+#[test]
+fn supervisor_returns_typed_errors_where_partitioned_panics() {
+    let d = small();
+    let sup = supervisor();
+
+    let typed = |cfg: &MultiGpuConfig| -> String {
+        match sup.train_partitioned::<f32>(&d.train, &d.test, cfg, &TITAN_X_MAXWELL, &PCIE3_X16) {
+            Err(TrainError::InvalidConfig(m)) => m,
+            Err(other) => panic!("expected InvalidConfig, got {other}"),
+            Ok(_) => panic!("misconfiguration must not train"),
+        }
+    };
+
+    let mut cfg = MultiGpuConfig::new(4, 2, 2, 2);
+    cfg.enforce_grid_rule = true;
+    cfg.epochs = 1;
+    let m = typed(&cfg);
+    assert!(m.contains("too small for"), "{m}");
+    let panicked =
+        catch(|| train_partitioned::<f32>(&d.train, &d.test, &cfg, &TITAN_X_MAXWELL, &PCIE3_X16))
+            .expect("must panic");
+    assert!(panicked.contains(&m), "typed {m:?} vs panic {panicked:?}");
+
+    let cfg = MultiGpuConfig::new(4, 100, 100, 1);
+    assert!(typed(&cfg).contains("exceeds matrix"));
+
+    let mut cfg = MultiGpuConfig::new(4, 4, 4, 1);
+    cfg.workers_per_gpu = 0;
+    assert!(typed(&cfg).contains("need at least one worker"));
+
+    let cfg = MultiGpuConfig::new(4, 4, 4, 0);
+    assert!(typed(&cfg).contains("need at least one GPU"));
+}
+
+/// A corrupt `--resume` file through the supervisor front door is a typed
+/// `TrainError::Checkpoint` naming the problem, never a panic and never a
+/// silent fresh start.
+#[test]
+fn supervisor_surfaces_corrupt_resume_checkpoint() {
+    let d = small();
+    let sup = supervisor();
+    let dir = std::env::temp_dir().join("cumf_failure_injection");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("corrupt_resume.cmfk");
+    std::fs::write(&path, b"CMFKgarbage-that-is-not-a-checkpoint").unwrap();
+    let mut cfg = SolverConfig::new(4, Scheme::Serial);
+    cfg.epochs = 2;
+    let spec = CheckpointSpec {
+        path: path.clone(),
+        every: 1,
+        resume: true,
+    };
+    let err = sup
+        .train::<f32>(&d.train, &d.test, &cfg, None, Some(&spec))
+        .map(|_| ())
+        .unwrap_err();
+    match &err {
+        TrainError::Checkpoint(_) => {
+            use std::error::Error;
+            assert!(err.source().is_some(), "checkpoint errors carry a source");
+        }
+        other => panic!("expected Checkpoint error, got {other}"),
+    }
+    let _ = std::fs::remove_file(path);
 }
 
 #[test]
