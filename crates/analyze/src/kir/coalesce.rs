@@ -1,0 +1,224 @@
+//! Coalescing / cache-line footprint analysis over [`kir`](super)
+//! programs.
+//!
+//! For every vector access that reaches DRAM, the pass replays one
+//! warp's address stream — 32 lanes per iteration, `⌈k/32⌉` iterations
+//! — and counts distinct L1 cache lines using the **simulator's own**
+//! line-granular primitive, [`cumf_gpu_sim::lines_touched`]. That makes
+//! the analysis correct by construction with respect to the memory
+//! model it certifies: there is one definition of "lines touched" in
+//! the workspace and both the simulator and this pass call it.
+//!
+//! cuMF_SGD's row-contiguous layout yields the ideal
+//! `⌈k·sizeof(elem)/line⌉` lines per row; BIDMach's column-major view
+//! makes every lane touch a different line (`32×` expansion), which the
+//! pass flags as uncoalesced — §2.2's qualitative claim made exact.
+
+use super::{Access, Buf, Inst, Program};
+use cumf_gpu_sim::{lines_touched, WARP_SIZE};
+use std::collections::BTreeSet;
+
+/// Line footprint of one DRAM vector access.
+#[derive(Debug, Clone)]
+pub struct AccessFootprint {
+    /// Human description, e.g. `"load P (CoalescedRow)"`.
+    pub desc: String,
+    /// Distinct cache lines one warp touches servicing this access.
+    pub lines: u64,
+    /// Lines a perfectly coalesced access of the same volume would
+    /// touch: `⌈k·sizeof(elem)/line_bytes⌉` (at an aligned base).
+    pub ideal_lines: u64,
+    /// `lines == ideal_lines`.
+    pub coalesced: bool,
+}
+
+/// Whole-program coalescing report.
+#[derive(Debug, Clone)]
+pub struct CoalesceReport {
+    /// Program name.
+    pub name: &'static str,
+    /// Feature dimension.
+    pub k: u32,
+    /// L1 line size used (the paper GPUs: 128 B).
+    pub line_bytes: u32,
+    /// Per-access footprints (register-resident reloads excluded — they
+    /// touch zero lines).
+    pub accesses: Vec<AccessFootprint>,
+    /// Total lines per update across all DRAM accesses.
+    pub total_lines: u64,
+    /// Total under perfect coalescing.
+    pub ideal_total: u64,
+    /// Descriptions of accesses that failed the coalescing check.
+    pub uncoalesced: Vec<String>,
+}
+
+impl CoalesceReport {
+    /// True when every DRAM access is perfectly coalesced.
+    pub fn fully_coalesced(&self) -> bool {
+        self.uncoalesced.is_empty()
+    }
+
+    /// Line-traffic expansion over the ideal layout (1.0 = perfect).
+    pub fn expansion(&self) -> f64 {
+        self.total_lines as f64 / self.ideal_total as f64
+    }
+}
+
+impl std::fmt::Display for CoalesceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} k={}: {} lines/update (ideal {}, {:.1}× expansion), {}",
+            self.name,
+            self.k,
+            self.total_lines,
+            self.ideal_total,
+            self.expansion(),
+            if self.fully_coalesced() {
+                "fully coalesced".to_string()
+            } else {
+                format!("{} UNCOALESCED accesses", self.uncoalesced.len())
+            }
+        )
+    }
+}
+
+/// Distinct lines one warp touches for a `k`-element access of
+/// `elem_bytes`-wide elements with the given pattern, starting at an
+/// aligned row base. Enumerates every lane of every iteration and feeds
+/// each lane's `(address, width)` through the simulator's
+/// [`lines_touched`] — no independent line arithmetic to drift.
+fn warp_lines(k: u32, elem_bytes: u32, access: Access, line_bytes: u32) -> u64 {
+    let (k, b, line) = (u64::from(k), u64::from(elem_bytes), line_bytes);
+    let mut lines: BTreeSet<u64> = BTreeSet::new();
+    let mut touch = |addr: u64, len: u64| {
+        let first = addr / u64::from(line);
+        for l in 0..lines_touched(addr, len, line) {
+            lines.insert(first + l);
+        }
+    };
+    match access {
+        Access::Broadcast => touch(0, b),
+        Access::CoalescedRow => {
+            // Each iteration services 32 consecutive elements: one
+            // contiguous span per iteration.
+            let mut e = 0;
+            while e < k {
+                let w = (k - e).min(WARP_SIZE as u64);
+                touch(e * b, w * b);
+                e += w;
+            }
+        }
+        Access::Strided { stride_elems } => {
+            for e in 0..k {
+                touch(e * u64::from(stride_elems) * b, b);
+            }
+        }
+    }
+    lines.len() as u64
+}
+
+/// Runs the coalescing pass over a type-checked program.
+pub fn analyze_coalescing(p: &Program, line_bytes: u32) -> CoalesceReport {
+    let elem_bytes = p.elem.bytes();
+    let row_bytes = u64::from(p.k) * u64::from(elem_bytes);
+    let ideal = lines_touched(0, row_bytes, line_bytes);
+    let mut resident: BTreeSet<Buf> = BTreeSet::new();
+    let mut accesses = Vec::new();
+    for inst in &p.insts {
+        let (verb, buf, access) = match *inst {
+            Inst::LoadVec { buf, access, .. } => {
+                if !resident.insert(buf) {
+                    continue; // register-resident: zero lines
+                }
+                ("load", buf, access)
+            }
+            Inst::StoreVec { buf, access, .. } => ("store", buf, access),
+            _ => continue,
+        };
+        let lines = warp_lines(p.k, elem_bytes, access, line_bytes);
+        accesses.push(AccessFootprint {
+            desc: format!("{verb} {buf:?} ({access:?})"),
+            lines,
+            ideal_lines: ideal,
+            coalesced: lines == ideal,
+        });
+    }
+    let total_lines = accesses.iter().map(|a| a.lines).sum();
+    let ideal_total = accesses.iter().map(|a| a.ideal_lines).sum();
+    let uncoalesced = accesses
+        .iter()
+        .filter(|a| !a.coalesced)
+        .map(|a| a.desc.clone())
+        .collect();
+    CoalesceReport {
+        name: p.name,
+        k: p.k,
+        line_bytes,
+        accesses,
+        total_lines,
+        ideal_total,
+        uncoalesced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{lift_bidmach_inner, lift_sgd_update, Dtype};
+    use super::*;
+
+    #[test]
+    fn sgd_update_is_fully_coalesced() {
+        for k in [16, 31, 64, 128] {
+            for elem in [Dtype::F32, Dtype::F16] {
+                let r = analyze_coalescing(&lift_sgd_update(k, elem), 128);
+                assert!(r.fully_coalesced(), "{r}");
+                // 2 DRAM loads + 2 stores, each at the ideal line count.
+                assert_eq!(r.accesses.len(), 4);
+                let row = u64::from(k) * u64::from(elem.bytes());
+                assert_eq!(r.total_lines, 4 * lines_touched(0, row, 128));
+                assert!((r.expansion() - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k128_f32_touches_four_lines_per_row() {
+        // 128 elements × 4 B = 512 B = 4 lines of 128 B — the paper's
+        // canonical configuration streams whole lines, nothing wasted.
+        let r = analyze_coalescing(&lift_sgd_update(128, Dtype::F32), 128);
+        assert!(r.accesses.iter().all(|a| a.lines == 4));
+    }
+
+    #[test]
+    fn bidmach_column_major_is_flagged_uncoalesced() {
+        // Stride of 4096 elements: every lane its own line — 32 lines
+        // per warp iteration where 1 would do.
+        let r = analyze_coalescing(&lift_bidmach_inner(64, 4096), 128);
+        assert!(!r.fully_coalesced());
+        assert_eq!(r.uncoalesced.len(), 4, "{r}");
+        // k=64 f32: ideal 2 lines/access; strided touches 64 lines.
+        assert_eq!(r.total_lines, 4 * 64);
+        assert!(r.expansion() > 30.0, "expansion {}", r.expansion());
+    }
+
+    #[test]
+    fn small_stride_partially_coalesces() {
+        // Stride 2 (AoS pairs): half of each line is wasted — exactly
+        // 2× line expansion, still flagged.
+        let r = analyze_coalescing(&lift_bidmach_inner(64, 2), 128);
+        assert!(!r.fully_coalesced());
+        assert!((r.expansion() - 2.0).abs() < 1e-12, "{}", r.expansion());
+    }
+
+    #[test]
+    fn warp_lines_agrees_with_simulator_span_accounting() {
+        // For contiguous access the per-iteration union must equal the
+        // simulator's single-span count over the whole row.
+        for (k, b) in [(16u32, 4u32), (31, 2), (33, 4), (128, 2), (97, 4)] {
+            let by_warp = warp_lines(k, b, Access::CoalescedRow, 128);
+            let by_span = lines_touched(0, u64::from(k) * u64::from(b), 128);
+            assert_eq!(by_warp, by_span, "k={k} b={b}");
+        }
+    }
+}

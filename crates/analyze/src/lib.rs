@@ -1,7 +1,19 @@
-//! # cumf-analyze — concurrency analyzers for the cuMF_SGD reproduction
+//! # cumf-analyze — static & dynamic analyzers for the cuMF_SGD reproduction
 //!
-//! Three offline analyzers over the engine layers in `cumf-core`, all
-//! dependency-free:
+//! Offline analyzers over the engine layers in `cumf-core` and the cost
+//! models in `cumf-gpu-sim`, all dependency-free:
+//!
+//! * [`kir`] — a typed kernel IR into which the SGD update and the
+//!   LIBMF/BIDMach baseline inner loops are lifted, with three static
+//!   passes: a memory-traffic abstract interpreter certifying Eq. 5's
+//!   bytes-per-update against the cost model **and** the DES executor's
+//!   charged bytes ([`kir::traffic`]), a per-warp cache-line footprint
+//!   pass validated against the simulator's line accounting
+//!   ([`kir::coalesce`]), and an FP16 range/error pass proving binary16
+//!   overflow-freedom or producing a concrete witness
+//!   ([`kir::precision`]).
+//! * [`lint`] — a source-level determinism lint forbidding wall clocks
+//!   and hash-ordered collections in the deterministic crates.
 //!
 //! * [`prover`] — drives the schedule **conflict prover**
 //!   (`cumf_core::sched::conflict`) over randomized datasets: the
@@ -27,6 +39,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kir;
+pub mod lint;
 pub mod mc;
 pub mod models;
 pub mod prover;
@@ -174,6 +188,141 @@ pub fn model_check_section() -> SectionResult {
     }
 }
 
+/// Grid the cost cross-check runs over: the acceptance matrix of
+/// feature dimensions × both storage precisions.
+pub const COST_CHECK_KS: [u32; 4] = [16, 31, 64, 128];
+
+/// Runs the kernel-IR cost certification as a section: the three-way
+/// kernel ↔ cost-model ↔ simulator agreement at every `(k, precision)`
+/// in [`COST_CHECK_KS`], plus the broken-twin refutation (a checker
+/// that cannot refute a wrong constant proves nothing).
+pub fn cost_section() -> SectionResult {
+    use kir::traffic::{broken_twin_bytes, cross_check, cross_check_with_model};
+    use kir::Dtype;
+    let mut lines = Vec::new();
+    let mut pass = true;
+    for k in COST_CHECK_KS {
+        for elem in [Dtype::F32, Dtype::F16] {
+            let c = cross_check(k, elem, cumf_gpu_sim::RatingAccess::Streamed);
+            pass &= c.certified();
+            lines.push(c.to_string());
+        }
+    }
+    // The broken twin forgot the q-row write-back; it must be refuted
+    // with the concrete −k·sizeof(elem) delta.
+    let k = 64;
+    let real = cumf_gpu_sim::SgdUpdateCost::cpu_f32(k);
+    let twin = cross_check_with_model(
+        k,
+        Dtype::F32,
+        cumf_gpu_sim::RatingAccess::Streamed,
+        broken_twin_bytes(k, Dtype::F32),
+        real.flops(),
+        real,
+    );
+    let refuted = !twin.certified() && twin.verdict.delta() == -(i64::from(k) * 4);
+    pass &= refuted;
+    lines.push(format!(
+        "[{}] broken twin: {twin}",
+        if refuted { "ok" } else { "FAIL" }
+    ));
+    SectionResult {
+        name: "cost",
+        pass,
+        ran: true,
+        lines,
+    }
+}
+
+/// Runs the coalescing pass as a section: the SGD update lift must be
+/// fully coalesced at every acceptance `k` in both precisions, and the
+/// BIDMach column-major lift must be flagged with its line expansion.
+pub fn coalesce_section() -> SectionResult {
+    use kir::coalesce::analyze_coalescing;
+    use kir::{lift_bidmach_inner, lift_sgd_update, Dtype};
+    let line = 128; // both paper GPUs: 128 B L1 lines
+    let mut lines = Vec::new();
+    let mut pass = true;
+    for k in COST_CHECK_KS {
+        for elem in [Dtype::F32, Dtype::F16] {
+            let r = analyze_coalescing(&lift_sgd_update(k, elem), line);
+            let ok = r.fully_coalesced();
+            pass &= ok;
+            lines.push(format!("[{}] {r}", if ok { "ok" } else { "FAIL" }));
+        }
+    }
+    let r = analyze_coalescing(&lift_bidmach_inner(64, 4096), line);
+    let flagged = !r.fully_coalesced() && r.expansion() > 30.0;
+    pass &= flagged;
+    lines.push(format!(
+        "[{}] {r} — expected uncoalesced",
+        if flagged { "ok" } else { "FAIL" }
+    ));
+    SectionResult {
+        name: "coalesce",
+        pass,
+        ran: true,
+        lines,
+    }
+}
+
+/// Runs the FP16 range/error pass as a section: the conservative
+/// config must be *proven* safe, the adversarial LR spike must be
+/// *refuted* with a concrete overflow witness, and the aggressive
+/// paper regime must come back honestly `Unknown`.
+pub fn precision_section() -> SectionResult {
+    use kir::precision::{analyze_precision, PrecisionConfig, PrecisionVerdict};
+    let mut lines = Vec::new();
+    let mut pass = true;
+    let mut record = |label: &str, v: &PrecisionVerdict, ok: bool| {
+        lines.push(format!("[{}] {label}: {v}", if ok { "ok" } else { "FAIL" }));
+        pass &= ok;
+    };
+    for k in [16, 64, 128] {
+        let v = analyze_precision(&PrecisionConfig::safe_default(k));
+        let ok = v.proven();
+        record(&format!("safe_default k={k}"), &v, ok);
+    }
+    let v = analyze_precision(&PrecisionConfig::adversarial_lr_spike(64));
+    let ok = matches!(v, PrecisionVerdict::Refuted(_));
+    record("adversarial_lr_spike k=64", &v, ok);
+    let v = analyze_precision(&PrecisionConfig::paper_aggressive(64));
+    let ok = matches!(v, PrecisionVerdict::Unknown { .. });
+    record("paper_aggressive k=64", &v, ok);
+    SectionResult {
+        name: "precision",
+        pass,
+        ran: true,
+        lines,
+    }
+}
+
+/// Runs the determinism lint as a section. When the workspace sources
+/// are not on disk (an installed binary outside the repo) the section
+/// reports `SKIP` rather than a vacuous pass.
+pub fn lint_section() -> SectionResult {
+    let report = lint::lint_workspace();
+    if report.files_scanned == 0 {
+        return SectionResult {
+            name: "lint",
+            pass: true,
+            ran: false,
+            lines: vec!["skipped: workspace sources not found".to_string()],
+        };
+    }
+    let mut lines = vec![format!(
+        "scanned {} files across cumf-core, cumf-gpu-sim, cumf-des",
+        report.files_scanned
+    )];
+    lines.extend(report.findings.iter().map(|f| f.to_string()));
+    SectionResult {
+        name: "lint",
+        pass: report.clean(),
+        ran: true,
+        lines,
+    }
+}
+
 /// Runs the sanitizer drivers as a section (skipped without the
 /// `sanitize` feature).
 pub fn sanitize_section(seed: u64) -> SectionResult {
@@ -202,12 +351,16 @@ pub fn sanitize_section(seed: u64) -> SectionResult {
     }
 }
 
-/// Runs all three analyzers and aggregates the outcome.
+/// Runs every analyzer and aggregates the outcome.
 pub fn run_all(seed: u64) -> AnalysisReport {
     AnalysisReport {
         sections: vec![
             prover_section(seed),
             model_check_section(),
+            cost_section(),
+            coalesce_section(),
+            precision_section(),
+            lint_section(),
             sanitize_section(seed),
         ],
     }
@@ -221,10 +374,18 @@ mod tests {
     fn full_campaign_passes() {
         let report = run_all(42);
         assert!(report.pass(), "{report}");
-        assert_eq!(report.sections.len(), 3);
+        assert_eq!(report.sections.len(), 7);
         // Rendered report names every section.
         let text = report.to_string();
-        for name in ["prover", "model-check", "sanitize"] {
+        for name in [
+            "prover",
+            "model-check",
+            "cost",
+            "coalesce",
+            "precision",
+            "lint",
+            "sanitize",
+        ] {
             assert!(text.contains(name), "missing section {name}:\n{text}");
         }
     }

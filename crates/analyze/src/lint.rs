@@ -1,0 +1,223 @@
+//! Source-level determinism lint for the deterministic crates.
+//!
+//! The whole workspace's value proposition is *reproducible* simulated
+//! training: same seed, same trace, same certificate digests. Two std
+//! facilities silently break that promise when they creep into the
+//! deterministic paths:
+//!
+//! * `std::time::Instant` / `std::time::SystemTime` — wall-clock reads
+//!   make results machine- and run-dependent (sim time comes from the
+//!   DES clock, never the OS);
+//! * `std::collections::HashMap` / `HashSet` — iteration order is
+//!   randomised per process by `RandomState`, so any result derived
+//!   from iterating one is nondeterministic.
+//!
+//! The lint scans the sources of the deterministic crates
+//! (`cumf-core`, `cumf-gpu-sim`, `cumf-des`) for those tokens,
+//! skipping `#[cfg(test)]` test modules (tests may hash and time
+//! freely) and an explicit allowlist of reviewed uses. It runs in the
+//! `cumf analyze --lint` section and therefore in CI, so a regression
+//! fails the analyze job with file and line.
+
+use std::path::{Path, PathBuf};
+
+/// Forbidden tokens and why.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "std::time::Instant",
+        "wall-clock time in a deterministic path",
+    ),
+    ("time::Instant", "wall-clock time in a deterministic path"),
+    ("SystemTime", "wall-clock time in a deterministic path"),
+    ("HashMap", "randomised iteration order (use BTreeMap)"),
+    ("HashSet", "randomised iteration order (use BTreeSet)"),
+];
+
+/// Reviewed exceptions: `(file suffix, token)` pairs allowed to stay.
+///
+/// * `engine/mod.rs` reads `Instant` once to report *wall* elapsed time
+///   next to sim time in `TrainReport` — informational only, never fed
+///   back into training or certificates;
+/// * `sanitize.rs` is the feature-gated Eraser-style race sanitizer, a
+///   diagnostic tool whose report ordering is explicitly sorted before
+///   display.
+const ALLOWLIST: &[(&str, &str)] = &[
+    ("core/src/engine/mod.rs", "time::Instant"),
+    ("core/src/engine/mod.rs", "std::time::Instant"),
+    ("core/src/engine/mod.rs", "Instant"),
+    ("core/src/sanitize.rs", "HashMap"),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Path of the offending file (as scanned).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The forbidden token found.
+    pub token: &'static str,
+    /// Why it is forbidden.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` — {}",
+            self.file, self.line, self.token, self.reason
+        )
+    }
+}
+
+fn allowlisted(file: &str, token: &str) -> bool {
+    let norm = file.replace('\\', "/");
+    ALLOWLIST
+        .iter()
+        .any(|(suffix, tok)| *tok == token && norm.ends_with(suffix))
+}
+
+/// Lints one file's content. Lines at or below the first test-module
+/// marker (`#[cfg(test)]` or `mod tests {`) are skipped — tests are
+/// allowed to hash and time. Exposed (rather than only file-driven) so
+/// the lint logic itself is unit-testable on synthetic sources.
+pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
+    let mut findings = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("mod tests {") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        for &(token, reason) in FORBIDDEN {
+            if line.contains(token) && !allowlisted(file, token) {
+                findings.push(LintFinding {
+                    file: file.to_string(),
+                    line: lineno + 1,
+                    token,
+                    reason,
+                });
+                break; // one finding per line is enough
+            }
+        }
+    }
+    findings
+}
+
+/// The deterministic crates' source roots, relative to the workspace
+/// `crates/` directory.
+const DETERMINISTIC_CRATES: &[&str] = &["core", "gpu-sim", "des"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scan outcome for the whole workspace.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Files scanned (0 means the sources were not found — e.g. an
+    /// installed binary run outside the repo — and the lint abstains).
+    pub files_scanned: usize,
+    /// All findings, in path order.
+    pub findings: Vec<LintFinding>,
+}
+
+impl LintReport {
+    /// True when the scan ran and found nothing.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints the deterministic crates' sources. The workspace root is
+/// located from this crate's manifest dir at compile time, so the lint
+/// works from any cwd inside the repo; when the sources are missing
+/// (e.g. the binary moved elsewhere) the report has `files_scanned ==
+/// 0` and the caller reports a skip rather than a pass.
+pub fn lint_workspace() -> LintReport {
+    let crates_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .map(Path::to_path_buf)
+        .unwrap_or_default();
+    let mut files = Vec::new();
+    for krate in DETERMINISTIC_CRATES {
+        collect_rs_files(&crates_root.join(krate).join("src"), &mut files);
+    }
+    let mut findings = Vec::new();
+    for path in &files {
+        if let Ok(content) = std::fs::read_to_string(path) {
+            findings.extend(lint_content(&path.display().to_string(), &content));
+        }
+    }
+    LintReport {
+        files_scanned: files.len(),
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wall_clock_and_hash_collections() {
+        let src = "use std::time::Instant;\nuse std::collections::HashMap;\nfn f() {}\n";
+        let f = lint_content("crates/core/src/solver.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].token.contains("Instant"));
+        assert_eq!(f[1].token, "HashMap");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashSet;\n}\n";
+        assert!(lint_content("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_exempt() {
+        let src = "// never use HashMap here\nfn f() {}\n";
+        assert!(lint_content("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_is_honoured_per_file() {
+        let src = "use std::time::Instant;\n";
+        assert!(lint_content("crates/core/src/engine/mod.rs", src).is_empty());
+        assert_eq!(
+            lint_content("crates/core/src/engine/pipeline.rs", src).len(),
+            1
+        );
+        let hm = "use std::collections::HashMap;\n";
+        assert!(lint_content("crates/core/src/sanitize.rs", hm).is_empty());
+    }
+
+    #[test]
+    fn workspace_sources_are_clean() {
+        // The real lint over the real sources: the deterministic crates
+        // must stay free of wall clocks and hash collections.
+        let report = lint_workspace();
+        assert!(
+            report.files_scanned > 20,
+            "found {} files",
+            report.files_scanned
+        );
+        let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(report.clean(), "{rendered:#?}");
+    }
+}

@@ -73,10 +73,14 @@ impl F16 {
             }
             return F16(out);
         }
-        if unbiased >= -24 {
+        if unbiased >= -25 {
             // Subnormal f16: the target is mant16 = round(value / 2^-24)
             // = round(full_mant * 2^(unbiased+1)), i.e. a right shift of
-            // the 24-bit significand by (-unbiased - 1) ∈ 14..=23.
+            // the 24-bit significand by (-unbiased - 1) ∈ 14..=24.
+            // unbiased == -25 is included: mant16 shifts to 0, but a
+            // value strictly above 2^-25 (rest > half) must round up to
+            // the smallest subnormal, not flush to zero; exactly 2^-25
+            // ties to the even pattern 0x0000.
             let full_mant = mant | 0x0080_0000;
             let shift = (-1 - unbiased) as u32;
             let mant16 = (full_mant >> shift) as u16;
@@ -151,6 +155,21 @@ impl std::fmt::Display for F16 {
 /// Maximum relative quantisation error of a round trip through f16 for
 /// values in the normal range: half an ulp = 2⁻¹¹.
 pub const F16_MAX_RELATIVE_ERROR: f32 = 1.0 / 2048.0;
+
+/// The largest finite binary16 magnitude, as f32: any stored value with
+/// `|x| > 65504 + 16` (the rounding boundary is 65520) overflows to ±∞.
+/// The FP16 range-analysis pass proves stored intermediates stay below
+/// this.
+pub const F16_MAX_F32: f32 = 65504.0;
+
+/// The smallest positive *normal* binary16 value (2⁻¹⁴) as f32; below it
+/// precision degrades gradually through the subnormal range.
+pub const F16_MIN_POSITIVE_NORMAL_F32: f32 = 6.103_515_6e-5;
+
+/// The smallest positive subnormal binary16 value (2⁻²⁴) as f32; stores
+/// with magnitude under half of it flush to zero — the floor under which
+/// SGD updates silently stagnate in half precision.
+pub const F16_MIN_POSITIVE_SUBNORMAL_F32: f32 = 5.960_464_5e-8;
 
 #[cfg(test)]
 mod tests {
@@ -255,6 +274,18 @@ mod tests {
             let rt = F16::from_f32(h.to_f32());
             assert_eq!(rt.to_bits(), bits, "bits {bits:#06x}");
         }
+    }
+
+    #[test]
+    fn range_constants_match_bit_patterns() {
+        assert_eq!(F16::MAX.to_f32(), F16_MAX_F32);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), F16_MIN_POSITIVE_NORMAL_F32);
+        assert_eq!(
+            F16::from_bits(0x0001).to_f32(),
+            F16_MIN_POSITIVE_SUBNORMAL_F32
+        );
+        assert_eq!(F16_MIN_POSITIVE_NORMAL_F32, 2.0f32.powi(-14));
+        assert_eq!(F16_MIN_POSITIVE_SUBNORMAL_F32, 2.0f32.powi(-24));
     }
 
     #[test]

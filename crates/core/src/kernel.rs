@@ -13,7 +13,228 @@
 //! `k/32` strided elements and the compiler is free to vectorise — the ILP
 //! technique of §4). Tests pin them to agree bit-for-bit-ish.
 
+use cumf_gpu_sim::{Precision, RatingAccess, SgdUpdateCost};
+
 use crate::feature::Element;
+
+/// The storage precision a factor [`Element`] type corresponds to in the
+/// §2.3 cost model.
+pub fn precision_of<E: Element>() -> Precision {
+    match E::BYTES {
+        2 => Precision::F16,
+        4 => Precision::F32,
+        other => panic!("no cost-model precision for {other}-byte elements"),
+    }
+}
+
+/// The memory contract of [`sgd_update`]: which element accesses one
+/// update performs, split into what reaches DRAM and what the GPU kernel
+/// serves from registers.
+///
+/// The portable kernel converts each of `p_u`, `q_v` **twice** per update
+/// — once in the dot product, once in the update loop — so it executes
+/// `4k` element loads. On the GPU (and in the register-residency model of
+/// the `cumf-analyze` kernel IR) the second read hits the registers that
+/// staged the row on first load (Fig 4: "both CUDA and LIBMF stage the
+/// old vectors in registers"), so only `2k` loads reach DRAM. The store
+/// side writes each row back once: `2k` stores. This struct is *measured*
+/// against the real kernel by the instrumented-element test below, and
+/// certified against [`SgdUpdateCost`] by [`CostCert::certify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTraffic {
+    /// Feature dimension.
+    pub k: u32,
+    /// Bytes per stored element.
+    pub elem_bytes: u32,
+    /// Element loads the portable kernel executes (`4k`: dot + update).
+    pub element_loads: u64,
+    /// Element loads that reach DRAM after register staging (`2k`).
+    pub dram_element_loads: u64,
+    /// Element stores (`2k`: both rows written back once).
+    pub element_stores: u64,
+}
+
+impl KernelTraffic {
+    /// The contract of [`sgd_update`] for storage element `E` at dimension
+    /// `k`, derived from the kernel's structure (and pinned to its real
+    /// behaviour by the `instrumented_element_counts_match_contract` test).
+    pub fn of_update_kernel<E: Element>(k: u32) -> Self {
+        let k64 = k as u64;
+        KernelTraffic {
+            k,
+            elem_bytes: E::BYTES as u32,
+            element_loads: 4 * k64,
+            dram_element_loads: 2 * k64,
+            element_stores: 2 * k64,
+        }
+    }
+
+    /// Bytes of the rating fetch, derived from the COO record the kernel
+    /// consumes (two `u32` coordinates + one `f32` rating = 12 bytes),
+    /// independent of the gpu-sim cost model it is checked against.
+    pub fn rating_bytes(rating: RatingAccess) -> u64 {
+        let coo = (2 * std::mem::size_of::<u32>() + std::mem::size_of::<f32>()) as u64;
+        match rating {
+            RatingAccess::Streamed => coo,
+            RatingAccess::RandomLine { line_bytes } => (line_bytes as u64).max(coo),
+        }
+    }
+
+    /// Total DRAM bytes per update under a rating access pattern.
+    pub fn dram_bytes(&self, rating: RatingAccess) -> u64 {
+        Self::rating_bytes(rating)
+            + (self.dram_element_loads + self.element_stores) * self.elem_bytes as u64
+    }
+
+    /// Floating-point operations per update: the three `2`-flop/element
+    /// vector stages (dot FMAs, `p` update, `q` update) plus the
+    /// warp-shuffle reduction tree's halving sum — the numerator of Eq. 5.
+    pub fn flops(&self) -> u64 {
+        let k = self.k as u64;
+        let mut reduction = 0;
+        let mut i = k;
+        while i > 1 {
+            i /= 2;
+            reduction += i;
+        }
+        6 * k + reduction
+    }
+}
+
+/// Outcome of certifying the kernel contract against a cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostCertStatus {
+    /// Kernel-derived traffic and the cost model agree bit-for-bit.
+    Certified,
+    /// They disagree; the concrete per-update delta is the evidence.
+    Refuted {
+        /// Bytes per update the cost model charges.
+        model_bytes: u64,
+        /// Bytes per update the kernel contract derives.
+        kernel_bytes: u64,
+        /// Flops per update the cost model counts.
+        model_flops: u64,
+        /// Flops per update the kernel contract counts.
+        kernel_flops: u64,
+    },
+}
+
+/// A per-run certificate that the Eq. 5 cost model matches the kernel the
+/// run actually executed — the static-analysis counterpart of the
+/// schedule [`crate::sched::ConflictCert`], attached to
+/// [`crate::solver::TrainResult`] the same way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostCert {
+    /// Feature dimension certified.
+    pub k: u32,
+    /// Storage element name (`f32` / `f16`).
+    pub precision: &'static str,
+    /// Agreed bytes per update (kernel-derived; equals the model's when
+    /// certified).
+    pub bytes_per_update: u64,
+    /// Agreed flops per update.
+    pub flops_per_update: u64,
+    /// Certification status.
+    pub status: CostCertStatus,
+    /// When the run priced epochs with a [`crate::solver::TimeModel`],
+    /// the signed byte difference `time_model_bytes − kernel_bytes`;
+    /// non-zero means the trace's clock charged different traffic than
+    /// the kernel generates (informational — callers pass mismatched
+    /// models deliberately in sensitivity studies).
+    pub time_model_drift: Option<i64>,
+    /// FNV-1a digest over the certified quantities, for logs and replay
+    /// comparison.
+    pub digest: u64,
+}
+
+impl CostCert {
+    /// Certifies the [`sgd_update`] contract for element `E` at dimension
+    /// `k` against the Eq. 5 cost model with the given rating access.
+    /// `time_model` is the cost model of the run's time domain, if any.
+    pub fn certify<E: Element>(
+        k: u32,
+        rating: RatingAccess,
+        time_model: Option<&SgdUpdateCost>,
+    ) -> CostCert {
+        let traffic = KernelTraffic::of_update_kernel::<E>(k);
+        let model = SgdUpdateCost {
+            k,
+            precision: precision_of::<E>(),
+            rating_access: rating,
+        };
+        let kernel_bytes = traffic.dram_bytes(rating);
+        let kernel_flops = traffic.flops();
+        let status = if kernel_bytes == model.bytes() && kernel_flops == model.flops() {
+            CostCertStatus::Certified
+        } else {
+            CostCertStatus::Refuted {
+                model_bytes: model.bytes(),
+                kernel_bytes,
+                model_flops: model.flops(),
+                kernel_flops,
+            }
+        };
+        let time_model_drift = time_model.map(|tm| tm.bytes() as i64 - kernel_bytes as i64);
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(k as u64);
+        mix(E::BYTES as u64);
+        mix(kernel_bytes);
+        mix(kernel_flops);
+        mix(matches!(status, CostCertStatus::Certified) as u64);
+        CostCert {
+            k,
+            precision: E::NAME,
+            bytes_per_update: kernel_bytes,
+            flops_per_update: kernel_flops,
+            status,
+            time_model_drift,
+            digest: h,
+        }
+    }
+
+    /// True when the kernel and the cost model agree.
+    pub fn is_certified(&self) -> bool {
+        matches!(self.status, CostCertStatus::Certified)
+    }
+}
+
+impl std::fmt::Display for CostCert {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.status {
+            CostCertStatus::Certified => write!(
+                f,
+                "cost certified: k={} {} — {} B/update, {} flops/update (digest {:016x})",
+                self.k, self.precision, self.bytes_per_update, self.flops_per_update, self.digest
+            )?,
+            CostCertStatus::Refuted {
+                model_bytes,
+                kernel_bytes,
+                model_flops,
+                kernel_flops,
+            } => write!(
+                f,
+                "cost REFUTED: k={} {} — model charges {model_bytes} B/update but the kernel \
+                 touches {kernel_bytes} (Δ {:+}); flops {model_flops} vs {kernel_flops} (Δ {:+})",
+                self.k,
+                self.precision,
+                model_bytes as i64 - kernel_bytes as i64,
+                model_flops as i64 - kernel_flops as i64,
+            )?,
+        }
+        if let Some(drift) = self.time_model_drift {
+            if drift != 0 {
+                write!(f, "; time-model drift {drift:+} B/update")?;
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Dot product of two k-element rows in f32, scalar reference.
 #[inline]
@@ -273,6 +494,84 @@ mod tests {
             let diff = (p32[i] - p16[i].to_f32()).abs();
             assert!(diff < 0.02, "lane {i}: f32 {} vs f16 {}", p32[i], p16[i]);
         }
+    }
+
+    /// An f32 stand-in whose conversions count themselves, so the
+    /// [`KernelTraffic`] contract is *measured* against the real kernel
+    /// rather than asserted.
+    #[derive(Debug, Clone, Copy, Default, PartialEq)]
+    struct CountingElem(f32);
+
+    thread_local! {
+        static ELEM_LOADS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        static ELEM_STORES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    impl Element for CountingElem {
+        const BYTES: usize = 4;
+        const NAME: &'static str = "counting-f32";
+        fn from_f32(x: f32) -> Self {
+            ELEM_STORES.with(|c| c.set(c.get() + 1));
+            CountingElem(x)
+        }
+        fn to_f32(self) -> f32 {
+            ELEM_LOADS.with(|c| c.set(c.get() + 1));
+            self.0
+        }
+    }
+
+    #[test]
+    fn instrumented_element_counts_match_contract() {
+        for k in [1usize, 4, 16, 31, 64, 128] {
+            let mut p: Vec<CountingElem> = (0..k).map(|i| CountingElem(0.01 * i as f32)).collect();
+            let mut q: Vec<CountingElem> = (0..k).map(|i| CountingElem(0.02 * i as f32)).collect();
+            ELEM_LOADS.with(|c| c.set(0));
+            ELEM_STORES.with(|c| c.set(0));
+            sgd_update(&mut p[..], &mut q[..], 1.0, 0.05, 0.01);
+            let loads = ELEM_LOADS.with(|c| c.get());
+            let stores = ELEM_STORES.with(|c| c.get());
+            let contract = KernelTraffic::of_update_kernel::<CountingElem>(k as u32);
+            assert_eq!(loads, contract.element_loads, "k={k} loads");
+            assert_eq!(stores, contract.element_stores, "k={k} stores");
+            // Register staging halves the loads that reach DRAM.
+            assert_eq!(contract.dram_element_loads * 2, contract.element_loads);
+        }
+    }
+
+    #[test]
+    fn cost_cert_agrees_with_eq5_for_both_precisions() {
+        use cumf_gpu_sim::RatingAccess;
+        for k in [8u32, 16, 31, 64, 128] {
+            let c32 = CostCert::certify::<f32>(k, RatingAccess::Streamed, None);
+            let c16 = CostCert::certify::<F16>(k, RatingAccess::Streamed, None);
+            assert!(c32.is_certified(), "{c32}");
+            assert!(c16.is_certified(), "{c16}");
+            assert_eq!(c32.bytes_per_update, 12 + 16 * k as u64);
+            assert_eq!(c16.bytes_per_update, 12 + 8 * k as u64);
+            assert_eq!(c32.flops_per_update, c16.flops_per_update);
+            assert_ne!(c32.digest, c16.digest);
+        }
+        // Random-line rating fetches are certified under the same pattern.
+        let rl = CostCert::certify::<f32>(16, RatingAccess::RandomLine { line_bytes: 128 }, None);
+        assert!(rl.is_certified(), "{rl}");
+        assert_eq!(rl.bytes_per_update, 128 + 16 * 16);
+    }
+
+    #[test]
+    fn time_model_drift_is_reported() {
+        use cumf_gpu_sim::RatingAccess;
+        let matched = SgdUpdateCost::cpu_f32(16);
+        let cert = CostCert::certify::<f32>(16, RatingAccess::Streamed, Some(&matched));
+        assert_eq!(cert.time_model_drift, Some(0));
+        // A k=128 time model on a k=16 run is a silent mispricing today;
+        // the certificate surfaces it as a concrete byte delta.
+        let mismatched = SgdUpdateCost::cpu_f32(128);
+        let cert = CostCert::certify::<f32>(16, RatingAccess::Streamed, Some(&mismatched));
+        assert_eq!(
+            cert.time_model_drift,
+            Some((12 + 16 * 128) - (12 + 16 * 16))
+        );
+        assert!(format!("{cert}").contains("time-model drift"));
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub use faults::{
 };
 pub use feature::{Element, FactorMatrix};
 pub use half::F16;
+pub use kernel::{precision_of, CostCert, CostCertStatus, KernelTraffic};
 pub use lrate::{LearningRate, LrState, Schedule};
 pub use metrics::{rmse, updates_per_sec, Trace, TracePoint};
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, Model};

@@ -22,6 +22,7 @@ use crate::engine::{
     EpochPipeline, ModelTime, NoSimTime, ObsProbes, StreamBackend, TimeDomain,
 };
 use crate::feature::{Element, FactorMatrix};
+use crate::kernel::CostCert;
 use crate::lrate::Schedule;
 use crate::metrics::Trace;
 use crate::model_io::ModelIoError;
@@ -86,6 +87,16 @@ impl Scheme {
                 ExecMode::Sequential
             }
             Scheme::Hogwild { .. } | Scheme::BatchHogwild { .. } => ExecMode::StaleAdditive,
+        }
+    }
+
+    /// The rating-fetch pattern the scheme's memory traffic follows:
+    /// plain Hogwild! picks samples at random (each fetch drags a full
+    /// cache line), every other policy streams samples in order.
+    pub fn rating_access(&self) -> cumf_gpu_sim::RatingAccess {
+        match self {
+            Scheme::Hogwild { .. } => cumf_gpu_sim::RatingAccess::RandomLine { line_bytes: 128 },
+            _ => cumf_gpu_sim::RatingAccess::Streamed,
         }
     }
 
@@ -202,6 +213,11 @@ pub struct TrainResult<E: Element> {
     /// [`crate::sched::ConflictWitness`] that forced a downgrade to the
     /// stale-additive conflict engine. `None` for racy-by-design modes.
     pub schedule_verdict: Option<Verdict>,
+    /// The Eq. 5 cost certificate for this run's kernel: kernel-contract
+    /// bytes/flops per update certified against [`crate::SgdUpdateCost`]
+    /// for the run's `k`, storage precision, and rating-access pattern
+    /// (plus the time model's drift, when one priced the trace).
+    pub cost_cert: CostCert,
 }
 
 impl<E: Element> TrainResult<E> {
@@ -238,6 +254,15 @@ pub fn train_resumable<E: Element>(
 ) -> Result<TrainResult<E>, ModelIoError> {
     assert!(config.k > 0, "k must be positive");
     assert!(!train.is_empty(), "training set is empty");
+
+    // The run's cost certificate: the kernel's memory contract for this
+    // (k, precision, rating-access) checked against the Eq. 5 model, with
+    // the time model's pricing drift recorded when one is supplied.
+    let cost_cert = CostCert::certify::<E>(
+        config.k,
+        config.scheme.rating_access(),
+        time.map(|tm| &tm.cost),
+    );
 
     let (mut model, resume_state) = match checkpoint {
         Some(spec) if spec.resume && spec.path.exists() => {
@@ -329,6 +354,7 @@ pub fn train_resumable<E: Element>(
         diverged: run.diverged,
         exec_mode: mode,
         schedule_verdict,
+        cost_cert,
     })
 }
 
@@ -489,6 +515,29 @@ mod tests {
             "s=40 on a 60x40 matrix must hurt: racy {:?} vs serial {serial_final}",
             racy.trace.best_rmse()
         );
+    }
+
+    #[test]
+    fn cost_certificate_attached_to_result() {
+        let d = small_dataset();
+        let r32 = train::<f32>(&d.train, &d.test, &base_config(Scheme::Serial), None);
+        assert!(r32.cost_cert.is_certified(), "{}", r32.cost_cert);
+        assert_eq!(r32.cost_cert.k, 6);
+        assert_eq!(r32.cost_cert.precision, "f32");
+        assert_eq!(r32.cost_cert.bytes_per_update, 12 + 16 * 6);
+        assert_eq!(r32.cost_cert.time_model_drift, None);
+        let r16 = train::<F16>(&d.train, &d.test, &base_config(Scheme::Serial), None);
+        assert_eq!(r16.cost_cert.precision, "f16");
+        assert_eq!(r16.cost_cert.bytes_per_update, 12 + 8 * 6);
+        // Plain Hogwild! certifies under the random-line rating pattern.
+        let rh = train::<f32>(
+            &d.train,
+            &d.test,
+            &base_config(Scheme::Hogwild { workers: 4 }),
+            None,
+        );
+        assert!(rh.cost_cert.is_certified(), "{}", rh.cost_cert);
+        assert_eq!(rh.cost_cert.bytes_per_update, 128 + 16 * 6);
     }
 
     #[test]

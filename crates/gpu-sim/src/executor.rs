@@ -11,6 +11,9 @@
 //! batch-Hogwild! and wavefront-update scale to the hardware limit —
 //! *emerges* from queueing, it is not curve-fit.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use cumf_des::{Block, Ctx, LockId, Process, ServerId, SimTime, Simulation};
 
 use crate::SgdUpdateCost;
@@ -124,6 +127,12 @@ pub struct ThroughputResult {
     pub updates_per_sec: f64,
     /// Effective bandwidth consumed by the compute, bytes/s.
     pub achieved_bw: f64,
+    /// DRAM bytes the executor *actually charged* to compute phases,
+    /// accumulated integer-exactly as workers execute chunks. This is the
+    /// ground truth the static cost certificate is checked against:
+    /// `bytes_charged == updates × SgdUpdateCost::bytes()` must hold
+    /// bit-for-bit, or the simulator and the cost model have drifted.
+    pub bytes_charged: u64,
     /// Utilisation of the global scheduler critical section (0 when the
     /// policy has none).
     pub scheduler_utilisation: f64,
@@ -156,6 +165,10 @@ struct Worker {
     held_col: Option<usize>,
     phase: Phase,
     obs_launches: cumf_obs::Counter,
+    // Per-update DRAM bytes and the run-wide charge accumulator (the DES
+    // is single-threaded, so a shared Cell is race-free).
+    bytes_per_update: u64,
+    bytes_charged: Rc<Cell<u64>>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,6 +226,8 @@ impl Process for Worker {
                     self.remaining -= n;
                     self.wave += 1;
                     self.phase = Phase::FinishChunk;
+                    self.bytes_charged
+                        .set(self.bytes_charged.get() + n * self.bytes_per_update);
                     self.obs_launches.inc();
                     if cumf_obs::enabled() {
                         cumf_obs::span_sim(
@@ -279,6 +294,7 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
 
     // Spread updates across workers; the first `rem` workers take one more
     // chunk-sized share so every update is accounted for.
+    let bytes_charged = Rc::new(Cell::new(0u64));
     let base = config.total_updates / config.workers as u64;
     let rem = (config.total_updates % config.workers as u64) as u32;
     for id in 0..config.workers {
@@ -299,6 +315,8 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
             held_col: None,
             phase: Phase::Schedule,
             obs_launches: obs_launches.clone(),
+            bytes_per_update: config.cost.bytes(),
+            bytes_charged: bytes_charged.clone(),
         }));
     }
 
@@ -318,6 +336,7 @@ pub fn simulate_throughput(config: &ThroughputConfig) -> ThroughputResult {
         updates: config.total_updates,
         updates_per_sec,
         achieved_bw: updates_per_sec * config.cost.bytes() as f64,
+        bytes_charged: bytes_charged.get(),
         scheduler_utilisation: report
             .server("scheduler")
             .map(|s| s.utilisation)
@@ -514,6 +533,27 @@ mod tests {
             },
             total_updates: 1000,
         });
+    }
+
+    #[test]
+    fn bytes_charged_is_integer_exact() {
+        // Every executed update must be charged exactly bytes() DRAM bytes,
+        // regardless of scheduler, worker count, or ragged chunk splits.
+        for (workers, updates) in [(1u32, 999u64), (7, 10_001), (64, 123_457)] {
+            for cost in [SgdUpdateCost::cumf(31), SgdUpdateCost::cpu_f32(16)] {
+                let r = simulate_throughput(&ThroughputConfig {
+                    workers,
+                    total_bandwidth: 1e9,
+                    cost,
+                    scheduler: SchedulerModel::BatchHogwild {
+                        batch: 256,
+                        per_batch_overhead_s: 50e-9,
+                    },
+                    total_updates: updates,
+                });
+                assert_eq!(r.bytes_charged, updates * cost.bytes());
+            }
+        }
     }
 
     #[test]

@@ -98,14 +98,28 @@ impl SgdUpdateCost {
         6 * k + reduction
     }
 
+    /// Bytes of the rating fetch alone (respecting the access pattern's
+    /// line-granular accounting for random single-sample fetches).
+    pub fn rating_bytes(&self) -> u64 {
+        let bytes = match self.rating_access {
+            RatingAccess::Streamed => COO_SAMPLE_BYTES,
+            RatingAccess::RandomLine { line_bytes } => line_bytes.max(COO_SAMPLE_BYTES),
+        };
+        bytes as u64
+    }
+
+    /// Feature-matrix bytes per update: read + write of `p_u` and `q_v`,
+    /// i.e. `4·k` elements at the storage precision. This is the traffic
+    /// half-precision halves (§4) — exactly `2·k·sizeof(elem)` loads plus
+    /// the same in stores, for *any* `k`, odd or even.
+    pub fn feature_bytes(&self) -> u64 {
+        4 * self.k as u64 * self.precision.bytes() as u64
+    }
+
     /// DRAM bytes touched per update (denominator of Eq. 5 plus the rating
     /// fetch pattern): rating sample + read and write of `p_u` and `q_v`.
     pub fn bytes(&self) -> u64 {
-        let rating = match self.rating_access {
-            RatingAccess::Streamed => COO_SAMPLE_BYTES,
-            RatingAccess::RandomLine { line_bytes } => line_bytes.max(COO_SAMPLE_BYTES),
-        } as u64;
-        rating + 4 * self.k as u64 * self.precision.bytes() as u64
+        self.rating_bytes() + self.feature_bytes()
     }
 
     /// Eq. 5: the flops-to-bytes ratio of one update.
@@ -192,6 +206,24 @@ mod tests {
         // Non-power-of-two k still terminates.
         let c = SgdUpdateCost::cpu_f32(100);
         assert!(c.flops() > 600);
+    }
+
+    #[test]
+    fn odd_k_byte_accounting_is_consistent() {
+        // Regression (k = 31): the f16 feature traffic must be exactly half
+        // the f32 feature traffic even when k is odd — no truncating
+        // divisions anywhere in the accounting.
+        let f32c = SgdUpdateCost::cpu_f32(31);
+        let f16c = SgdUpdateCost {
+            k: 31,
+            precision: Precision::F16,
+            rating_access: RatingAccess::Streamed,
+        };
+        assert_eq!(f32c.feature_bytes(), 4 * 31 * 4);
+        assert_eq!(f16c.feature_bytes(), 4 * 31 * 2);
+        assert_eq!(f16c.feature_bytes() * 2, f32c.feature_bytes());
+        assert_eq!(f32c.bytes(), f32c.rating_bytes() + f32c.feature_bytes());
+        assert_eq!(f16c.bytes(), 12 + 248);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use executor::{
     ThroughputResult,
 };
 pub use kernel::{Precision, RatingAccess, SgdUpdateCost, COO_SAMPLE_BYTES};
-pub use memory::CpuCacheModel;
+pub use memory::{lines_touched, CpuCacheModel};
 pub use occupancy::{
     blocks_per_sm, max_workers, KernelFootprint, SmResources, SM_MAXWELL, SM_PASCAL,
 };

@@ -9,7 +9,23 @@
 //! the *same* bandwidth on every data set.
 
 use crate::arch::CpuSpec;
-use crate::kernel::{SgdUpdateCost, COO_SAMPLE_BYTES};
+use crate::kernel::SgdUpdateCost;
+
+/// Line-granular accounting: how many cache lines of size `line_bytes` a
+/// contiguous access of `len_bytes` starting at byte offset `offset`
+/// touches. This is the memory model's ground truth for coalescing — the
+/// static coalescing pass in `cumf-analyze` must reproduce these counts
+/// for every access in the kernel IR, at every alignment.
+pub fn lines_touched(offset: u64, len_bytes: u64, line_bytes: u32) -> u64 {
+    assert!(line_bytes > 0, "line size must be positive");
+    if len_bytes == 0 {
+        return 0;
+    }
+    let line = line_bytes as u64;
+    let first = offset / line;
+    let last = (offset + len_bytes - 1) / line;
+    last - first + 1
+}
 
 /// Cache model for a blocked CPU SGD solver (LIBMF-style).
 ///
@@ -66,7 +82,7 @@ impl CpuCacheModel {
     /// Overall hit fraction of requested bytes for a given update cost:
     /// ratings always miss; features hit at [`Self::feature_hit_rate`].
     pub fn hit_fraction(&self, cost: &SgdUpdateCost, working_set: f64) -> f64 {
-        let feature_bytes = (cost.bytes() - COO_SAMPLE_BYTES as u64) as f64;
+        let feature_bytes = cost.feature_bytes() as f64;
         let total = cost.bytes() as f64;
         self.feature_hit_rate(working_set) * feature_bytes / total
     }
@@ -165,6 +181,25 @@ mod tests {
             assert!(h < prev, "hit rate must fall as working set grows");
             assert!((0.0..=1.0).contains(&h));
             prev = h;
+        }
+    }
+
+    #[test]
+    fn lines_touched_counts_straddles() {
+        // Aligned accesses: exact ceiling division.
+        assert_eq!(lines_touched(0, 128, 128), 1);
+        assert_eq!(lines_touched(0, 129, 128), 2);
+        assert_eq!(lines_touched(0, 256, 128), 2);
+        assert_eq!(lines_touched(0, 0, 128), 0);
+        // Misaligned accesses straddle one extra line.
+        assert_eq!(lines_touched(4, 128, 128), 2);
+        assert_eq!(lines_touched(124, 8, 128), 2);
+        assert_eq!(lines_touched(124, 4, 128), 1);
+        // A 12-byte COO sample at a random offset touches 1 or 2 lines —
+        // the RandomLine rating-access model charges the full line(s).
+        for offset in 0..256u64 {
+            let lines = lines_touched(offset, 12, 128);
+            assert!((1..=2).contains(&lines));
         }
     }
 

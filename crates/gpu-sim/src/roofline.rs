@@ -114,6 +114,26 @@ mod tests {
     }
 
     #[test]
+    fn halved_traffic_path_agrees_for_odd_k() {
+        // Regression (k = 31): the roofline's half-precision speedup must
+        // come out of the same feature-byte accounting as the cost model —
+        // rate ratio == bytes ratio exactly, with no rounding loss on odd k.
+        let f32c = SgdUpdateCost::cpu_f32(31);
+        let f16c = SgdUpdateCost {
+            k: 31,
+            precision: crate::Precision::F16,
+            rating_access: crate::RatingAccess::Streamed,
+        };
+        let r = Roofline::for_gpu(&TITAN_X_MAXWELL);
+        let ratio = r.updates_per_sec(&f16c) / r.updates_per_sec(&f32c);
+        let bytes_ratio = f32c.bytes() as f64 / f16c.bytes() as f64;
+        assert!(
+            (ratio - bytes_ratio).abs() < 1e-12,
+            "{ratio} vs {bytes_ratio}"
+        );
+    }
+
+    #[test]
     fn compute_bound_kernels_cap_at_peak_flops() {
         let r = Roofline::for_gpu(&TITAN_X_MAXWELL);
         let dense_gemm_intensity = 60.0; // far right of the ridge

@@ -78,7 +78,8 @@ USAGE:
   cumf profile  [--preset netflix|yahoo|hugewiki] [--scale 0.002] [--k 16]
                 [--epochs 5] [--scheme batch-hogwild] [--workers 8]
                 [--trace profile_trace.json] [--metrics profile_metrics.prom]
-  cumf analyze  [--all] [--prover] [--model-check] [--sanitize] [--seed 42]
+  cumf analyze  [--all] [--prover] [--model-check] [--cost] [--coalesce]
+                [--precision] [--lint] [--sanitize] [--seed 42]
   cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
 
 Data files may be .bin (compact binary) or text (`u v r` per line).
@@ -92,10 +93,17 @@ add --resume to continue an interrupted run from that snapshot (the
 deterministic schedulers make the result identical to an uninterrupted
 run).
 
-`analyze` runs the offline concurrency analyzers (exit code 1 on any
-failure): the schedule conflict prover (wavefront / LIBMF certified
-conflict-free, batch-Hogwild! refuted with a witness), the interleaving
-model checker (stripe-lock order, torn rows/cells, work claiming), and —
+`analyze` runs the offline analyzers (exit code 1 on any failure): the
+schedule conflict prover (wavefront / LIBMF certified conflict-free,
+batch-Hogwild! refuted with a witness), the interleaving model checker
+(stripe-lock order, torn rows/cells, work claiming), the kernel-IR
+static passes — --cost certifies Eq. 5's bytes/flops-per-update against
+both the analytical model and the DES executor's charged bytes (and
+refutes a deliberately broken twin), --coalesce derives per-warp cache-
+line footprints (cuMF coalesced, BIDMach column-major flagged),
+--precision proves or refutes binary16 overflow-safety with interval +
+relative-error domains — plus --lint, the source determinism lint (no
+wall clocks / hash-ordered containers in deterministic crates), and —
 when built with `--features sanitize` — the Eraser-style lockset race
 sanitizer over the threaded executors. No section flag means --all.
 
@@ -119,7 +127,17 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         // Boolean flags take no value.
         if matches!(
             name,
-            "f16" | "resume" | "all" | "prover" | "model-check" | "sanitize" | "quick"
+            "f16"
+                | "resume"
+                | "all"
+                | "prover"
+                | "model-check"
+                | "cost"
+                | "coalesce"
+                | "precision"
+                | "lint"
+                | "sanitize"
+                | "quick"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
@@ -434,9 +452,17 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
 fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     use cumf_sgd::analyze;
     let seed: u64 = get_parse(flags, "seed", 42)?;
-    let explicit = ["prover", "model-check", "sanitize"]
-        .iter()
-        .any(|s| flags.contains_key(*s));
+    let explicit = [
+        "prover",
+        "model-check",
+        "cost",
+        "coalesce",
+        "precision",
+        "lint",
+        "sanitize",
+    ]
+    .iter()
+    .any(|s| flags.contains_key(*s));
     let all = flags.contains_key("all") || !explicit;
     let mut sections = Vec::new();
     if all || flags.contains_key("prover") {
@@ -444,6 +470,22 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     }
     if all || flags.contains_key("model-check") {
         sections.push(analyze::model_check_section());
+    }
+    if all || flags.contains_key("cost") {
+        sections.push(analyze::cost_section());
+    }
+    if all || flags.contains_key("coalesce") {
+        sections.push(analyze::coalesce_section());
+    }
+    if all || flags.contains_key("precision") {
+        sections.push(analyze::precision_section());
+    }
+    if all || flags.contains_key("lint") {
+        let section = analyze::lint_section();
+        if !section.ran && flags.contains_key("lint") {
+            return Err("lint skipped: workspace sources not found on disk".into());
+        }
+        sections.push(section);
     }
     if all || flags.contains_key("sanitize") {
         let section = analyze::sanitize_section(seed);

@@ -204,3 +204,107 @@ fn solver_attaches_certificate_and_keeps_sequential_mode() {
     let result = train::<f32>(&data, &test, &forced, None);
     assert!(result.schedule_verdict.is_none());
 }
+
+/// Property: for random `k ∈ 8..=128` in both storage precisions, the
+/// kernel-IR-derived bytes-per-update equals the bytes the DES executor
+/// actually charges for a real simulated epoch — integer-exactly, with
+/// no common code between the two sides except the `SgdUpdateCost`
+/// struct under test.
+#[test]
+fn kir_bytes_match_executor_charges_for_random_k() {
+    use cumf_sgd::analyze::kir::{self, traffic::interpret_traffic};
+    use cumf_sgd::gpu_sim::{
+        simulate_throughput, Precision, RatingAccess, SchedulerModel, SgdUpdateCost,
+        ThroughputConfig,
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(505);
+    for case in 0..20 {
+        let k = rng.gen_range(8u32..=128);
+        let updates = rng.gen_range(1_000u64..200_000);
+        for (elem, precision) in [
+            (kir::Dtype::F32, Precision::F32),
+            (kir::Dtype::F16, Precision::F16),
+        ] {
+            let program = kir::lift_sgd_update(k, elem);
+            kir::type_check(&program).unwrap();
+            let t = interpret_traffic(&program, RatingAccess::Streamed);
+            let r = simulate_throughput(&ThroughputConfig {
+                workers: rng.gen_range(1u32..32),
+                total_bandwidth: 240e9,
+                cost: SgdUpdateCost {
+                    k,
+                    precision,
+                    rating_access: RatingAccess::Streamed,
+                },
+                scheduler: SchedulerModel::BatchHogwild {
+                    batch: 256,
+                    per_batch_overhead_s: 1e-7,
+                },
+                total_updates: updates,
+            });
+            assert_eq!(r.updates, updates, "case {case} k={k}");
+            assert_eq!(
+                r.bytes_charged,
+                updates * t.bytes.eval(k),
+                "case {case}: k={k} {} epoch bytes drifted",
+                elem.name()
+            );
+        }
+    }
+}
+
+/// The cost certificate attached by the solver agrees with the kernel
+/// IR's closed form — the same invariant the `cumf analyze --cost`
+/// section gates CI on, checked here end-to-end through `train`.
+#[test]
+fn solver_cost_cert_matches_kir_closed_form() {
+    use cumf_sgd::analyze::kir::{self, traffic::interpret_traffic};
+    use cumf_sgd::core::F16;
+    use cumf_sgd::gpu_sim::RatingAccess;
+    let mut rng = ChaCha8Rng::seed_from_u64(506);
+    let data = random_dataset(40, 40, 600, 99);
+    let test = random_dataset(40, 40, 60, 100);
+    for _ in 0..5 {
+        let k = rng.gen_range(8u32..=64);
+        let config = SolverConfig {
+            epochs: 1,
+            ..SolverConfig::new(k, Scheme::Serial)
+        };
+        let r32 = train::<f32>(&data, &test, &config, None);
+        let t32 = interpret_traffic(
+            &kir::lift_sgd_update(k, kir::Dtype::F32),
+            RatingAccess::Streamed,
+        );
+        assert!(r32.cost_cert.is_certified(), "{}", r32.cost_cert);
+        assert_eq!(r32.cost_cert.bytes_per_update, t32.bytes.eval(k));
+        assert_eq!(r32.cost_cert.flops_per_update, t32.flops);
+        let r16 = train::<F16>(&data, &test, &config, None);
+        let t16 = interpret_traffic(
+            &kir::lift_sgd_update(k, kir::Dtype::F16),
+            RatingAccess::Streamed,
+        );
+        assert!(r16.cost_cert.is_certified(), "{}", r16.cost_cert);
+        assert_eq!(r16.cost_cert.bytes_per_update, t16.bytes.eval(k));
+        // Same k, different precision: the certificates must not collide.
+        assert_ne!(r32.cost_cert.digest, r16.cost_cert.digest);
+    }
+}
+
+/// The full analyze campaign — all seven sections, including the new
+/// cost/coalesce/precision/lint static passes — passes end-to-end.
+#[test]
+fn full_campaign_with_static_passes() {
+    let report = cumf_sgd::analyze::run_all(7);
+    assert!(report.pass(), "{report}");
+    let text = report.to_string();
+    for needle in [
+        "cost",
+        "coalesce",
+        "precision",
+        "lint",
+        "certified",
+        "witness",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}

@@ -188,3 +188,39 @@ fn eq7_consistency_between_metrics_and_executor() {
     let eq7 = cumf_sgd::core::updates_per_sec(1, 500_000, res.elapsed.as_secs());
     assert!((eq7 - res.updates_per_sec).abs() / eq7 < 1e-12);
 }
+
+/// Regression (k = 31): FP16 byte accounting must stay consistent for
+/// odd k across every layer that splits bytes into rating + feature
+/// terms — `SgdUpdateCost`, the storage accounting in `FactorMatrix`,
+/// and the roofline's halved-traffic path. Odd k exposes any
+/// divide-before-multiply truncation (31·2 = 62 B is not a multiple
+/// of 4).
+#[test]
+fn fp16_byte_accounting_consistent_for_odd_k() {
+    use cumf_sgd::core::{FactorMatrix, F16};
+    use cumf_sgd::gpu_sim::{Precision, RatingAccess};
+    let k = 31u32;
+    let f32c = SgdUpdateCost::cpu_f32(k);
+    let f16c = SgdUpdateCost {
+        k,
+        precision: Precision::F16,
+        rating_access: RatingAccess::Streamed,
+    };
+    // Feature traffic halves exactly; the 12-byte rating term does not.
+    assert_eq!(f16c.feature_bytes() * 2, f32c.feature_bytes());
+    assert_eq!(f16c.bytes(), 12 + 4 * 31 * 2);
+    // Storage accounting agrees with the cost model's per-element width.
+    let rows = 7u32;
+    let m16: FactorMatrix<F16> = FactorMatrix::zeros(rows, k);
+    let m32: FactorMatrix<f32> = FactorMatrix::zeros(rows, k);
+    assert_eq!(m16.storage_bytes() * 2, m32.storage_bytes());
+    assert_eq!(
+        m16.storage_bytes(),
+        rows as usize * k as usize * 2,
+        "odd-k rows must not round storage"
+    );
+    // Roofline speedup equals the exact byte ratio (memory-bound).
+    let roofline = cumf_sgd::gpu_sim::Roofline::for_gpu(&TITAN_X_MAXWELL);
+    let ratio = roofline.updates_per_sec(&f16c) / roofline.updates_per_sec(&f32c);
+    assert!((ratio - f32c.bytes() as f64 / f16c.bytes() as f64).abs() < 1e-12);
+}
