@@ -1,0 +1,381 @@
+//! `cumf bench --check`: compare a fresh [`SuiteReport`] against a
+//! committed `BENCH_*.json` baseline and flag regressions.
+//!
+//! ## Semantics
+//!
+//! Each metric is joined by id. A metric regresses when it moves in
+//! its bad direction (throughput down, latency up) by more than a
+//! noise-aware relative tolerance:
+//!
+//! ```text
+//! tol = min(TOL_CAP, max(floor(domain), MAD_MULT × (mad_b/med_b + mad_c/med_c)))
+//! ```
+//!
+//! where `b`/`c` are baseline and current. The MAD term widens the
+//! gate when either run was noisy; the floor keeps tiny-MAD runs from
+//! demanding impossible stability — generous for wall-clock metrics
+//! (different machines, CI jitter), tight for sim-domain metrics
+//! (pure f64 arithmetic, reproduces exactly). The [`TOL_CAP`] ceiling
+//! guarantees a genuine 3× slowdown always fails no matter how noisy
+//! the trials were: dropping throughput to a third is a 66.7% relative
+//! decline and tripling a latency is a 200% rise, both above the cap.
+//!
+//! Improvements never fail the check. Metrics present on only one
+//! side are reported as skips, not failures, so adding or retiring a
+//! benchmark does not break CI on the transition commit.
+
+use crate::json::Json;
+use crate::suite::{Better, Domain, SuiteReport, SCHEMA};
+
+/// Relative-change floor for wall-clock metrics.
+pub const WALL_FLOOR: f64 = 0.25;
+/// Relative-change floor for sim-domain (deterministic) metrics.
+pub const SIM_FLOOR: f64 = 0.02;
+/// How many combined relative MADs of drift are tolerated.
+pub const MAD_MULT: f64 = 8.0;
+/// Ceiling on the tolerance, whatever the noise: kept below the 66.7%
+/// relative decline a 3× throughput slowdown produces.
+pub const TOL_CAP: f64 = 0.5;
+
+/// One metric's comparison verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance (or improved).
+    Ok,
+    /// Moved in the bad direction beyond tolerance.
+    Regressed,
+    /// Present on only one side; not compared.
+    Skipped,
+}
+
+/// One line of the comparison report.
+#[derive(Debug, Clone)]
+pub struct MetricCheck {
+    /// Metric id.
+    pub id: String,
+    /// Comparison verdict.
+    pub verdict: Verdict,
+    /// Human-readable detail line.
+    pub detail: String,
+}
+
+/// The full result of checking one suite against one baseline.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Suite name.
+    pub suite: String,
+    /// Per-metric outcomes.
+    pub checks: Vec<MetricCheck>,
+}
+
+impl CheckReport {
+    /// True when no metric regressed.
+    pub fn passed(&self) -> bool {
+        !self.checks.iter().any(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// Number of regressed metrics.
+    pub fn regressions(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed)
+            .count()
+    }
+
+    /// Renders the verdict block for the terminal.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "check [{}]:", self.suite);
+        for c in &self.checks {
+            let tag = match c.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Regressed => "REGRESSED",
+                Verdict::Skipped => "skipped",
+            };
+            let _ = writeln!(out, "  {:<32} {:<9} {}", c.id, tag, c.detail);
+        }
+        let _ = writeln!(
+            out,
+            "  verdict: {}",
+            if self.passed() {
+                "PASS".to_string()
+            } else {
+                format!("FAIL ({} regression(s))", self.regressions())
+            }
+        );
+        out
+    }
+}
+
+fn domain_floor(domain: Domain) -> f64 {
+    match domain {
+        Domain::Wall => WALL_FLOOR,
+        Domain::Sim => SIM_FLOOR,
+    }
+}
+
+/// Relative move in the bad direction (positive = worse), and the
+/// tolerance it is judged against.
+fn judge(
+    better: Better,
+    domain: Domain,
+    base_median: f64,
+    base_mad: f64,
+    cur_median: f64,
+    cur_mad: f64,
+) -> (f64, f64) {
+    let scale = base_median.abs().max(1e-12);
+    let worse = match better {
+        Better::Higher => (base_median - cur_median) / scale,
+        Better::Lower => (cur_median - base_median) / scale,
+    };
+    let noise = base_mad / scale + cur_mad / cur_median.abs().max(1e-12);
+    let tol = (MAD_MULT * noise).max(domain_floor(domain)).min(TOL_CAP);
+    (worse, tol)
+}
+
+/// Checks a fresh report against a parsed baseline document.
+/// Returns `Err` for structurally invalid baselines (wrong schema or
+/// suite) — those are configuration errors, not regressions.
+pub fn check_against(current: &SuiteReport, baseline: &Json) -> Result<CheckReport, String> {
+    let schema = baseline
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("baseline has no schema field")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "schema mismatch: baseline {schema:?}, expected {SCHEMA:?}"
+        ));
+    }
+    let suite = baseline
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("baseline has no suite field")?;
+    if suite != current.suite {
+        return Err(format!(
+            "suite mismatch: baseline {suite:?}, current {:?}",
+            current.suite
+        ));
+    }
+    // Quick and full runs use different workload sizes, so their
+    // absolute values (sim end times especially) are not comparable.
+    let base_quick = matches!(baseline.get("quick"), Some(Json::Bool(true)));
+    if base_quick != current.quick {
+        return Err(format!(
+            "workload mismatch: baseline is a {} run, current is {} (re-run with {})",
+            if base_quick { "--quick" } else { "full" },
+            if current.quick { "--quick" } else { "full" },
+            if base_quick {
+                "--quick"
+            } else {
+                "full workloads"
+            },
+        ));
+    }
+    let base_metrics = baseline
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no metrics array")?;
+
+    let mut checks = Vec::new();
+    for m in &current.metrics {
+        let base = base_metrics
+            .iter()
+            .find(|b| b.get("id").and_then(Json::as_str) == Some(m.id.as_str()));
+        let Some(base) = base else {
+            checks.push(MetricCheck {
+                id: m.id.clone(),
+                verdict: Verdict::Skipped,
+                detail: "not in baseline".to_string(),
+            });
+            continue;
+        };
+        let (Some(base_median), Some(base_mad)) = (
+            base.get("median").and_then(Json::as_f64),
+            base.get("mad").and_then(Json::as_f64),
+        ) else {
+            checks.push(MetricCheck {
+                id: m.id.clone(),
+                verdict: Verdict::Skipped,
+                detail: "baseline entry malformed".to_string(),
+            });
+            continue;
+        };
+        // Direction/domain come from the current registry (the source
+        // of truth); the baseline copies are informational.
+        let (worse, tol) = judge(m.better, m.domain, base_median, base_mad, m.median, m.mad);
+        let verdict = if worse > tol {
+            Verdict::Regressed
+        } else {
+            Verdict::Ok
+        };
+        checks.push(MetricCheck {
+            id: m.id.clone(),
+            verdict,
+            detail: format!(
+                "{} {:.6e} -> {:.6e} ({}{:.1}% worse, tol {:.1}%)",
+                m.unit,
+                base_median,
+                m.median,
+                if worse >= 0.0 { "+" } else { "" },
+                100.0 * worse,
+                100.0 * tol
+            ),
+        });
+    }
+    for b in base_metrics {
+        if let Some(id) = b.get("id").and_then(Json::as_str) {
+            if !current.metrics.iter().any(|m| m.id == id) {
+                checks.push(MetricCheck {
+                    id: id.to_string(),
+                    verdict: Verdict::Skipped,
+                    detail: "retired (not in current suite)".to_string(),
+                });
+            }
+        }
+    }
+    Ok(CheckReport {
+        suite: current.suite.clone(),
+        checks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::suite::MetricResult;
+
+    fn report(median: f64, mad: f64, domain: Domain, better: Better) -> SuiteReport {
+        SuiteReport {
+            suite: "des".into(),
+            quick: true,
+            trials: 3,
+            metrics: vec![MetricResult {
+                id: "m".into(),
+                unit: "events/s".into(),
+                domain,
+                better,
+                median,
+                mad,
+                samples: vec![median; 3],
+            }],
+            obs_digest: "0".into(),
+        }
+    }
+
+    fn baseline_for(r: &SuiteReport) -> Json {
+        parse(&r.to_json()).unwrap()
+    }
+
+    #[test]
+    fn unchanged_tree_passes() {
+        let base = report(1000.0, 5.0, Domain::Wall, Better::Higher);
+        let out = check_against(&base, &baseline_for(&base)).unwrap();
+        assert!(out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn three_x_slowdown_fails_both_directions() {
+        let base = report(3000.0, 10.0, Domain::Wall, Better::Higher);
+        let cur = report(1000.0, 10.0, Domain::Wall, Better::Higher);
+        let out = check_against(&cur, &baseline_for(&base)).unwrap();
+        assert!(!out.passed(), "throughput/3 must regress");
+
+        let base = report(1.0, 0.001, Domain::Wall, Better::Lower);
+        let cur = report(3.0, 0.001, Domain::Wall, Better::Lower);
+        let out = check_against(&cur, &baseline_for(&base)).unwrap();
+        assert!(!out.passed(), "3x latency must regress");
+        assert_eq!(out.regressions(), 1);
+        assert!(out.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn three_x_fails_even_with_wild_noise() {
+        // MAD term alone would allow anything; the TOL_CAP ceiling
+        // keeps a genuine 3x slowdown failing regardless.
+        let base = report(3000.0, 900.0, Domain::Wall, Better::Higher);
+        let cur = report(1000.0, 300.0, Domain::Wall, Better::Higher);
+        let out = check_against(&cur, &baseline_for(&base)).unwrap();
+        assert!(!out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn improvement_and_small_noise_pass() {
+        let base = report(1000.0, 20.0, Domain::Wall, Better::Higher);
+        // 10% dip: under the 25% wall floor.
+        let out = check_against(
+            &report(900.0, 20.0, Domain::Wall, Better::Higher),
+            &baseline_for(&base),
+        )
+        .unwrap();
+        assert!(out.passed(), "{}", out.render());
+        // 2x improvement: trivially fine.
+        let out = check_against(
+            &report(2000.0, 20.0, Domain::Wall, Better::Higher),
+            &baseline_for(&base),
+        )
+        .unwrap();
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn sim_metrics_get_the_tight_floor() {
+        let base = report(100.0, 0.0, Domain::Sim, Better::Higher);
+        // 5% drop in a deterministic metric is a real regression.
+        let out = check_against(
+            &report(95.0, 0.0, Domain::Sim, Better::Higher),
+            &baseline_for(&base),
+        )
+        .unwrap();
+        assert!(!out.passed());
+        // 1% stays under the sim floor.
+        let out = check_against(
+            &report(99.0, 0.0, Domain::Sim, Better::Higher),
+            &baseline_for(&base),
+        )
+        .unwrap();
+        assert!(out.passed());
+    }
+
+    #[test]
+    fn noisy_runs_widen_the_gate() {
+        // 40% dip but both runs were wildly noisy: MAD term covers it.
+        let base = report(1000.0, 60.0, Domain::Wall, Better::Higher);
+        let out = check_against(
+            &report(600.0, 60.0, Domain::Wall, Better::Higher),
+            &baseline_for(&base),
+        )
+        .unwrap();
+        assert!(out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn structural_mismatches_error_out() {
+        let base = report(1.0, 0.0, Domain::Wall, Better::Higher);
+        let mut doc = base.to_json();
+        doc = doc.replace("cumf-bench/1", "cumf-bench/999");
+        assert!(check_against(&base, &parse(&doc).unwrap()).is_err());
+        let mut other = base.clone();
+        other.suite = "train".into();
+        assert!(check_against(&other, &baseline_for(&base)).is_err());
+    }
+
+    #[test]
+    fn one_sided_metrics_skip_not_fail() {
+        let base = report(1.0, 0.0, Domain::Wall, Better::Higher);
+        let mut cur = base.clone();
+        cur.metrics[0].id = "renamed".into();
+        let out = check_against(&cur, &baseline_for(&base)).unwrap();
+        assert!(out.passed());
+        assert_eq!(
+            out.checks
+                .iter()
+                .filter(|c| c.verdict == Verdict::Skipped)
+                .count(),
+            2,
+            "one new + one retired"
+        );
+    }
+}

@@ -28,11 +28,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod experiments;
+pub mod json;
 pub mod micro;
 pub mod report;
+pub mod suite;
 
+pub use check::{check_against, CheckReport};
 pub use report::Report;
+pub use suite::{run_suite, suite_names, SuiteReport};
 
 /// Fixed seed shared by all experiments (reproducibility).
 pub const SEED: u64 = 2017;

@@ -21,6 +21,66 @@ enum Ev {
     LinkTick { link: LinkId },
 }
 
+/// Calendar payload: the event plus the sim time it was scheduled at,
+/// so the engine can attribute schedule→fire dwell time when probes
+/// are on. One extra `SimTime` per queued event; no cost when
+/// observability is disabled beyond the copy.
+struct Scheduled {
+    born: SimTime,
+    ev: Ev,
+}
+
+/// Observability handles for the event-loop hot path. Registered once
+/// per [`Simulation::run`] call (only when the global registry is
+/// enabled) so the per-event work is plain atomic updates.
+struct DesProbes {
+    dequeue_resume: cumf_obs::Counter,
+    dequeue_server_done: cumf_obs::Counter,
+    dequeue_link_tick: cumf_obs::Counter,
+    dwell_seconds: cumf_obs::Histogram,
+    queue_occupancy: cumf_obs::Gauge,
+}
+
+impl DesProbes {
+    fn new() -> Self {
+        DesProbes {
+            dequeue_resume: cumf_obs::counter(
+                "cumf_des_dequeue_resume_total",
+                "Resume events dequeued by the DES engine",
+            ),
+            dequeue_server_done: cumf_obs::counter(
+                "cumf_des_dequeue_server_done_total",
+                "ServerDone events dequeued by the DES engine",
+            ),
+            dequeue_link_tick: cumf_obs::counter(
+                "cumf_des_dequeue_link_tick_total",
+                "LinkTick events dequeued by the DES engine",
+            ),
+            dwell_seconds: cumf_obs::histogram(
+                "cumf_des_event_dwell_seconds",
+                "Sim-time from event schedule to fire (calendar dwell)",
+            ),
+            queue_occupancy: cumf_obs::gauge(
+                "cumf_des_queue_occupancy",
+                "Events pending in the DES calendar after each dequeue",
+            ),
+        }
+    }
+
+    /// Records one dequeue: event-type count, schedule→fire dwell, and
+    /// the occupancy left behind in the calendar.
+    fn observe(&self, ev: &Ev, born: SimTime, fired: SimTime, remaining: usize) {
+        match ev {
+            Ev::Resume(_) => self.dequeue_resume.inc(),
+            Ev::ServerDone { .. } => self.dequeue_server_done.inc(),
+            Ev::LinkTick { .. } => self.dequeue_link_tick.inc(),
+        }
+        self.dwell_seconds
+            .record(fired.saturating_sub(born).as_secs());
+        self.queue_occupancy.set(remaining as f64);
+    }
+}
+
 /// Final report of a simulation run.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -56,7 +116,7 @@ impl RunReport {
 /// A discrete-event simulation: resources + processes + event calendar.
 pub struct Simulation {
     clock: SimTime,
-    queue: EventQueue<Ev>,
+    queue: EventQueue<Scheduled>,
     processes: Vec<Option<Box<dyn Process>>>,
     servers: Vec<Server>,
     links: Vec<SharedBandwidth>,
@@ -93,6 +153,18 @@ impl Simulation {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.clock
+    }
+
+    /// Schedules an engine event, stamping it with the current clock so
+    /// dwell time (schedule→fire) is attributable when probes are on.
+    fn schedule_ev(&mut self, at: SimTime, ev: Ev) -> EventId {
+        self.queue.schedule(
+            at,
+            Scheduled {
+                born: self.clock,
+                ev,
+            },
+        )
     }
 
     /// Adds an FCFS server with `capacity` parallel slots.
@@ -140,7 +212,7 @@ impl Simulation {
         let pid = Pid(self.processes.len());
         self.processes.push(Some(process));
         self.live_processes += 1;
-        self.queue.schedule(self.clock, Ev::Resume(pid));
+        self.schedule_ev(self.clock, Ev::Resume(pid));
         if cumf_obs::enabled() {
             cumf_obs::counter(
                 "cumf_des_processes_spawned_total",
@@ -157,7 +229,7 @@ impl Simulation {
         let pid = Pid(self.processes.len());
         self.processes.push(Some(process));
         self.live_processes += 1;
-        self.queue.schedule(at, Ev::Resume(pid));
+        self.schedule_ev(at, Ev::Resume(pid));
         pid
     }
 
@@ -165,6 +237,12 @@ impl Simulation {
     /// Returns the final statistics report.
     pub fn run(&mut self, horizon: Option<SimTime>) -> RunReport {
         let events_at_entry = self.events_processed;
+        let probes = if cumf_obs::enabled() {
+            Some(DesProbes::new())
+        } else {
+            None
+        };
+        let mut run_span = cumf_obs::span("des", "run");
         while let Some(next_time) = self.queue.peek_time() {
             if let Some(h) = horizon {
                 if next_time > h {
@@ -172,17 +250,20 @@ impl Simulation {
                     break;
                 }
             }
-            let (time, ev) = self.queue.pop().expect("peeked event vanished");
+            let (time, sched) = self.queue.pop().expect("peeked event vanished");
             debug_assert!(time >= self.clock, "event calendar went backwards");
             self.clock = time;
             self.events_processed += 1;
-            match ev {
+            if let Some(p) = &probes {
+                p.observe(&sched.ev, sched.born, time, self.queue.len());
+            }
+            match sched.ev {
                 Ev::Resume(pid) => self.step(pid),
                 Ev::ServerDone { server, pid, hold } => {
                     self.record_service_span(server, hold);
                     if let Some((next_pid, hold)) = self.servers[server.0].complete(self.clock) {
                         let at = self.clock + hold;
-                        self.queue.schedule(
+                        self.schedule_ev(
                             at,
                             Ev::ServerDone {
                                 server,
@@ -205,17 +286,20 @@ impl Simulation {
             }
         }
         if cumf_obs::enabled() {
+            let events = self.events_processed - events_at_entry;
             cumf_obs::counter(
                 "cumf_des_events_total",
                 "Discrete events processed by the DES engine",
             )
-            .add(self.events_processed - events_at_entry);
+            .add(events);
             cumf_obs::gauge(
                 "cumf_des_sim_end_seconds",
                 "Simulated end time of the most recent DES run, seconds",
             )
             .set(self.clock.as_secs());
+            run_span.set_arg("events", events as f64);
         }
+        drop(run_span);
         self.report()
     }
 
@@ -245,14 +329,13 @@ impl Simulation {
             self.drain_immediates();
             match block {
                 Block::Delay(d) => {
-                    self.queue.schedule(self.clock + d, Ev::Resume(pid));
+                    self.schedule_ev(self.clock + d, Ev::Resume(pid));
                     break;
                 }
                 Block::Service { server, hold } => {
                     if self.servers[server.0].request(self.clock, pid, hold) {
                         let at = self.clock + hold;
-                        self.queue
-                            .schedule(at, Ev::ServerDone { server, pid, hold });
+                        self.schedule_ev(at, Ev::ServerDone { server, pid, hold });
                     }
                     break;
                 }
@@ -305,7 +388,7 @@ impl Simulation {
             match action {
                 Immediate::ReleaseKey { lock, key } => {
                     if let Some(waiter) = self.locks[lock.0].release(key) {
-                        self.queue.schedule(self.clock, Ev::Resume(waiter));
+                        self.schedule_ev(self.clock, Ev::Resume(waiter));
                     }
                 }
                 Immediate::Spawn(process) => {
@@ -321,7 +404,7 @@ impl Simulation {
             self.queue.cancel(old);
         }
         if let Some(dt) = self.links[link.0].next_completion_in() {
-            let id = self.queue.schedule(self.clock + dt, Ev::LinkTick { link });
+            let id = self.schedule_ev(self.clock + dt, Ev::LinkTick { link });
             self.link_tick[link.0] = Some(id);
         }
     }

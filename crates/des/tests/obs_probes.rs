@@ -1,0 +1,135 @@
+//! DES hot-path instrumentation: per-event-type dequeue counts, the
+//! schedule→fire dwell histogram, the queue-occupancy gauge, and the
+//! wall-clock `des/run` span that feeds the profiler.
+//!
+//! Kept as a single test because it toggles the process-global obs
+//! state (each integration-test file runs in its own process).
+
+use cumf_des::{Block, Ctx, Process, SimTime, Simulation};
+
+struct Sleeper {
+    n: usize,
+    dt: SimTime,
+}
+
+impl Process for Sleeper {
+    fn resume(&mut self, _ctx: &mut Ctx<'_>) -> Block {
+        if self.n == 0 {
+            return Block::Done;
+        }
+        self.n -= 1;
+        Block::Delay(self.dt)
+    }
+}
+
+struct Worker {
+    server: cumf_des::ServerId,
+    rounds: usize,
+    started: bool,
+}
+
+impl Process for Worker {
+    fn resume(&mut self, _ctx: &mut Ctx<'_>) -> Block {
+        if self.started {
+            self.rounds -= 1;
+            if self.rounds == 0 {
+                return Block::Done;
+            }
+        }
+        self.started = true;
+        Block::Service {
+            server: self.server,
+            hold: SimTime::from_secs(0.25),
+        }
+    }
+}
+
+fn counter_value(snapshot: &[cumf_obs::MetricSnapshot], name: &str) -> u64 {
+    match snapshot
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("metric {name} not registered"))
+        .value
+    {
+        cumf_obs::SnapshotValue::Counter(v) => v,
+        ref other => panic!("{name} is not a counter: {other:?}"),
+    }
+}
+
+#[test]
+fn des_probes_attribute_the_event_loop() {
+    cumf_obs::set_enabled(true);
+    cumf_obs::reset();
+
+    let mut sim = Simulation::new();
+    let server = sim.add_server("gpu", 1);
+    for _ in 0..4 {
+        sim.spawn(Box::new(Worker {
+            server,
+            rounds: 2,
+            started: false,
+        }));
+    }
+    sim.spawn(Box::new(Sleeper {
+        n: 8,
+        dt: SimTime::from_secs(0.5),
+    }));
+    let report = sim.run(None);
+    assert!(report.events > 0);
+
+    let snapshot = cumf_obs::registry().snapshot();
+    let resumes = counter_value(&snapshot, "cumf_des_dequeue_resume_total");
+    let server_dones = counter_value(&snapshot, "cumf_des_dequeue_server_done_total");
+    assert!(resumes > 0, "resume dequeues must be counted");
+    assert_eq!(server_dones, 8, "4 workers x 2 service rounds");
+    // Per-type counts partition the total event count.
+    let link_ticks = counter_value(&snapshot, "cumf_des_dequeue_link_tick_total");
+    assert_eq!(resumes + server_dones + link_ticks, report.events);
+
+    // Dwell histogram saw every dequeue; occupancy gauge ends at zero
+    // (the calendar drained).
+    let dwell = snapshot
+        .iter()
+        .find(|m| m.name == "cumf_des_event_dwell_seconds")
+        .expect("dwell histogram registered");
+    match &dwell.value {
+        cumf_obs::SnapshotValue::Histogram { count, sum, .. } => {
+            assert_eq!(*count, report.events);
+            assert!(*sum > 0.0, "contended server must produce nonzero dwell");
+        }
+        other => panic!("dwell is not a histogram: {other:?}"),
+    }
+    let occupancy = snapshot
+        .iter()
+        .find(|m| m.name == "cumf_des_queue_occupancy")
+        .expect("occupancy gauge registered");
+    match occupancy.value {
+        cumf_obs::SnapshotValue::Gauge(v) => assert_eq!(v, 0.0),
+        ref other => panic!("occupancy is not a gauge: {other:?}"),
+    }
+
+    // The run produced a wall `des/run` span, and the profiler names
+    // the contended server's sim-time service spans.
+    let table = cumf_obs::profile_table();
+    assert!(table.contains("des/run"), "missing des/run span:\n{table}");
+    assert!(
+        table.contains("des/service:gpu"),
+        "missing service span:\n{table}"
+    );
+
+    // Probes stay out of the way when observability is off: a fresh
+    // run with obs disabled must not move the counters.
+    cumf_obs::set_enabled(false);
+    let mut quiet = Simulation::new();
+    quiet.spawn(Box::new(Sleeper {
+        n: 4,
+        dt: SimTime::from_secs(1.0),
+    }));
+    quiet.run(None);
+    let after = cumf_obs::registry().snapshot();
+    assert_eq!(
+        counter_value(&after, "cumf_des_dequeue_resume_total"),
+        resumes,
+        "disabled run must not record"
+    );
+}

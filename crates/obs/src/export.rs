@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::quantile::EXPORT_QUANTILES;
 use crate::registry::{MetricSnapshot, SnapshotValue};
 use crate::trace::{Clock, TraceEvent};
 
@@ -129,23 +130,26 @@ pub fn prometheus_text(snapshots: &[MetricSnapshot]) -> String {
                 buckets,
                 count,
                 sum,
+                reservoir,
             } => {
                 let _ = writeln!(out, "# TYPE {} histogram", m.name);
-                // Only emit buckets up to the first one that already
-                // holds every sample; the tail adds no information.
-                let mut emitted_all = false;
+                // Emit every bucket, including explicit zero-count
+                // lines: the line set is then identical for every
+                // snapshot of a series, so `.prom` files diff stably
+                // across runs (only the numbers change, never which
+                // lines exist).
                 for (le, cum) in buckets {
-                    if emitted_all {
-                        break;
-                    }
-                    if *cum > 0 || le.is_infinite() {
-                        let _ =
-                            writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, prom_num(*le), cum);
-                        emitted_all = *cum == *count && le.is_infinite();
-                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, prom_num(*le), cum);
                 }
-                if !emitted_all {
-                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, count);
+                // Interpolated (exact while the reservoir covers the
+                // series) quantiles, summary-style. Always emitted —
+                // an empty series renders NaN, the Prometheus idiom
+                // for "no observations yet" — so the line set stays
+                // stable here too.
+                for (label, q) in EXPORT_QUANTILES {
+                    let v = crate::quantile::estimate(buckets, *count, reservoir, *q)
+                        .unwrap_or(f64::NAN);
+                    let _ = writeln!(out, "{}{{quantile=\"{}\"}} {}", m.name, label, prom_num(v));
                 }
                 let _ = writeln!(out, "{}_sum {}", m.name, prom_num(*sum));
                 let _ = writeln!(out, "{}_count {}", m.name, count);
@@ -172,9 +176,12 @@ pub fn summary_table(snapshots: &[MetricSnapshot], events: &[TraceEvent]) -> Str
                 }
                 SnapshotValue::Histogram { count, sum, .. } => {
                     let mean = if *count > 0 { sum / *count as f64 } else { 0.0 };
+                    let p50 = m.value.quantile(0.5).unwrap_or(0.0);
+                    let p99 = m.value.quantile(0.99).unwrap_or(0.0);
                     let _ = writeln!(
                         out,
-                        "  {:<width$}  count={count} sum={sum:.6} mean={mean:.6}",
+                        "  {:<width$}  count={count} sum={sum:.6} mean={mean:.6} \
+                         p50={p50:.6} p99={p99:.6}",
                         m.name
                     );
                 }
@@ -260,6 +267,40 @@ mod tests {
         assert!(text.contains("cumf_epoch_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("cumf_epoch_seconds_sum 0.5"));
         assert!(text.contains("cumf_epoch_seconds_count 1"));
+    }
+
+    #[test]
+    fn histogram_exposition_is_line_stable_across_values() {
+        // The set of emitted lines must not depend on which buckets
+        // are populated: an empty histogram and a full one expose the
+        // same series names, so `.prom` diffs stay stable.
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let h = reg.histogram("cumf_stable_seconds", "stability probe");
+        let empty = prometheus_text(&reg.snapshot());
+        h.record(0.25);
+        h.record(3.0);
+        let full = prometheus_text(&reg.snapshot());
+        let keys = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(|l| l.split_whitespace().next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(keys(&empty), keys(&full), "line sets must match");
+        // Zero-count buckets are explicit, not omitted.
+        assert!(empty.contains("cumf_stable_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(empty.contains("cumf_stable_seconds_count 0"));
+        // Empty quantiles render NaN; populated ones are numeric.
+        assert!(empty.contains("cumf_stable_seconds{quantile=\"0.99\"} NaN"));
+        assert!(full.contains("cumf_stable_seconds{quantile=\"0.5\"}"));
+        let p50_line = full
+            .lines()
+            .find(|l| l.contains("quantile=\"0.5\""))
+            .unwrap();
+        let p50: f64 = p50_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        // Exact (reservoir) path: median of {0.25, 3.0}.
+        assert!((p50 - 1.625).abs() < 1e-12, "p50 = {p50}");
     }
 
     #[test]

@@ -39,11 +39,17 @@
 #![forbid(unsafe_code)]
 
 mod export;
+pub mod profiler;
+pub mod quantile;
 mod registry;
 mod trace;
 
 pub use export::{chrome_trace_json, prometheus_text, summary_table};
-pub use registry::{Counter, Gauge, Histogram, MetricSnapshot, Registry, SnapshotValue};
+pub use profiler::{Profile, ProfileEntry};
+pub use registry::{
+    bucket_range, Counter, Gauge, Histogram, MetricSnapshot, Registry, SnapshotValue,
+    RESERVOIR_CAPACITY,
+};
 pub use trace::{Clock, SpanGuard, TraceEvent, Tracer};
 
 use std::sync::OnceLock;
@@ -129,6 +135,18 @@ pub fn prometheus() -> String {
 /// Renders the terminal summary of global metrics and spans.
 pub fn summary() -> String {
     summary_table(&registry().snapshot(), &tracer().events())
+}
+
+/// Builds the self/cumulative attribution profile from the global
+/// trace buffer and renders it as a table (hot spots first).
+pub fn profile_table() -> String {
+    Profile::from_events(&tracer().events()).render_table()
+}
+
+/// Renders the global trace buffer in flamegraph collapsed-stack
+/// format (`frame;frame weight` lines, weight = self microseconds).
+pub fn collapsed_stacks() -> String {
+    profiler::collapsed(&tracer().events())
 }
 
 /// Clears the global trace buffer and zeroes all metric values

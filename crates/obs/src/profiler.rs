@@ -1,0 +1,379 @@
+//! Deterministic (sampling-free) profiler over recorded trace spans.
+//!
+//! The tracer already captures every span with exact start/duration in
+//! both clock domains; this module turns that buffer into attribution:
+//!
+//! * **Self vs cumulative time.** Spans on one `(clock, track)` lane
+//!   are re-nested by interval containment (a child starts after and
+//!   ends before its parent — exactly the shape RAII [`crate::span`]
+//!   guards produce), and each `(clock, category, name)` key is
+//!   charged its cumulative time plus its *self* time, i.e. cumulative
+//!   minus the time spent in direct children. Self time is what a
+//!   hot-spot hunt needs: a parent that merely waits on instrumented
+//!   children drops to the bottom of the table.
+//! * **Collapsed stacks.** [`collapsed`] renders the same nesting in
+//!   the flamegraph "collapsed" format (`frame;frame;frame weight`,
+//!   weight = self microseconds), loadable by `inferno`,
+//!   `flamegraph.pl`, or speedscope — the third exporter next to the
+//!   Chrome-trace and Prometheus ones.
+//!
+//! Because the input spans are deterministic in sim-time (and the
+//! wall-clock spans are whatever really happened), profiling the same
+//! simulation twice yields bit-identical sim-domain attribution — no
+//! sampling, no perf counters, no host interference.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{Clock, TraceEvent};
+
+/// Attribution for one `(clock, category, name)` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileEntry {
+    pub clock: Clock,
+    pub cat: &'static str,
+    pub name: String,
+    /// Number of spans aggregated into this entry.
+    pub count: u64,
+    /// Total time inside these spans, microseconds.
+    pub cum_us: f64,
+    /// Cumulative minus time spent in direct child spans, microseconds.
+    pub self_us: f64,
+}
+
+/// Aggregated self/cumulative profile built from a span buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Entries sorted by descending self time (ties: by name).
+    pub entries: Vec<ProfileEntry>,
+}
+
+fn clock_label(clock: Clock) -> &'static str {
+    match clock {
+        Clock::Wall => "wall",
+        Clock::Sim => "sim",
+    }
+}
+
+fn clock_rank(clock: Clock) -> u8 {
+    match clock {
+        Clock::Wall => 0,
+        Clock::Sim => 1,
+    }
+}
+
+/// One resolved span: original event index, attributed self time, and
+/// the full stack path (`clock;cat/name;...`) it closes under.
+struct Resolved {
+    idx: usize,
+    self_us: f64,
+    path: String,
+}
+
+struct Frame {
+    idx: usize,
+    end_us: f64,
+    child_us: f64,
+    path: String,
+}
+
+fn frame_label(ev: &TraceEvent) -> String {
+    // Semicolons separate stack frames in the collapsed format; make
+    // sure a span name cannot forge a frame boundary.
+    format!("{}/{}", ev.cat, ev.name.replace(';', ","))
+}
+
+/// Re-nests the spans of each `(clock, track)` lane by interval
+/// containment and charges self time. Spans that only partially
+/// overlap their predecessor (possible when concurrent threads share a
+/// lane) are treated as roots of their own stacks rather than
+/// mis-attributed to a parent that does not contain them.
+fn resolve(events: &[TraceEvent]) -> Vec<Resolved> {
+    let mut lanes: BTreeMap<(u8, u32), Vec<usize>> = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        lanes
+            .entry((clock_rank(ev.clock), ev.track))
+            .or_default()
+            .push(i);
+    }
+    let mut out = Vec::with_capacity(events.len());
+    for ((clock_rank, _track), mut idxs) in lanes {
+        // Parents sort before children: earlier start first, longer
+        // duration first on equal starts, recording order as the
+        // final deterministic tie-break.
+        idxs.sort_by(|&a, &b| {
+            events[a]
+                .start_us
+                .total_cmp(&events[b].start_us)
+                .then(events[b].dur_us.total_cmp(&events[a].dur_us))
+                .then(a.cmp(&b))
+        });
+        let root = if clock_rank == 0 { "wall" } else { "sim" };
+        let mut stack: Vec<Frame> = Vec::new();
+        let pop = |stack: &mut Vec<Frame>, out: &mut Vec<Resolved>| {
+            let f = stack.pop().expect("pop on empty profiler stack");
+            out.push(Resolved {
+                idx: f.idx,
+                self_us: (events[f.idx].dur_us - f.child_us).max(0.0),
+                path: f.path,
+            });
+            if let Some(parent) = stack.last_mut() {
+                parent.child_us += events[f.idx].dur_us;
+            }
+        };
+        for i in idxs {
+            let ev = &events[i];
+            let end = ev.start_us + ev.dur_us;
+            while stack.last().is_some_and(|top| top.end_us <= ev.start_us) {
+                pop(&mut stack, &mut out);
+            }
+            let contained = stack.last().is_some_and(|top| end <= top.end_us);
+            let path = match stack.last() {
+                Some(top) if contained => format!("{};{}", top.path, frame_label(ev)),
+                _ => format!("{root};{}", frame_label(ev)),
+            };
+            if contained || stack.is_empty() {
+                stack.push(Frame {
+                    idx: i,
+                    end_us: end,
+                    child_us: 0.0,
+                    path,
+                });
+            } else {
+                // Partial overlap: attribute the whole span to itself
+                // and keep it off the stack so containment stays sound.
+                out.push(Resolved {
+                    idx: i,
+                    self_us: ev.dur_us,
+                    path,
+                });
+            }
+        }
+        while !stack.is_empty() {
+            pop(&mut stack, &mut out);
+        }
+    }
+    out
+}
+
+impl Profile {
+    /// Builds the self/cumulative profile from a span buffer (as
+    /// returned by [`crate::Tracer::events`]).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut agg: BTreeMap<(u8, &'static str, String), (u64, f64, f64)> = BTreeMap::new();
+        for r in resolve(events) {
+            let ev = &events[r.idx];
+            let e = agg
+                .entry((clock_rank(ev.clock), ev.cat, ev.name.clone()))
+                .or_insert((0, 0.0, 0.0));
+            e.0 += 1;
+            e.1 += ev.dur_us;
+            e.2 += r.self_us;
+        }
+        let mut entries: Vec<ProfileEntry> = agg
+            .into_iter()
+            .map(
+                |((rank, cat, name), (count, cum_us, self_us))| ProfileEntry {
+                    clock: if rank == 0 { Clock::Wall } else { Clock::Sim },
+                    cat,
+                    name,
+                    count,
+                    cum_us,
+                    self_us,
+                },
+            )
+            .collect();
+        entries.sort_by(|a, b| {
+            b.self_us
+                .total_cmp(&a.self_us)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        Profile { entries }
+    }
+
+    /// Total self time per clock domain, microseconds. (Self times sum
+    /// to the union of span coverage, so they are the right 100%.)
+    pub fn total_self_us(&self, clock: Clock) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.clock == clock)
+            .map(|e| e.self_us)
+            .sum()
+    }
+
+    /// Renders the attribution table: one row per `(clock, cat/name)`,
+    /// sorted by descending self time — the `cumf profile` hot-spot
+    /// view.
+    pub fn render_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.entries.is_empty() {
+            out.push_str("profile: no spans recorded\n");
+            return out;
+        }
+        out.push_str("profile (self/cumulative, by self time)\n");
+        let _ = writeln!(
+            out,
+            "  {:<44}  {:>5}  {:>8}  {:>12}  {:>12}  {:>6}",
+            "cat/name", "clock", "count", "self_ms", "cum_ms", "self%"
+        );
+        let totals = [
+            self.total_self_us(Clock::Wall),
+            self.total_self_us(Clock::Sim),
+        ];
+        for e in &self.entries {
+            let total = totals[clock_rank(e.clock) as usize];
+            let pct = if total > 0.0 {
+                100.0 * e.self_us / total
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<44}  {:>5}  {:>8}  {:>12.3}  {:>12.3}  {:>5.1}%",
+                format!("{}/{}", e.cat, e.name),
+                clock_label(e.clock),
+                e.count,
+                e.self_us / 1e3,
+                e.cum_us / 1e3,
+                pct
+            );
+        }
+        out
+    }
+}
+
+/// Renders the span buffer in the flamegraph collapsed-stack format:
+/// one `frame;frame;...;frame weight` line per distinct stack, where
+/// the root frame is the clock domain and the weight is the stack's
+/// total self time in integer microseconds. Lines are sorted (the
+/// format is order-insensitive; sorting makes the output diffable).
+pub fn collapsed(events: &[TraceEvent]) -> String {
+    let mut agg: BTreeMap<String, f64> = BTreeMap::new();
+    for r in resolve(events) {
+        *agg.entry(r.path).or_default() += r.self_us;
+    }
+    let mut out = String::new();
+    for (path, self_us) in agg {
+        let weight = self_us.round() as u64;
+        if weight > 0 {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&weight.to_string());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        cat: &'static str,
+        name: &str,
+        clock: Clock,
+        track: u32,
+        start_us: f64,
+        dur_us: f64,
+    ) -> TraceEvent {
+        TraceEvent {
+            name: name.to_string(),
+            cat,
+            clock,
+            track,
+            start_us,
+            dur_us,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        // parent [0, 100) with children [10, 40) and [50, 70);
+        // grandchild [15, 25) inside the first child.
+        let events = vec![
+            ev("t", "parent", Clock::Wall, 0, 0.0, 100.0),
+            ev("t", "child_a", Clock::Wall, 0, 10.0, 30.0),
+            ev("t", "grand", Clock::Wall, 0, 15.0, 10.0),
+            ev("t", "child_b", Clock::Wall, 0, 50.0, 20.0),
+        ];
+        let p = Profile::from_events(&events);
+        let get = |name: &str| p.entries.iter().find(|e| e.name == name).unwrap();
+        assert_eq!(get("parent").cum_us, 100.0);
+        assert_eq!(get("parent").self_us, 50.0); // 100 - 30 - 20
+        assert_eq!(get("child_a").self_us, 20.0); // 30 - 10
+        assert_eq!(get("grand").self_us, 10.0);
+        assert_eq!(get("child_b").self_us, 20.0);
+        // Self times sum to the covered interval.
+        assert_eq!(p.total_self_us(Clock::Wall), 100.0);
+    }
+
+    #[test]
+    fn lanes_and_clocks_do_not_nest_across() {
+        // Same interval on two tracks: neither is the other's child.
+        let events = vec![
+            ev("t", "a", Clock::Wall, 0, 0.0, 10.0),
+            ev("t", "b", Clock::Wall, 1, 0.0, 10.0),
+            ev("t", "c", Clock::Sim, 0, 0.0, 10.0),
+        ];
+        let p = Profile::from_events(&events);
+        for e in &p.entries {
+            assert_eq!(e.self_us, 10.0, "{} must be a root", e.name);
+        }
+        assert_eq!(p.total_self_us(Clock::Wall), 20.0);
+        assert_eq!(p.total_self_us(Clock::Sim), 10.0);
+    }
+
+    #[test]
+    fn partial_overlap_degrades_to_roots() {
+        let events = vec![
+            ev("t", "a", Clock::Wall, 0, 0.0, 10.0),
+            ev("t", "b", Clock::Wall, 0, 5.0, 10.0), // overlaps, not contained
+        ];
+        let p = Profile::from_events(&events);
+        for e in &p.entries {
+            assert_eq!(e.self_us, 10.0);
+        }
+        let folded = collapsed(&events);
+        assert!(folded.contains("wall;t/a 10"));
+        assert!(folded.contains("wall;t/b 10"));
+    }
+
+    #[test]
+    fn collapsed_format_encodes_stacks() {
+        let events = vec![
+            ev("solver", "epoch", Clock::Wall, 0, 0.0, 100.0),
+            ev("solver", "eval;x", Clock::Wall, 0, 20.0, 40.0),
+        ];
+        let folded = collapsed(&events);
+        assert!(folded.contains("wall;solver/epoch 60\n"), "{folded}");
+        // Semicolons in span names cannot forge frames.
+        assert!(folded.contains("wall;solver/epoch;solver/eval,x 40\n"));
+        // Deterministic: same input, same output.
+        assert_eq!(folded, collapsed(&events));
+    }
+
+    #[test]
+    fn render_table_lists_hot_spots_first() {
+        let events = vec![
+            ev("des", "run", Clock::Wall, 0, 0.0, 100.0),
+            ev("des", "service:gpu", Clock::Sim, 2, 0.0, 500.0),
+        ];
+        let p = Profile::from_events(&events);
+        let table = p.render_table();
+        assert!(table.contains("des/run"));
+        assert!(table.contains("des/service:gpu"));
+        assert!(table.contains("self%"));
+        let run_pos = table.find("des/run").unwrap();
+        let svc_pos = table.find("des/service:gpu").unwrap();
+        assert!(svc_pos < run_pos, "larger self time sorts first");
+    }
+
+    #[test]
+    fn empty_profile_renders_gracefully() {
+        let p = Profile::from_events(&[]);
+        assert!(p.render_table().contains("no spans"));
+        assert_eq!(collapsed(&[]), "");
+    }
+}

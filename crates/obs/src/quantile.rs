@@ -1,0 +1,132 @@
+//! Quantile estimation over the log2-bucket [`crate::Histogram`].
+//!
+//! Two estimators, picked automatically by [`estimate`]:
+//!
+//! * **Exact** — while a histogram has seen no more samples than its
+//!   reservoir holds (the first [`crate::RESERVOIR_CAPACITY`]
+//!   observations are kept verbatim), quantiles are computed from the
+//!   raw values with linear interpolation between closest ranks. This
+//!   makes small latency-critical series (epoch times, recovery
+//!   latencies) exact rather than bucket-rounded.
+//! * **Interpolated** — past that, the estimator falls back to linear
+//!   interpolation inside the log2 bucket that contains the target
+//!   rank. The error is bounded by one bucket width (the bucket
+//!   `(2^(e-1), 2^e]` has width `2^(e-1)`), i.e. the estimate is always
+//!   within a factor of two of the true quantile — the usual contract
+//!   of log-bucketed histograms.
+//!
+//! Both estimators are deterministic: the reservoir keeps the *first*
+//! N observations (no random sampling), so identical runs produce
+//! identical quantiles.
+
+/// The quantiles exported by the Prometheus and summary exporters,
+/// as `(label, q)` pairs.
+pub const EXPORT_QUANTILES: &[(&str, f64)] =
+    &[("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)];
+
+/// Exact quantile of a sample set (linear interpolation between closest
+/// ranks). Returns `None` for an empty slice or a `q` outside `[0, 1]`.
+pub fn exact_quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let h = q * (v.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Some(v[lo] + (h - lo as f64) * (v[hi] - v[lo]))
+}
+
+/// Interpolated quantile from cumulative `(le, count)` buckets (the
+/// shape produced by [`crate::Registry::snapshot`]). The target rank is
+/// located in the first bucket whose cumulative count reaches it, then
+/// linearly interpolated between the bucket's bounds. The +Inf bucket
+/// cannot be interpolated; ranks that land there clamp to the largest
+/// finite bound, which keeps the estimate finite and monotone.
+pub fn bucket_quantile(buckets: &[(f64, u64)], count: u64, q: f64) -> Option<f64> {
+    if count == 0 || buckets.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let target = q * count as f64;
+    let mut prev_cum = 0u64;
+    let mut lower = 0.0f64;
+    for &(le, cum) in buckets {
+        if cum as f64 >= target && cum > prev_cum {
+            let upper = if le.is_finite() { le } else { lower };
+            let in_bucket = (cum - prev_cum) as f64;
+            let frac = ((target - prev_cum as f64) / in_bucket).clamp(0.0, 1.0);
+            return Some(lower + frac * (upper - lower).max(0.0));
+        }
+        if le.is_finite() {
+            lower = le;
+        }
+        prev_cum = cum;
+    }
+    Some(lower)
+}
+
+/// The exporter-facing estimator: exact while every observation is
+/// still in the reservoir, interpolated from the buckets afterwards.
+pub fn estimate(buckets: &[(f64, u64)], count: u64, reservoir: &[f64], q: f64) -> Option<f64> {
+    if count == 0 {
+        None
+    } else if count as usize <= reservoir.len() {
+        exact_quantile(reservoir, q)
+    } else {
+        bucket_quantile(buckets, count, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_interpolates_between_ranks() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_quantile(&v, 0.0), Some(1.0));
+        assert_eq!(exact_quantile(&v, 1.0), Some(4.0));
+        assert_eq!(exact_quantile(&v, 0.5), Some(2.5));
+        assert_eq!(exact_quantile(&[], 0.5), None);
+        assert_eq!(exact_quantile(&v, 1.5), None);
+    }
+
+    #[test]
+    fn exact_is_order_independent() {
+        let a = [3.0, 1.0, 4.0, 2.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(exact_quantile(&a, 0.9), exact_quantile(&b, 0.9));
+    }
+
+    #[test]
+    fn bucket_quantile_lands_in_the_right_bucket() {
+        // 10 samples in (1, 2], 90 in (2, 4].
+        let buckets = vec![(1.0, 0), (2.0, 10), (4.0, 100), (f64::INFINITY, 100)];
+        let p05 = bucket_quantile(&buckets, 100, 0.05).unwrap();
+        assert!((1.0..=2.0).contains(&p05), "p05 = {p05}");
+        let p50 = bucket_quantile(&buckets, 100, 0.5).unwrap();
+        assert!((2.0..=4.0).contains(&p50), "p50 = {p50}");
+        // Interpolation: rank 50 is (50-10)/90 of the way through (2,4].
+        assert!((p50 - (2.0 + 40.0 / 90.0 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_quantile_clamps_at_the_inf_bucket() {
+        let buckets = vec![(1.0, 0), (2.0, 1), (f64::INFINITY, 2)];
+        // Rank 2 lands in +Inf: clamp to the largest finite bound.
+        assert_eq!(bucket_quantile(&buckets, 2, 1.0), Some(2.0));
+    }
+
+    #[test]
+    fn estimate_prefers_the_reservoir_when_complete() {
+        let reservoir = [1.0, 10.0, 100.0];
+        let buckets = vec![(128.0, 3), (f64::INFINITY, 3)];
+        // Exact path: 3 observations, all in the reservoir.
+        assert_eq!(estimate(&buckets, 3, &reservoir, 0.5), Some(10.0));
+        // Overflowed: count exceeds the reservoir, fall back to buckets.
+        let est = estimate(&buckets, 4, &reservoir, 0.5).unwrap();
+        assert!((0.0..=128.0).contains(&est));
+        assert_eq!(estimate(&buckets, 0, &reservoir, 0.5), None);
+    }
+}

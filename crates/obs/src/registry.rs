@@ -20,6 +20,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::quantile;
+
 /// Compile-time kill switch: with the `off` feature, probes fold away.
 #[inline(always)]
 pub(crate) const fn compiled_in() -> bool {
@@ -54,6 +56,23 @@ fn bucket_index(value: f64) -> usize {
     (exp - BUCKET_MIN_EXP).clamp(0, BUCKET_COUNT as i32 - 1) as usize
 }
 
+/// `(lower, upper)` bounds of the bucket a value falls into — the
+/// resolution of the histogram around that value. Interpolated
+/// quantile estimates (see [`crate::quantile`]) are accurate to one
+/// such bucket width; tests use this to state that bound exactly.
+pub fn bucket_range(value: f64) -> (f64, f64) {
+    let i = bucket_index(value);
+    let lower = if i == 0 { 0.0 } else { bucket_bound(i - 1) };
+    (lower, bucket_bound(i))
+}
+
+/// Number of raw observations each histogram keeps verbatim. While a
+/// series has seen at most this many samples its exported quantiles
+/// are exact; afterwards they fall back to log2-bucket interpolation.
+/// The reservoir keeps the *first* N observations (deterministic, no
+/// random replacement).
+pub const RESERVOIR_CAPACITY: usize = 256;
+
 // ---------------------------------------------------------------------------
 // Cells (shared storage behind the handles)
 // ---------------------------------------------------------------------------
@@ -63,6 +82,11 @@ struct HistogramCell {
     buckets: Vec<AtomicU64>, // BUCKET_COUNT entries, non-cumulative
     count: AtomicU64,
     sum_bits: AtomicU64, // f64 bits, CAS-updated
+    // First-N exact-value reservoir. `reservoir_full` lets the hot
+    // path skip the mutex with one relaxed load once the reservoir has
+    // filled, so steady-state recording stays lock-free.
+    reservoir: Mutex<Vec<f64>>,
+    reservoir_full: AtomicBool,
 }
 
 impl HistogramCell {
@@ -71,6 +95,8 @@ impl HistogramCell {
             buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0f64.to_bits()),
+            reservoir: Mutex::new(Vec::new()),
+            reservoir_full: AtomicBool::new(false),
         }
     }
 
@@ -90,6 +116,28 @@ impl HistogramCell {
                 Err(seen) => cur = seen,
             }
         }
+        if !self.reservoir_full.load(Ordering::Relaxed) {
+            let mut r = self.reservoir.lock().unwrap();
+            if r.len() < RESERVOIR_CAPACITY {
+                r.push(value);
+            }
+            if r.len() >= RESERVOIR_CAPACITY {
+                self.reservoir_full.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Cumulative `(le, count)` pairs, ending at +Inf.
+    fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                cum += b.load(Ordering::Relaxed);
+                (bucket_bound(i), cum)
+            })
+            .collect()
     }
 
     fn reset(&self) {
@@ -98,6 +146,8 @@ impl HistogramCell {
         }
         self.count.store(0, Ordering::Relaxed);
         self.sum_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.reservoir.lock().unwrap().clear();
+        self.reservoir_full.store(false, Ordering::Relaxed);
     }
 }
 
@@ -197,6 +247,15 @@ impl Histogram {
     pub fn sum(&self) -> f64 {
         f64::from_bits(self.cell.sum_bits.load(Ordering::Relaxed))
     }
+
+    /// Quantile estimate of the recorded distribution: exact while
+    /// every observation is still in the reservoir, interpolated from
+    /// the log2 buckets afterwards. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        let reservoir = self.cell.reservoir.lock().unwrap().clone();
+        quantile::estimate(&self.cell.cumulative_buckets(), count, &reservoir, q)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -216,11 +275,31 @@ pub enum SnapshotValue {
     Counter(u64),
     Gauge(f64),
     /// `buckets` are cumulative `(le, count)` pairs ending at +Inf.
+    /// `reservoir` holds the first [`RESERVOIR_CAPACITY`] raw
+    /// observations; while `count <= reservoir.len()` quantiles are
+    /// exact (see [`crate::quantile::estimate`]).
     Histogram {
         buckets: Vec<(f64, u64)>,
         count: u64,
         sum: f64,
+        reservoir: Vec<f64>,
     },
+}
+
+impl SnapshotValue {
+    /// Quantile estimate for histogram snapshots (`None` for other
+    /// kinds or an empty histogram).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        match self {
+            SnapshotValue::Histogram {
+                buckets,
+                count,
+                reservoir,
+                ..
+            } => quantile::estimate(buckets, *count, reservoir, q),
+            _ => None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -262,9 +341,20 @@ impl Registry {
     /// Registers (or re-fetches) a counter. Re-registering the same name
     /// returns a handle to the same cell.
     ///
+    /// With the `off` feature, registration itself is a no-op: the
+    /// returned handle is detached (not stored in the registry), so a
+    /// fully-disabled build keeps the registry at zero entries and
+    /// never grows the map from instrumented constructors.
+    ///
     /// # Panics
     /// If `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str, help: &str) -> Counter {
+        if !compiled_in() {
+            return Counter {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(AtomicU64::new(0)),
+            };
+        }
         let mut entries = self.entries.lock().unwrap();
         let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
@@ -281,6 +371,12 @@ impl Registry {
 
     /// Registers (or re-fetches) a gauge. See [`Registry::counter`].
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        if !compiled_in() {
+            return Gauge {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(AtomicU64::new(0f64.to_bits())),
+            };
+        }
         let mut entries = self.entries.lock().unwrap();
         let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
@@ -297,6 +393,12 @@ impl Registry {
 
     /// Registers (or re-fetches) a histogram. See [`Registry::counter`].
     pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        if !compiled_in() {
+            return Histogram {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::new(HistogramCell::new()),
+            };
+        }
         let mut entries = self.entries.lock().unwrap();
         let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
             help: help.to_string(),
@@ -322,23 +424,12 @@ impl Registry {
                     Cell::Gauge(g) => {
                         SnapshotValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed)))
                     }
-                    Cell::Histogram(h) => {
-                        let mut cum = 0u64;
-                        let buckets = h
-                            .buckets
-                            .iter()
-                            .enumerate()
-                            .map(|(i, b)| {
-                                cum += b.load(Ordering::Relaxed);
-                                (bucket_bound(i), cum)
-                            })
-                            .collect();
-                        SnapshotValue::Histogram {
-                            buckets,
-                            count: h.count.load(Ordering::Relaxed),
-                            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
-                        }
-                    }
+                    Cell::Histogram(h) => SnapshotValue::Histogram {
+                        buckets: h.cumulative_buckets(),
+                        count: h.count.load(Ordering::Relaxed),
+                        sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                        reservoir: h.reservoir.lock().unwrap().clone(),
+                    },
                 };
                 MetricSnapshot {
                     name: name.clone(),
@@ -443,10 +534,12 @@ mod tests {
             buckets,
             count,
             sum,
+            reservoir,
         } = &snap[0].value
         else {
             panic!("expected histogram");
         };
+        assert_eq!(reservoir, &vec![1e-9, 0.5, 1e9], "first-N reservoir");
         assert_eq!(*count, 3);
         assert!((sum - (1e-9 + 0.5 + 1e9)).abs() / sum < 1e-12);
         let (last_le, last_count) = *buckets.last().unwrap();
@@ -467,6 +560,49 @@ mod tests {
         reg.reset_values();
         assert_eq!(c.get(), 0);
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn reservoir_caps_at_capacity_and_quantiles_switch_over() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let h = reg.histogram("h", "");
+        // Small series: quantiles are exact.
+        for i in 1..=5 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(0.5), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(5.0));
+        // Overflow the reservoir: quantiles become bucket-interpolated
+        // but stay within one bucket of the truth.
+        for i in 6..=(RESERVOIR_CAPACITY as u64 + 64) {
+            h.record(i as f64);
+        }
+        let snap = reg.snapshot();
+        let SnapshotValue::Histogram {
+            count, reservoir, ..
+        } = &snap[0].value
+        else {
+            panic!("expected histogram");
+        };
+        assert_eq!(reservoir.len(), RESERVOIR_CAPACITY);
+        assert!(*count > RESERVOIR_CAPACITY as u64);
+        let p50 = h.quantile(0.5).unwrap();
+        let truth = (RESERVOIR_CAPACITY as f64 + 64.0) / 2.0;
+        let (lo, hi) = bucket_range(truth);
+        assert!(
+            p50 >= lo - (hi - lo) && p50 <= hi + (hi - lo),
+            "p50 {p50} not within one bucket of {truth}"
+        );
+    }
+
+    #[test]
+    fn bucket_range_brackets_its_value() {
+        for v in [1e-9, 0.37, 1.0, 7.5, 1e6] {
+            let (lo, hi) = bucket_range(v);
+            assert!(lo < hi);
+            assert!(v > lo && v <= hi, "{v} outside ({lo}, {hi}]");
+        }
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Overhead guard for the `off` cargo feature: with observability
+//! compiled out, probes must register nothing, record nothing, and
+//! `span()` must not allocate — verified with a counting allocator.
+//!
+//! The whole file is gated on the feature; run it with
+//! `cargo test -p cumf-obs --features off --test off_guard`.
+//! (The crate's unit tests assume the compiled-in configuration, so CI
+//! runs only this target under `--features off`.)
+#![cfg(feature = "off")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting this thread's allocations, so
+/// parallel test threads cannot perturb the probe.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn off_feature_compiles_probes_to_nothing() {
+    // Even an explicit opt-in cannot turn recording back on.
+    cumf_obs::set_enabled(true);
+    assert!(!cumf_obs::enabled(), "off build must never enable");
+
+    // Metric registration returns detached handles: no registry entries.
+    let counter = cumf_obs::counter("off_guard_counter", "never registered");
+    let gauge = cumf_obs::gauge("off_guard_gauge", "never registered");
+    let histogram = cumf_obs::histogram("off_guard_histogram", "never registered");
+    counter.add(41);
+    counter.inc();
+    gauge.set(17.0);
+    histogram.record(0.25);
+    assert_eq!(
+        cumf_obs::registry().snapshot().len(),
+        0,
+        "off build must keep the registry empty"
+    );
+    assert_eq!(counter.get(), 0, "detached counter stays at zero");
+
+    // Spans record nothing…
+    {
+        let mut span = cumf_obs::span("guard", "warmup");
+        span.set_arg("x", 1.0);
+    }
+    assert!(cumf_obs::tracer().events().is_empty());
+
+    // …and (after the warmup above has paid any lazy global init) the
+    // hot path allocates nothing: the guard returns before the span
+    // name is converted to a String.
+    let allocs = allocations_during(|| {
+        for i in 0..64 {
+            let mut span = cumf_obs::span("guard", "hot-path");
+            span.set_arg("i", i as f64);
+            counter.inc();
+            histogram.record(i as f64);
+        }
+    });
+    assert_eq!(allocs, 0, "span()/probes must not allocate when off");
+
+    // Exporters render the empty state without inventing series.
+    assert_eq!(cumf_obs::prometheus(), "");
+    assert!(cumf_obs::chrome_trace().contains("\"traceEvents\""));
+}

@@ -1,0 +1,127 @@
+//! Property tests for the histogram quantile estimators: interpolated
+//! bucket quantiles bracket the true quantile within one bucket width
+//! on known distributions, and the first-N reservoir makes small
+//! series exact.
+//!
+//! Uses a local [`cumf_obs::Registry`] (not the process-global one) so
+//! these tests stay independent of the global-state tests elsewhere.
+
+use cumf_obs::quantile::{bucket_quantile, exact_quantile};
+use cumf_obs::{bucket_range, Registry, SnapshotValue, RESERVOIR_CAPACITY};
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// Checked quantiles: the exporter set.
+const QS: &[f64] = &[0.5, 0.9, 0.99, 0.999];
+
+fn record_all(registry: &Registry, name: &str, values: &[f64]) -> SnapshotValue {
+    let h = registry.histogram(name, "test series");
+    for &v in values {
+        h.record(v);
+    }
+    registry
+        .snapshot()
+        .into_iter()
+        .find(|m| m.name == name)
+        .expect("histogram registered")
+        .value
+}
+
+/// |est − true| must be within one bucket width of wherever the true
+/// quantile lands (the documented contract of log2 interpolation).
+fn assert_brackets(est: f64, truth: f64, label: &str) {
+    let (lo, up) = bucket_range(truth.max(f64::MIN_POSITIVE));
+    let width = up - lo;
+    assert!(
+        (est - truth).abs() <= width + 1e-12,
+        "{label}: estimate {est} vs true {truth} (bucket [{lo}, {up}], width {width})"
+    );
+}
+
+#[test]
+fn bucket_quantiles_bracket_uniform_and_lognormal() {
+    let registry = Registry::new();
+    registry.set_enabled(true);
+    let mut rng = ChaCha8Rng::seed_from_u64(2017);
+
+    // Several shapes, all with n >> reservoir so the bucket path runs.
+    let n = 20_000usize;
+    let uniform: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 8.0 + 0.5).collect();
+    let lognormal: Vec<f64> = (0..n)
+        .map(|_| {
+            // Sum of uniforms approximates a normal; exponentiate.
+            let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+            (0.4 * z).exp()
+        })
+        .collect();
+    let exponential: Vec<f64> = (0..n)
+        .map(|_| -(1.0 - rng.gen::<f64>()).ln() * 3e-3)
+        .collect();
+
+    for (label, values) in [
+        ("uniform", &uniform),
+        ("lognormal", &lognormal),
+        ("exponential", &exponential),
+    ] {
+        let snap = record_all(&registry, &format!("test_{label}"), values);
+        let SnapshotValue::Histogram { buckets, count, .. } = &snap else {
+            panic!("not a histogram");
+        };
+        assert_eq!(*count, values.len() as u64);
+        for &q in QS {
+            let truth = exact_quantile(values, q).unwrap();
+            let est = bucket_quantile(buckets, *count, q).unwrap();
+            assert_brackets(est, truth, &format!("{label} p{}", q * 100.0));
+        }
+    }
+}
+
+#[test]
+fn reservoir_makes_small_series_exact() {
+    let registry = Registry::new();
+    registry.set_enabled(true);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    for n in [1usize, 2, 10, RESERVOIR_CAPACITY] {
+        let values: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 100.0).collect();
+        let name = format!("test_exact_{n}");
+        let snap = record_all(&registry, &name, &values);
+        for &q in QS {
+            let truth = exact_quantile(&values, q).unwrap();
+            let est = snap.quantile(q).expect("non-empty histogram");
+            assert_eq!(
+                est,
+                truth,
+                "n={n} p{}: reservoir must be exact, not bucket-rounded",
+                q * 100.0
+            );
+        }
+    }
+
+    // One past the reservoir: estimates switch to buckets but stay
+    // within the bracket contract.
+    let values: Vec<f64> = (0..RESERVOIR_CAPACITY + 1)
+        .map(|_| rng.gen::<f64>() * 100.0 + 1.0)
+        .collect();
+    let snap = record_all(&registry, "test_overflow", &values);
+    for &q in QS {
+        let truth = exact_quantile(&values, q).unwrap();
+        let est = snap.quantile(q).unwrap();
+        assert_brackets(est, truth, "overflowed reservoir");
+    }
+}
+
+#[test]
+fn quantiles_are_monotone_in_q() {
+    let registry = Registry::new();
+    registry.set_enabled(true);
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let values: Vec<f64> = (0..5_000).map(|_| (rng.gen::<f64>() * 6.0).exp()).collect();
+    let snap = record_all(&registry, "test_monotone", &values);
+    let qs: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+    let mut prev = f64::NEG_INFINITY;
+    for &q in &qs {
+        let est = snap.quantile(q).unwrap();
+        assert!(est >= prev, "p{} = {est} < p_prev = {prev}", q * 100.0);
+        prev = est;
+    }
+}

@@ -31,6 +31,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `bench` parses its own arguments: `--check` takes a variable
+    // number of paths (shell globs like bench_results/BENCH_*.json).
+    if cmd == "bench" {
+        return match cmd_bench(rest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = match parse_flags(rest) {
         Ok(f) => f,
         Err(e) => {
@@ -78,6 +89,11 @@ USAGE:
   cumf profile  [--preset netflix|yahoo|hugewiki] [--scale 0.002] [--k 16]
                 [--epochs 5] [--scheme batch-hogwild] [--workers 8]
                 [--trace profile_trace.json] [--metrics profile_metrics.prom]
+                [--folded profile_folded.txt]
+  cumf profile  --des [--folded profile_folded.txt]
+                [--metrics profile_metrics.prom]
+  cumf bench    [--quick] [--trials N] [--suite des|train]...
+                [--no-save] [--check BENCH_a.json [BENCH_b.json ...]]
   cumf analyze  [--all] [--prover] [--model-check] [--cost] [--coalesce]
                 [--precision] [--lint] [--sanitize] [--seed 42]
   cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
@@ -106,6 +122,20 @@ relative-error domains — plus --lint, the source determinism lint (no
 wall clocks / hash-ordered containers in deterministic crates), and —
 when built with `--features sanitize` — the Eraser-style lockset race
 sanitizer over the threaded executors. No section flag means --all.
+
+`profile` prints a sampling-free self/cumulative attribution table
+built from the recorded spans (and --folded writes flamegraph
+collapsed stacks). `profile --des` profiles the DES engine itself:
+per-event-type dequeue counts, schedule->fire dwell-time quantiles,
+queue occupancy, and the span attribution table.
+
+`bench` runs the registered performance suites (des, train) for N
+trials (default 5, --quick 3), prints median + MAD per metric, and
+writes schema-versioned bench_results/BENCH_<suite>.json (set
+CUMF_BENCH_DIR to redirect). --check compares the fresh run against
+committed baseline JSONs and exits non-zero on any regression beyond
+a MAD-aware threshold; sim-domain metrics are bit-deterministic and
+get a tight gate, wall-clock metrics a generous one.
 
 `chaos` runs the deterministic fault-injection matrix (device loss, SM
 throttling, transfer corruption/stalls, NaN storms, LR spikes) through
@@ -138,6 +168,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 | "lint"
                 | "sanitize"
                 | "quick"
+                | "des"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
@@ -397,7 +428,43 @@ fn write_observability(trace: Option<&str>, metrics: Option<&str>) -> Result<(),
     Ok(())
 }
 
+/// `cumf profile --des`: profiles the DES engine itself. Runs the
+/// registered DES benchmark workloads once with full instrumentation
+/// and prints the self/cumulative attribution table plus the hot-path
+/// probe metrics (per-event-type dequeue counts, dwell-time quantiles,
+/// queue occupancy) — the breakdown ROADMAP item 5 optimizes against.
+fn cmd_profile_des(flags: &Flags) -> Result<(), String> {
+    use cumf_sgd::bench::suite;
+    let folded_path = get(flags, "folded", "profile_folded.txt");
+    let metrics_path = get(flags, "metrics", "profile_metrics.prom");
+    obs::set_enabled(true);
+    obs::reset();
+    println!("profiling the DES engine (registered `des` bench workloads, 1 trial)");
+    let report = suite::run_suite("des", 1, true).expect("des suite is registered");
+    for m in &report.metrics {
+        println!(
+            "  {:<28} {:>14.4e} {} [{}]",
+            m.id,
+            m.median,
+            m.unit,
+            m.domain.as_str()
+        );
+    }
+    println!("\n{}", obs::profile_table());
+    println!("{}", obs::summary());
+    std::fs::write(folded_path, obs::collapsed_stacks())
+        .map_err(|e| format!("writing {folded_path}: {e}"))?;
+    println!("collapsed stacks written to {folded_path} (flamegraph.pl / speedscope)");
+    std::fs::write(metrics_path, obs::prometheus())
+        .map_err(|e| format!("writing {metrics_path}: {e}"))?;
+    println!("metrics written to {metrics_path}");
+    Ok(())
+}
+
 fn cmd_profile(flags: &Flags) -> Result<(), String> {
+    if flags.contains_key("des") {
+        return cmd_profile_des(flags);
+    }
     let preset = parse_preset(flags)?;
     let scale: f64 = get_parse(flags, "scale", 0.002)?;
     let k: u32 = get_parse(flags, "k", 16)?;
@@ -442,9 +509,127 @@ fn cmd_profile(flags: &Flags) -> Result<(), String> {
         d.train.nnz() as u64,
     );
     write_observability(Some(trace_path), Some(metrics_path))?;
-    println!("\n{}", obs::summary());
+    if let Some(folded_path) = flags.get("folded") {
+        std::fs::write(folded_path, obs::collapsed_stacks())
+            .map_err(|e| format!("writing {folded_path}: {e}"))?;
+        println!("collapsed stacks written to {folded_path}");
+    }
+    println!("\n{}", obs::profile_table());
+    println!("{}", obs::summary());
     if result.diverged {
         return Err("profiled run diverged (try a lower --alpha)".into());
+    }
+    Ok(())
+}
+
+/// `cumf bench`: runs the registered suites, writes `BENCH_*.json`,
+/// and optionally checks the fresh results against baselines.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use cumf_sgd::bench::{check_against, json, suite};
+
+    let mut quick = false;
+    let mut trials: Option<usize> = None;
+    let mut suites: Vec<String> = Vec::new();
+    let mut baselines: Vec<String> = Vec::new();
+    let mut no_save = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--no-save" => {
+                no_save = true;
+                i += 1;
+            }
+            "--trials" => {
+                let v = args.get(i + 1).ok_or("--trials needs a value")?;
+                trials = Some(v.parse().map_err(|e| format!("bad --trials: {e}"))?);
+                i += 2;
+            }
+            "--suite" => {
+                let v = args.get(i + 1).ok_or("--suite needs a value")?;
+                suites.push(v.clone());
+                i += 2;
+            }
+            "--check" => {
+                i += 1;
+                let start = i;
+                while i < args.len() && !args[i].starts_with("--") {
+                    baselines.push(args[i].clone());
+                    i += 1;
+                }
+                if i == start {
+                    return Err("--check needs at least one baseline path".into());
+                }
+            }
+            other => return Err(format!("unknown bench argument `{other}`")),
+        }
+    }
+    let trials = trials.unwrap_or(if quick { 3 } else { 5 });
+    if suites.is_empty() {
+        suites = suite::suite_names().iter().map(|s| s.to_string()).collect();
+    }
+
+    // Load baselines *before* running: saving fresh results may
+    // overwrite the very files `--check` points at.
+    let mut loaded: Vec<(String, json::Json)> = Vec::new();
+    for path in &baselines {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        loaded.push((path.clone(), doc));
+    }
+
+    obs::set_enabled(true);
+    let mut reports = Vec::new();
+    for name in &suites {
+        obs::reset();
+        println!(
+            "bench [{name}]: {trials} trial(s){}",
+            if quick { ", quick workloads" } else { "" }
+        );
+        let report = suite::run_suite(name, trials, quick)
+            .ok_or_else(|| format!("unknown suite `{name}` (have: des, train)"))?;
+        for m in &report.metrics {
+            println!(
+                "  {:<32} median {:>12.4e} {} (mad {:.2e}) [{}]",
+                m.id,
+                m.median,
+                m.unit,
+                m.mad,
+                m.domain.as_str()
+            );
+        }
+        println!("  sim_digest {}", report.sim_digest());
+        if !no_save {
+            let path = report
+                .save()
+                .map_err(|e| format!("writing BENCH json: {e}"))?;
+            println!("  [saved {}]", path.display());
+        }
+        reports.push(report);
+    }
+
+    let mut failures = 0usize;
+    for (path, doc) in &loaded {
+        let suite_name = doc
+            .get("suite")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("{path}: no suite field"))?;
+        let Some(report) = reports.iter().find(|r| r.suite == suite_name) else {
+            println!("check [{suite_name}]: skipped ({path} — suite not run)");
+            continue;
+        };
+        let outcome = check_against(report, doc).map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", outcome.render());
+        if !outcome.passed() {
+            failures += outcome.regressions();
+        }
+    }
+    if failures > 0 {
+        return Err(format!("bench check failed: {failures} regression(s)"));
     }
     Ok(())
 }

@@ -22,6 +22,7 @@
 
 pub use cumf_analyze as analyze;
 pub use cumf_baselines as baselines;
+pub use cumf_bench as bench;
 pub use cumf_core as core;
 pub use cumf_data as data;
 pub use cumf_des as des;

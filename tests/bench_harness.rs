@@ -1,0 +1,125 @@
+//! End-to-end contract of the `cumf bench` harness:
+//!
+//! * `--check` passes on an unchanged tree and fails on an injected
+//!   3× slowdown;
+//! * sim-domain benches are bit-deterministic across runs (digest
+//!   equality), satisfying the PR 5 determinism discipline;
+//! * the committed `bench_results/BENCH_*.json` baselines stay in sync
+//!   with the code's sim-domain results.
+//!
+//! The tests share the process-global observability state, so they
+//! serialize on a local mutex.
+
+use std::sync::Mutex;
+
+use cumf_sgd::bench::json::{parse, Json};
+use cumf_sgd::bench::suite::{run_suite, Better, Domain, SuiteReport};
+use cumf_sgd::bench::{check_against, suite_names};
+use cumf_sgd::obs;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    OBS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn quick_suite(name: &str, trials: usize) -> SuiteReport {
+    obs::set_enabled(true);
+    obs::reset();
+    run_suite(name, trials, true).expect("registered suite")
+}
+
+#[test]
+fn check_passes_unchanged_and_fails_injected_3x_slowdown() {
+    let _guard = locked();
+    for suite in suite_names() {
+        let report = quick_suite(suite, 2);
+        let baseline = parse(&report.to_json()).expect("self JSON parses");
+
+        // Unchanged tree: the very same measurements must pass.
+        let ok = check_against(&report, &baseline).expect("valid baseline");
+        assert!(ok.passed(), "self-check failed:\n{}", ok.render());
+
+        // Injected 3x slowdown: every metric moves to 3x worse.
+        let mut slowed = report.clone();
+        for m in &mut slowed.metrics {
+            match m.better {
+                Better::Higher => m.median /= 3.0,
+                Better::Lower => m.median *= 3.0,
+            }
+        }
+        let bad = check_against(&slowed, &baseline).expect("valid baseline");
+        assert!(!bad.passed(), "3x slowdown must fail [{suite}]");
+        assert_eq!(
+            bad.regressions(),
+            slowed.metrics.len(),
+            "every slowed metric must regress:\n{}",
+            bad.render()
+        );
+    }
+}
+
+#[test]
+fn sim_domain_benches_are_bit_deterministic() {
+    let _guard = locked();
+    for suite in suite_names() {
+        let a = quick_suite(suite, 1);
+        let b = quick_suite(suite, 1);
+        assert!(
+            a.metrics.iter().any(|m| m.domain == Domain::Sim),
+            "{suite} must carry a sim metric"
+        );
+        assert_eq!(
+            a.sim_canonical(),
+            b.sim_canonical(),
+            "sim-domain results must be identical across runs [{suite}]"
+        );
+        assert_eq!(a.sim_digest(), b.sim_digest());
+    }
+}
+
+#[test]
+fn committed_baselines_match_current_sim_results() {
+    let _guard = locked();
+    for suite in suite_names() {
+        let path = format!(
+            "{}/bench_results/BENCH_{suite}.json",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("committed baseline {path} missing: {e}"));
+        let doc = parse(&text).expect("committed baseline parses");
+        let fresh = quick_suite(suite, 1);
+
+        // The baseline's recorded digest matches its own metrics and
+        // the code's current deterministic results.
+        assert_eq!(
+            doc.get("sim_digest").and_then(Json::as_str),
+            Some(fresh.sim_digest().as_str()),
+            "sim results drifted from the committed {path}; regenerate with \
+             `cargo run --release --bin cumf -- bench --quick`"
+        );
+
+        // And the full check passes on the unchanged tree. Wall-clock
+        // metrics carry machine-sized tolerances, so this holds across
+        // hosts unless something genuinely regressed.
+        let outcome = check_against(&fresh, &doc).expect("baseline is structurally valid");
+        for c in outcome.checks {
+            let sim = fresh
+                .metrics
+                .iter()
+                .any(|m| m.id == c.id && m.domain == Domain::Sim);
+            if sim {
+                assert_eq!(
+                    c.verdict,
+                    cumf_sgd::bench::check::Verdict::Ok,
+                    "sim metric regressed vs committed baseline: {} {}",
+                    c.id,
+                    c.detail
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Overhead guard at the workspace level: a small training run with
+//! the `obs-off` feature must leave the global registry empty (every
+//! probe across solver, gpu-sim, and DES compiles to a no-op), while
+//! the default build registers the expected metrics.
+//!
+//! Run the compiled-out variant with
+//! `cargo test --features obs-off --test obs_overhead`.
+//!
+//! Kept to a single test: it toggles the process-global observability
+//! state (each integration-test file runs in its own process).
+
+use cumf_sgd::core::solver::{train, Scheme, SolverConfig};
+use cumf_sgd::core::Schedule;
+use cumf_sgd::data::synth::{generate, SynthConfig};
+use cumf_sgd::obs;
+
+fn train_small() {
+    let d = generate(&SynthConfig {
+        m: 400,
+        n: 120,
+        k_true: 2,
+        train_samples: 4_000,
+        test_samples: 400,
+        noise_std: 0.1,
+        row_skew: 0.4,
+        col_skew: 0.3,
+        rating_offset: 0.0,
+        seed: 42,
+    });
+    let cfg = SolverConfig {
+        k: 8,
+        lambda: 0.05,
+        schedule: Schedule::Fixed(0.02),
+        epochs: 2,
+        scheme: Scheme::BatchHogwild {
+            workers: 8,
+            batch: 32,
+        },
+        seed: 42,
+        mode: None,
+        divergence_ceiling: 1e3,
+    };
+    let res = train::<f32>(&d.train, &d.test, &cfg, None);
+    assert!(!res.diverged);
+}
+
+#[test]
+fn training_probes_match_the_build_configuration() {
+    obs::set_enabled(true);
+    train_small();
+    let entries = obs::registry().snapshot().len();
+    let spans = obs::tracer().events().len();
+    if cfg!(feature = "obs-off") {
+        assert!(!obs::enabled(), "obs-off build must never enable");
+        assert_eq!(entries, 0, "obs-off training must register no metrics");
+        assert_eq!(spans, 0, "obs-off training must record no spans");
+    } else {
+        assert!(
+            entries > 0,
+            "default build must register solver metrics while enabled"
+        );
+        assert!(spans > 0, "default build must record solver spans");
+    }
+    obs::set_enabled(false);
+    obs::reset();
+}
