@@ -1,8 +1,11 @@
 //! Microbenchmarks of the discrete-event engine: raw event throughput,
-//! contended-server queueing, and processor-sharing links.
+//! contended-server queueing, processor-sharing links, and head-to-head
+//! calendar-vs-heap queue comparisons (the retained oracle doubles as a
+//! same-binary reference, immune to machine drift between runs).
 
 use cumf_bench::micro::{bench, black_box};
-use cumf_des::{Block, Ctx, LinkId, Process, ServerId, SimTime, Simulation};
+use cumf_des::reference::HeapQueue;
+use cumf_des::{Block, Ctx, EventQueue, LinkId, Process, ServerId, SimTime, Simulation};
 
 struct Sleeper {
     left: u32,
@@ -51,8 +54,78 @@ impl Process for Mover {
     }
 }
 
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Clustered pop/schedule churn (64 events per µs tick), the GPU-model
+/// shape. Generated for both queue implementations so the pair can be
+/// compared within one run.
+macro_rules! clustered_case {
+    ($name:literal, $ctor:expr, $ops:expr) => {
+        bench($name, $ops, || {
+            let mut q = $ctor;
+            for i in 0..4_096u64 {
+                q.schedule(SimTime::from_micros((i / 64) as f64), i as u32);
+            }
+            let ahead = SimTime::from_micros(64.0);
+            for _ in 0..$ops {
+                let (t, tag) = q.pop().expect("primed");
+                q.schedule(t + ahead, tag);
+            }
+            black_box(q.pop());
+        });
+    };
+}
+
+/// Cancel-heavy churn: every round schedules one keeper and one doomed
+/// event and cancels an older doomed one (the engine's link-retiming
+/// pattern).
+macro_rules! cancel_case {
+    ($name:literal, $ctor:expr, $ops:expr) => {
+        bench($name, $ops, || {
+            let mut q = $ctor;
+            let mut state = 0x5eedu64;
+            for i in 0..2_048u64 {
+                let at = lcg_next(&mut state) % 2_048;
+                q.schedule(SimTime::from_micros(at as f64), i as u32);
+            }
+            let mut stash = Vec::with_capacity(128);
+            let mut slot = 0usize;
+            for _ in 0..$ops {
+                let (t, tag) = q.pop().expect("primed");
+                let a1 = 1 + lcg_next(&mut state) % 2_048;
+                let a2 = 1 + lcg_next(&mut state) % 2_048;
+                q.schedule(t + SimTime::from_micros(a1 as f64), tag);
+                let doomed = q.schedule(t + SimTime::from_micros(a2 as f64), tag);
+                if stash.len() < 128 {
+                    stash.push(doomed);
+                } else {
+                    q.cancel(stash[slot]);
+                    stash[slot] = doomed;
+                    slot = (slot + 1) % 128;
+                }
+            }
+            black_box(q.pop());
+        });
+    };
+}
+
 fn main() {
     const EVENTS: u64 = 64 * 500;
+    const QOPS: u64 = 100_000;
+
+    clustered_case!(
+        "des_queue/clustered_calendar",
+        EventQueue::<u32>::new(),
+        QOPS
+    );
+    clustered_case!("des_queue/clustered_heap", HeapQueue::<u32>::new(), QOPS);
+    cancel_case!("des_queue/cancel_calendar", EventQueue::<u32>::new(), QOPS);
+    cancel_case!("des_queue/cancel_heap", HeapQueue::<u32>::new(), QOPS);
 
     bench("des_engine/delays_64_procs", EVENTS, || {
         let mut sim = Simulation::new();

@@ -25,7 +25,7 @@ use cumf_core::lrate::Schedule;
 use cumf_core::solver::{train, Scheme, SolverConfig, TimeModel};
 use cumf_core::Element;
 use cumf_data::synth::{generate, SynthConfig, SynthDataset};
-use cumf_des::{Block, Ctx, LinkId, Process, ServerId, SimTime, Simulation};
+use cumf_des::{Block, Ctx, EventId, EventQueue, LinkId, Process, ServerId, SimTime, Simulation};
 use cumf_gpu_sim::{SgdUpdateCost, TITAN_X_MAXWELL};
 
 use crate::json::{num, quote};
@@ -259,6 +259,97 @@ fn des_link_sim_end_seconds(quick: bool) -> f64 {
     link_sim(quick).end_time.as_secs()
 }
 
+// ------------------------------------------------- raw event-queue cases
+//
+// These drive `EventQueue` directly (no processes, no resources) so the
+// scheduler itself is the entire measurement. Three timestamp shapes
+// bracket the real workloads: *clustered* (the GPU sim schedules many
+// events at identical instants — warps of a block, simultaneous copy
+// completions), *uniform* (pseudo-random spread, the scheduler's
+// neutral case), and *cancel-heavy* (the link model re-arms its single
+// completion event on every transfer change, cancelling the old one).
+
+/// Splitmix-style step for deterministic workload jitter (bench-local;
+/// wall-domain metrics may use any fixed pseudo-random schedule).
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Steady-state schedule/pop cycles where timestamps arrive in 64-wide
+/// equal-time clusters (the paper workload's shape).
+fn des_clustered_queue_events_per_sec(quick: bool) -> f64 {
+    const CLUSTER: u64 = 64;
+    let pending: u64 = if quick { 8_192 } else { 32_768 };
+    let total: u64 = if quick { 200_000 } else { 1_000_000 };
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..pending {
+        q.schedule(SimTime::from_micros((i / CLUSTER) as f64), i as u32);
+    }
+    let horizon = SimTime::from_micros((pending / CLUSTER) as f64);
+    let t0 = Instant::now();
+    for _ in 0..total {
+        let (t, tag) = q.pop().expect("queue stays primed");
+        q.schedule(t + horizon, tag);
+    }
+    total as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Steady-state schedule/pop cycles with uniformly jittered timestamps
+/// (no clustering to exploit).
+fn des_uniform_queue_events_per_sec(quick: bool) -> f64 {
+    let pending: u64 = if quick { 8_192 } else { 32_768 };
+    let total: u64 = if quick { 200_000 } else { 1_000_000 };
+    let mut state = crate::SEED;
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..pending {
+        let at = lcg_next(&mut state) % (2 * pending);
+        q.schedule(SimTime::from_micros(at as f64), i as u32);
+    }
+    let t0 = Instant::now();
+    for _ in 0..total {
+        let (t, tag) = q.pop().expect("queue stays primed");
+        let ahead = 1 + lcg_next(&mut state) % (2 * pending);
+        q.schedule(t + SimTime::from_micros(ahead as f64), tag);
+    }
+    total as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Schedule-two/cancel-one/pop-one cycles: half of all scheduled events
+/// are cancelled before they fire, as the shared-link model does when it
+/// re-arms its completion event.
+fn des_cancel_queue_events_per_sec(quick: bool) -> f64 {
+    const STASH: usize = 256;
+    let pending: u64 = if quick { 4_096 } else { 16_384 };
+    let total: u64 = if quick { 100_000 } else { 500_000 };
+    let mut state = crate::SEED ^ 0xc0ffee;
+    let mut q: EventQueue<u32> = EventQueue::new();
+    for i in 0..pending {
+        let at = lcg_next(&mut state) % pending;
+        q.schedule(SimTime::from_micros(at as f64), i as u32);
+    }
+    let mut stash: Vec<EventId> = Vec::with_capacity(STASH);
+    let mut slot = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..total {
+        let (t, tag) = q.pop().expect("queue stays primed");
+        let a1 = 1 + lcg_next(&mut state) % pending;
+        let a2 = 1 + lcg_next(&mut state) % pending;
+        q.schedule(t + SimTime::from_micros(a1 as f64), tag);
+        let doomed = q.schedule(t + SimTime::from_micros(a2 as f64), tag);
+        if stash.len() < STASH {
+            stash.push(doomed);
+        } else {
+            q.cancel(stash[slot]);
+            stash[slot] = doomed;
+            slot = (slot + 1) % STASH;
+        }
+    }
+    total as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
 // -------------------------------------------------------------- train suite
 
 fn sgd_updates_per_sec<E: Element>(quick: bool, seed_scale: f32) -> f64 {
@@ -357,6 +448,30 @@ pub fn cases() -> Vec<BenchCase> {
             domain: Domain::Wall,
             better: Better::Higher,
             run: des_server_events_per_sec,
+        },
+        BenchCase {
+            id: "des_clustered_queue_events_per_sec",
+            suite: "des",
+            unit: "events/s",
+            domain: Domain::Wall,
+            better: Better::Higher,
+            run: des_clustered_queue_events_per_sec,
+        },
+        BenchCase {
+            id: "des_uniform_queue_events_per_sec",
+            suite: "des",
+            unit: "events/s",
+            domain: Domain::Wall,
+            better: Better::Higher,
+            run: des_uniform_queue_events_per_sec,
+        },
+        BenchCase {
+            id: "des_cancel_queue_events_per_sec",
+            suite: "des",
+            unit: "events/s",
+            domain: Domain::Wall,
+            better: Better::Higher,
+            run: des_cancel_queue_events_per_sec,
         },
         BenchCase {
             id: "des_link_sim_bytes_per_sec",

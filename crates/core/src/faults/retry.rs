@@ -104,9 +104,12 @@ enum StallEvent {
 
 /// Races a transfer that will take `transfer_s` simulated seconds against
 /// a watchdog set to `timeout_s`, on a fresh DES event calendar. Ties go
-/// to the completion event (it is scheduled first, and the queue is FIFO
-/// within a timestamp), so a transfer landing exactly on the deadline
-/// still counts as delivered.
+/// to the completion event: it is scheduled first, and equal-timestamp
+/// events fire in schedule order (the documented FIFO tie-breaking
+/// contract of [`EventQueue::schedule`]), so a transfer landing exactly
+/// on the deadline still counts as delivered. Disarming the watchdog
+/// after the race is an O(1) generation-checked cancel — a no-op if the
+/// watchdog already fired.
 pub fn detect_stall(transfer_s: f64, timeout_s: f64) -> StallVerdict {
     let mut q: EventQueue<StallEvent> = EventQueue::new();
     q.schedule(SimTime::from_secs(transfer_s), StallEvent::Completion);

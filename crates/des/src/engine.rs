@@ -2,7 +2,7 @@
 //! and all processes, and runs the event loop to completion.
 
 use crate::event::{EventId, EventQueue};
-use crate::process::{Block, Ctx, Immediate, Pid, Process};
+use crate::process::{Block, Ctx, Immediate, Pid, ProcArena, Process};
 use crate::resource::{KeyedLocks, LinkId, LockId, Server, ServerId, SharedBandwidth};
 use crate::stats::{LinkStats, LockStats, ServerStats};
 use crate::time::SimTime;
@@ -117,7 +117,7 @@ impl RunReport {
 pub struct Simulation {
     clock: SimTime,
     queue: EventQueue<Scheduled>,
-    processes: Vec<Option<Box<dyn Process>>>,
+    processes: ProcArena,
     servers: Vec<Server>,
     links: Vec<SharedBandwidth>,
     link_tick: Vec<Option<EventId>>,
@@ -139,7 +139,7 @@ impl Simulation {
         Simulation {
             clock: SimTime::ZERO,
             queue: EventQueue::new(),
-            processes: Vec::new(),
+            processes: ProcArena::new(),
             servers: Vec::new(),
             links: Vec::new(),
             link_tick: Vec::new(),
@@ -209,8 +209,7 @@ impl Simulation {
     /// Spawns a process; it first resumes at time zero (or at the current
     /// time if spawned mid-run).
     pub fn spawn(&mut self, process: Box<dyn Process>) -> Pid {
-        let pid = Pid(self.processes.len());
-        self.processes.push(Some(process));
+        let pid = self.processes.insert(process);
         self.live_processes += 1;
         self.schedule_ev(self.clock, Ev::Resume(pid));
         if cumf_obs::enabled() {
@@ -226,8 +225,7 @@ impl Simulation {
     /// Spawns a process that first resumes at absolute time `at`.
     pub fn spawn_at(&mut self, at: SimTime, process: Box<dyn Process>) -> Pid {
         assert!(at >= self.clock, "cannot spawn in the past");
-        let pid = Pid(self.processes.len());
-        self.processes.push(Some(process));
+        let pid = self.processes.insert(process);
         self.live_processes += 1;
         self.schedule_ev(at, Ev::Resume(pid));
         pid
@@ -257,8 +255,16 @@ impl Simulation {
             if let Some(p) = &probes {
                 p.observe(&sched.ev, sched.born, time, self.queue.len());
             }
+            // Fast path: `Resume` dominates every registered workload
+            // (delays, lock hand-offs and child spawns all go through it),
+            // so dispatch it before the full match — the virtual `resume`
+            // call inside `step` is then the loop's only indirection.
+            if let Ev::Resume(pid) = sched.ev {
+                self.step(pid);
+                continue;
+            }
             match sched.ev {
-                Ev::Resume(pid) => self.step(pid),
+                Ev::Resume(_) => unreachable!("handled by the fast path"),
                 Ev::ServerDone { server, pid, hold } => {
                     self.record_service_span(server, hold);
                     if let Some((next_pid, hold)) = self.servers[server.0].complete(self.clock) {
@@ -310,12 +316,13 @@ impl Simulation {
 
     /// Drives one process forward until it issues a blocking request.
     fn step(&mut self, pid: Pid) {
-        // Take the process out of the table so `resume(&mut self)` cannot
+        // Take the process out of the arena so `resume(&mut self)` cannot
         // alias the engine state it manipulates through `Ctx`.
-        let mut process = match self.processes[pid.0].take() {
+        let mut process = match self.processes.take(pid) {
             Some(p) => p,
             // A resume may race with process completion only through engine
-            // bugs; a missing process is a hard error.
+            // bugs; a stale or dead pid is a hard error (the generational
+            // arena guarantees a recycled slot can never absorb it).
             None => panic!("resume for dead process {pid:?}"),
         };
         loop {
@@ -358,11 +365,14 @@ impl Simulation {
                 }
                 Block::Done => {
                     self.live_processes -= 1;
-                    return; // Process dropped, slot stays None.
+                    // Process dropped; its slot is recycled for the next
+                    // spawn and the generation bump retires this pid.
+                    self.processes.retire(pid);
+                    return;
                 }
             }
         }
-        self.processes[pid.0] = Some(process);
+        self.processes.restore(pid, process);
     }
 
     /// Records a completed server service period as a sim-clock trace span

@@ -1,53 +1,171 @@
-//! Future-event list.
+//! Future-event list: a generational slab arena of payloads driven by a
+//! calendar/ladder-queue hybrid scheduler.
 //!
-//! A classic discrete-event calendar: a min-heap ordered by `(time, seq)`.
-//! The monotonically increasing sequence number gives **stable FIFO
-//! tie-breaking** for simultaneous events, which makes every simulation in
-//! this workspace fully deterministic for a given input.
+//! ## Shape
+//!
+//! Payloads live in a **slab arena**: a `Vec` of slots recycled through a
+//! free list. [`EventId`] is `(slot index, generation)`, so a stale handle
+//! (fired or cancelled, slot possibly re-used) can never reach the wrong
+//! event — cancellation is an O(1) generation-checked tombstone write, and
+//! steady-state scheduling re-uses slots without touching the allocator.
+//!
+//! The schedule itself is split across four rungs, ordered in time:
+//!
+//! 1. **run** — the currently draining bucket, sorted ascending by
+//!    `(time, seq)` and consumed through a cursor;
+//! 2. **early** — a small binary heap for events inserted *behind* the
+//!    activation frontier (same-instant cascades: lock hand-offs,
+//!    zero-delay resumes);
+//! 3. **buckets** — `NUM_BUCKETS` near-future calendar buckets of width
+//!    `width` starting at `win_lo`; an insert into bucket `i` is O(1),
+//!    and a bucket is sorted once when it becomes the run;
+//! 4. **far** — a binary-heap overflow rung for events beyond the window
+//!    horizon; they migrate into buckets when the window re-anchors.
+//!
+//! ## Determinism
+//!
+//! Every `schedule` call draws a monotonically increasing sequence
+//! number, and `pop` always returns the pending event with the smallest
+//! `(time, seq)` key. Since `seq` is unique this key is a total order, so
+//! the pop sequence is *exactly* ascending `(time, seq)` — simultaneous
+//! events fire in FIFO schedule order, and the pop order is bit-identical
+//! to the retained binary-heap oracle ([`crate::reference::HeapQueue`])
+//! whatever the bucket geometry does. The rungs only partition the
+//! pending set by time range (early < run < buckets < far, proved by the
+//! monotonicity of `⌊(t − win_lo)/width⌋` in `t`); bucket width
+//! adaptation happens only while all buckets are empty, so the partition
+//! argument holds at every pop.
 
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// Opaque handle identifying a scheduled event, usable for cancellation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventId(u64);
+/// Number of near-future calendar buckets.
+const NUM_BUCKETS: usize = 256;
+/// Initial bucket width in simulated seconds (1 µs, the natural scale of
+/// the GPU-model events). Adapted online; see [`EventQueue::rewindow`].
+const INITIAL_WIDTH: f64 = 1e-6;
+/// Bucket-width adaptation clamp.
+const MIN_WIDTH: f64 = 1e-12;
+/// Bucket-width adaptation clamp.
+const MAX_WIDTH: f64 = 1e6;
+/// Free-list terminator.
+const NO_SLOT: u32 = u32::MAX;
 
-/// An entry in the future-event list carrying a caller-defined payload.
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+///
+/// Handles are *generational*: once the event fires or is cancelled its
+/// slot may be recycled, but the stale handle keeps pointing at the old
+/// generation and any use of it is a checked no-op.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId {
+    index: u32,
+    generation: u32,
+}
+
+/// Arena slot payload state.
 #[derive(Debug)]
-struct Entry<P> {
+enum SlotState<P> {
+    /// Scheduled and live. The `(time, seq)` ordering key travels with
+    /// the calendar entry, not the slot.
+    Occupied { payload: P },
+    /// Cancelled; the calendar entry is still pending and is swept (and
+    /// the slot freed) when it surfaces.
+    Tombstone,
+    /// On the free list.
+    Free { next_free: u32 },
+}
+
+#[derive(Debug)]
+struct Slot<P> {
+    generation: u32,
+    state: SlotState<P>,
+}
+
+/// A calendar entry: 20 bytes, `Copy`, payload left behind in the arena.
+#[derive(Clone, Copy, Debug)]
+struct QEntry {
     time: SimTime,
     seq: u64,
-    payload: P,
-    cancelled: bool,
+    slot: u32,
 }
 
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
-impl<P> PartialEq for Entry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl QEntry {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
-impl<P> Eq for Entry<P> {}
-impl<P> PartialOrd for Entry<P> {
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for Entry<P> {
+// BinaryHeap is a max-heap; invert the ordering so `peek` is the
+// earliest `(time, seq)` (used by both the `early` and `far` rungs).
+impl Ord for QEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key().cmp(&self.key())
     }
 }
 
+/// Which rung currently holds the head entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Src {
+    Run,
+    Early,
+}
+
 /// The future-event list: a deterministic priority queue of timed payloads.
+///
+/// See the module docs for the arena/calendar architecture. The public
+/// contract is unchanged from the classic binary-heap implementation
+/// (retained as [`crate::reference::HeapQueue`]): pops come out in
+/// ascending `(time, schedule order)`.
 #[derive(Debug)]
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Entry<P>>,
+    // ---- payload arena ----
+    slots: Vec<Slot<P>>,
+    free_head: u32,
     next_seq: u64,
-    // Cancelled event ids; lazily dropped when popped. Kept sorted-free in a
-    // small vec because cancellations are rare in our models.
-    cancelled: Vec<u64>,
+    /// Live (scheduled, not cancelled, not fired) events — `len()`.
+    live: usize,
+    /// Entries still queued in some rung, including tombstones.
+    pending_entries: usize,
+
+    // ---- scheduler rungs ----
+    run: Vec<QEntry>,
+    run_pos: usize,
+    /// Memo of the last `head()` result, so the engine's peek-then-pop
+    /// pattern seeks the head once per event. Invalidated by anything
+    /// that can change the head (schedule, cancel, consume).
+    head_cache: Option<(Src, QEntry)>,
+    early: BinaryHeap<QEntry>,
+    buckets: Vec<Vec<QEntry>>,
+    /// Next bucket to activate; buckets below it are empty.
+    cursor: usize,
+    /// Simulated time at the start of bucket 0's window.
+    win_lo: f64,
+    /// Bucket width in simulated seconds. Only mutated while every
+    /// bucket is empty (see the module docs' determinism argument).
+    width: f64,
+    /// Cached `1.0 / width`: routing multiplies instead of dividing.
+    /// Updated in lockstep with `width`, so every routing decision in a
+    /// window uses the identical predicate.
+    inv_width: f64,
+    far: BinaryHeap<QEntry>,
+
+    // ---- width-adaptation statistics for the draining window ----
+    stat_far_routed: u32,
+    stat_bucket_routed: u32,
+    stat_max_idx: usize,
 }
 
 impl<P> Default for EventQueue<P> {
@@ -60,63 +178,110 @@ impl<P> EventQueue<P> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free_head: NO_SLOT,
             next_seq: 0,
-            cancelled: Vec::new(),
+            live: 0,
+            pending_entries: 0,
+            run: Vec::new(),
+            run_pos: 0,
+            head_cache: None,
+            early: BinaryHeap::new(),
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            cursor: NUM_BUCKETS,
+            win_lo: 0.0,
+            width: INITIAL_WIDTH,
+            inv_width: 1.0 / INITIAL_WIDTH,
+            far: BinaryHeap::new(),
+            stat_far_routed: 0,
+            stat_bucket_routed: 0,
+            stat_max_idx: 0,
         }
     }
 
     /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// ## FIFO tie-breaking contract
+    ///
+    /// Events scheduled for the *same* `time` fire in **schedule order**:
+    /// each call draws a monotonically increasing sequence number and
+    /// [`pop`](Self::pop) returns pending events in ascending
+    /// `(time, seq)`. Every simulation in this workspace relies on that
+    /// order for determinism (simultaneous resumes, lock hand-offs,
+    /// watchdog races), so it is a stable contract, exercised by the
+    /// differential oracle test against
+    /// [`crate::reference::HeapQueue`].
     pub fn schedule(&mut self, time: SimTime, payload: P) -> EventId {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            time,
-            seq,
-            payload,
-            cancelled: false,
-        });
-        EventId(seq)
+        let slot = self.alloc_slot(payload);
+        let id = EventId {
+            index: slot,
+            generation: self.slots[slot as usize].generation,
+        };
+        if self.pending_entries == 0 {
+            // Structurally empty: re-anchor the calendar window on this
+            // event so it lands in bucket 0 whatever its absolute time.
+            self.win_lo = time.as_secs();
+            self.cursor = 0;
+            self.stat_far_routed = 0;
+            self.stat_bucket_routed = 0;
+            self.stat_max_idx = 0;
+        }
+        self.live += 1;
+        self.pending_entries += 1;
+        self.head_cache = None;
+        self.insert(QEntry { time, seq, slot });
+        id
     }
 
-    /// Cancels a previously scheduled event. Cancelling an already-fired or
-    /// already-cancelled event is a no-op.
+    /// Cancels a previously scheduled event in O(1). Cancelling an
+    /// already-fired or already-cancelled event is a no-op — the
+    /// generation check makes stale handles harmless even after the
+    /// slot has been recycled for a newer event.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.push(id.0);
+        let Some(slot) = self.slots.get_mut(id.index as usize) else {
+            return;
+        };
+        if slot.generation != id.generation {
+            return;
+        }
+        if matches!(slot.state, SlotState::Occupied { .. }) {
+            // Drops the payload now; the calendar entry is swept lazily.
+            slot.state = SlotState::Tombstone;
+            self.live -= 1;
+            self.head_cache = None;
+        }
     }
 
     /// Pops the earliest non-cancelled event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, P)> {
-        while let Some(entry) = self.heap.pop() {
-            if entry.cancelled || self.take_cancelled(entry.seq) {
-                continue;
-            }
-            return Some((entry.time, entry.payload));
-        }
-        None
+        let (src, entry) = self.head()?;
+        self.consume(src);
+        let state = std::mem::replace(
+            &mut self.slots[entry.slot as usize].state,
+            SlotState::Tombstone,
+        );
+        let SlotState::Occupied { payload } = state else {
+            unreachable!("head() returns only occupied slots");
+        };
+        self.free_slot(entry.slot);
+        self.live -= 1;
+        Some((entry.time, payload))
     }
 
-    /// Time of the earliest pending event without removing it.
+    /// Time of the earliest pending event without removing it. Sweeps
+    /// lazily-cancelled entries off the head as a side effect.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Lazily discard cancelled entries from the top.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.take_cancelled(seq);
-            } else {
-                return Some(entry.time);
-            }
-        }
-        None
+        self.head().map(|(_, e)| e.time)
     }
 
-    /// Number of pending (possibly including lazily-cancelled) events.
+    /// Number of live (scheduled, not cancelled, not fired) events.
     // `is_empty` takes `&mut self` (it sweeps lazily-cancelled entries),
     // which clippy's len_without_is_empty does not recognise.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.heap.len().saturating_sub(self.cancelled.len())
+        self.live
     }
 
     /// True if no live events remain.
@@ -124,13 +289,188 @@ impl<P> EventQueue<P> {
         self.peek_time().is_none()
     }
 
-    fn take_cancelled(&mut self, seq: u64) -> bool {
-        if let Some(pos) = self.cancelled.iter().position(|&c| c == seq) {
-            self.cancelled.swap_remove(pos);
-            true
+    // ---------------------------------------------------------- arena
+
+    fn alloc_slot(&mut self, payload: P) -> u32 {
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            let SlotState::Free { next_free } = slot.state else {
+                unreachable!("free list points at a non-free slot");
+            };
+            self.free_head = next_free;
+            slot.state = SlotState::Occupied { payload };
+            idx
         } else {
-            false
+            let idx = u32::try_from(self.slots.len()).expect("event arena exceeds u32 slots");
+            self.slots.push(Slot {
+                generation: 0,
+                state: SlotState::Occupied { payload },
+            });
+            idx
         }
+    }
+
+    /// Returns a consumed slot to the free list, invalidating all
+    /// outstanding handles to it by bumping the generation.
+    fn free_slot(&mut self, idx: u32) {
+        let slot = &mut self.slots[idx as usize];
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.state = SlotState::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = idx;
+        self.pending_entries -= 1;
+    }
+
+    // ------------------------------------------------------ scheduler
+
+    /// Routes one entry to its rung. The predicate `rel = (t − win_lo) /
+    /// width` is shared by every routing decision, so an entry's rung is
+    /// a pure function of its time and the current window geometry.
+    fn insert(&mut self, e: QEntry) {
+        let rel = (e.time.as_secs() - self.win_lo) * self.inv_width;
+        if rel >= NUM_BUCKETS as f64 {
+            self.stat_far_routed += 1;
+            self.far.push(e);
+        } else if rel < self.cursor as f64 {
+            // Behind the activation frontier: the early rung keeps it
+            // ahead of every bucket (rel monotone in t ⇒ its time is
+            // strictly below anything still in a bucket).
+            self.early.push(e);
+        } else {
+            let idx = rel as usize;
+            self.stat_bucket_routed += 1;
+            self.stat_max_idx = self.stat_max_idx.max(idx);
+            self.buckets[idx].push(e);
+        }
+    }
+
+    /// Ensures the head entry (smallest `(time, seq)`) is live and
+    /// returns it with its rung, sweeping tombstones off the top.
+    fn head(&mut self) -> Option<(Src, QEntry)> {
+        if let Some(head) = self.head_cache {
+            return Some(head);
+        }
+        loop {
+            let run_head = self.run.get(self.run_pos).copied();
+            let early_head = self.early.peek().copied();
+            let (src, entry) = match (run_head, early_head) {
+                (Some(r), Some(e)) => {
+                    if r.key() <= e.key() {
+                        (Src::Run, r)
+                    } else {
+                        (Src::Early, e)
+                    }
+                }
+                (Some(r), None) => (Src::Run, r),
+                (None, Some(e)) => (Src::Early, e),
+                (None, None) => {
+                    if !self.refill() {
+                        return None;
+                    }
+                    continue;
+                }
+            };
+            match self.slots[entry.slot as usize].state {
+                SlotState::Occupied { .. } => {
+                    self.head_cache = Some((src, entry));
+                    return Some((src, entry));
+                }
+                SlotState::Tombstone => {
+                    self.consume(src);
+                    self.free_slot(entry.slot);
+                }
+                SlotState::Free { .. } => unreachable!("queued entry points at a free slot"),
+            }
+        }
+    }
+
+    /// Removes the head entry from its rung (the payload slot is the
+    /// caller's responsibility).
+    fn consume(&mut self, src: Src) {
+        self.head_cache = None;
+        match src {
+            Src::Run => {
+                self.run_pos += 1;
+                if self.run_pos == self.run.len() {
+                    // Keep the allocation for the next activated bucket.
+                    self.run.clear();
+                    self.run_pos = 0;
+                }
+            }
+            Src::Early => {
+                self.early.pop();
+            }
+        }
+    }
+
+    /// Activates the next non-empty bucket as the run, or re-anchors the
+    /// window from the far rung. Returns false when nothing is pending.
+    fn refill(&mut self) -> bool {
+        while self.cursor < NUM_BUCKETS {
+            let idx = self.cursor;
+            self.cursor += 1;
+            if !self.buckets[idx].is_empty() {
+                debug_assert!(self.run.is_empty());
+                // Copy out rather than swap: capacities stay put, so the
+                // run converges to the global peak occupancy and each
+                // bucket to its own — after warmup neither reallocates.
+                self.run.extend_from_slice(&self.buckets[idx]);
+                self.buckets[idx].clear();
+                self.run_pos = 0;
+                // Unstable sort is allocation-free, and `seq` uniqueness
+                // makes the (time, seq) key a total order, so stability
+                // is irrelevant.
+                self.run.sort_unstable_by_key(|a| a.key());
+                return true;
+            }
+        }
+        self.rewindow()
+    }
+
+    /// Re-anchors the calendar window on the earliest far event and
+    /// migrates everything within the new window into buckets. Runs only
+    /// when run, early and all buckets are drained, which is the one
+    /// moment bucket width may change without perturbing pop order.
+    fn rewindow(&mut self) -> bool {
+        let Some(top) = self.far.peek() else {
+            return false;
+        };
+        // Width adaptation from the window that just drained: widen while
+        // a non-trivial share (> ~10%) of inserts overshot into the far
+        // rung — far traffic pays heap costs twice (push + migrate), so
+        // the window must cover the workload's typical look-ahead.
+        // Tighten only when far went completely unused and the window was
+        // mostly empty (over-wide buckets cost sort locality).
+        if self.stat_far_routed * 8 > self.stat_bucket_routed {
+            self.width = (self.width * 2.0).min(MAX_WIDTH);
+        } else if self.stat_far_routed == 0
+            && self.stat_bucket_routed > 0
+            && self.stat_max_idx < NUM_BUCKETS / 8
+        {
+            self.width = (self.width * 0.5).max(MIN_WIDTH);
+        }
+        self.inv_width = 1.0 / self.width;
+        self.stat_far_routed = 0;
+        self.stat_bucket_routed = 0;
+        self.stat_max_idx = 0;
+
+        self.win_lo = top.time.as_secs();
+        self.cursor = 0;
+        while let Some(top) = self.far.peek() {
+            let rel = (top.time.as_secs() - self.win_lo) * self.inv_width;
+            if rel >= NUM_BUCKETS as f64 {
+                break;
+            }
+            let e = self.far.pop().expect("peeked entry vanished");
+            let idx = (rel as usize).min(NUM_BUCKETS - 1);
+            self.stat_bucket_routed += 1;
+            self.stat_max_idx = self.stat_max_idx.max(idx);
+            self.buckets[idx].push(e);
+        }
+        debug_assert!(self.stat_bucket_routed > 0, "rewindow moved nothing");
+        true
     }
 }
 
@@ -165,6 +505,59 @@ mod tests {
         }
     }
 
+    /// The FIFO tie-breaking contract holds across interleaved
+    /// schedule/pop at a single timestamp (the same-instant cascade the
+    /// engine produces for lock hand-offs): schedule order == pop order.
+    #[test]
+    fn ties_break_fifo_interleaved_with_pops() {
+        let mut q = EventQueue::new();
+        let mut next = 0u32;
+        let mut expect = 0u32;
+        for _ in 0..8 {
+            q.schedule(t(5.0), next);
+            next += 1;
+        }
+        for _ in 0..100 {
+            assert_eq!(q.pop(), Some((t(5.0), expect)));
+            expect += 1;
+            // Two new same-instant events per pop, then drain catches up.
+            q.schedule(t(5.0), next);
+            next += 1;
+            q.schedule(t(5.0), next);
+            next += 1;
+            q.pop();
+            expect += 1;
+        }
+        while let Some((time, tag)) = q.pop() {
+            assert_eq!((time, tag), (t(5.0), expect));
+            expect += 1;
+        }
+        assert_eq!(expect, next);
+    }
+
+    /// FIFO order survives events travelling through different rungs:
+    /// equal-timestamp events scheduled far apart in queue life still
+    /// pop in schedule order.
+    #[test]
+    fn ties_break_fifo_across_rungs() {
+        let mut q = EventQueue::new();
+        // Anchor the window early, push the target time into `far`.
+        q.schedule(t(0.0), 0);
+        for i in 1..=4 {
+            q.schedule(t(1000.0), i); // far rung
+        }
+        assert_eq!(q.pop(), Some((t(0.0), 0)));
+        // After draining, the window re-anchors at 1000.0; these land in
+        // buckets/run (and `early` once draining starts) instead.
+        q.schedule(t(1000.0), 5);
+        assert_eq!(q.pop(), Some((t(1000.0), 1)));
+        q.schedule(t(1000.0), 6); // behind the frontier → early rung
+        for i in 2..=6 {
+            assert_eq!(q.pop(), Some((t(1000.0), i)));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
     #[test]
     fn cancellation_skips_event() {
         let mut q = EventQueue::new();
@@ -196,5 +589,73 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.cancel(a);
         assert_eq!(q.len(), 1);
+    }
+
+    /// Stale handles stay harmless after their slot is recycled: the
+    /// generation check must protect the new tenant.
+    #[test]
+    fn stale_cancel_cannot_reach_a_recycled_slot() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1.0), "a");
+        assert_eq!(q.pop(), Some((t(1.0), "a")));
+        // The arena reuses a's slot for b.
+        let b = q.schedule(t(2.0), "b");
+        q.cancel(a); // stale: must NOT cancel b
+        assert_eq!(q.pop(), Some((t(2.0), "b")));
+        // And a stale cancel of b (now fired) is a no-op too.
+        q.cancel(b);
+        assert!(q.is_empty());
+        // Ids of distinct generations never compare equal.
+        assert_ne!(a, b);
+    }
+
+    /// Cancelling everything and re-scheduling exercises the re-anchor
+    /// path and slot reuse under a drained-but-not-swept calendar.
+    #[test]
+    fn mass_cancel_then_reuse() {
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..64).map(|i| q.schedule(t(i as f64), i)).collect();
+        for id in ids {
+            q.cancel(id);
+        }
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty()); // sweeps all tombstones
+        q.schedule(t(0.5), 999);
+        assert_eq!(q.pop(), Some((t(0.5), 999)));
+        assert!(q.is_empty());
+    }
+
+    /// Events scheduled in the past (behind every pop so far) still pop
+    /// first — they ride the early rung.
+    #[test]
+    fn past_schedule_pops_before_pending_future() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), "later");
+        q.schedule(t(9.0), "latest");
+        assert_eq!(q.pop(), Some((t(5.0), "later")));
+        q.schedule(t(1.0), "past");
+        assert_eq!(q.pop(), Some((t(1.0), "past")));
+        assert_eq!(q.pop(), Some((t(9.0), "latest")));
+    }
+
+    /// Huge time gaps force repeated window re-anchoring and width
+    /// adaptation; order must hold throughout.
+    #[test]
+    fn sparse_far_future_events_pop_in_order() {
+        let mut q = EventQueue::new();
+        let times: Vec<f64> = (0..40).map(|i| (i as f64) * 97.3 + 0.001).collect();
+        // Schedule in a scrambled but deterministic order.
+        for k in 0..times.len() {
+            let i = (k * 17) % times.len();
+            q.schedule(t(times[i]), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((time, i)) = q.pop() {
+            assert_eq!(time, t(times[i]));
+            popped.push(i);
+        }
+        let mut expect: Vec<usize> = (0..times.len()).collect();
+        expect.sort_by(|&a, &b| times[a].total_cmp(&times[b]));
+        assert_eq!(popped, expect);
     }
 }

@@ -52,7 +52,9 @@
 mod engine;
 mod event;
 mod process;
+pub mod reference;
 mod resource;
+mod smallq;
 pub mod stats;
 mod time;
 

@@ -12,13 +12,116 @@ use crate::resource::{LinkId, LockId, ServerId};
 use crate::time::SimTime;
 
 /// Identifier of a spawned process.
+///
+/// Generational: when a process finishes its arena slot is recycled for
+/// later spawns, but the retired `Pid` keeps pointing at the old
+/// generation, so a stale resume is detected instead of reaching the new
+/// tenant.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
-pub struct Pid(pub(crate) usize);
+pub struct Pid {
+    pub(crate) idx: u32,
+    pub(crate) gen: u32,
+}
 
 impl Pid {
-    /// The raw index of this process (stable for the simulation lifetime).
+    /// The raw slot index of this process. Stable while the process is
+    /// alive; recycled for newly spawned processes after it finishes.
     pub fn index(self) -> usize {
-        self.0
+        self.idx as usize
+    }
+}
+
+/// Free-list terminator for [`ProcArena`].
+const NO_SLOT: u32 = u32::MAX;
+
+enum ProcSlotState {
+    /// Alive and parked between resumes.
+    Occupied(Box<dyn Process>),
+    /// Alive, temporarily taken out by the engine while `resume` runs
+    /// (so `&mut self` cannot alias the engine state).
+    Running,
+    /// Retired; on the free list.
+    Free { next_free: u32 },
+}
+
+struct ProcSlot {
+    gen: u32,
+    state: ProcSlotState,
+}
+
+/// Generational slab arena of live processes: O(1) spawn/retire with
+/// slot reuse, so long-running simulations with process churn do not grow
+/// a `Vec<Option<Box<dyn Process>>>` of dead tombstones forever.
+#[derive(Default)]
+pub(crate) struct ProcArena {
+    slots: Vec<ProcSlot>,
+    free_head: u32,
+}
+
+impl ProcArena {
+    pub(crate) fn new() -> Self {
+        ProcArena {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+        }
+    }
+
+    /// Spawns a process into a recycled (or new) slot.
+    pub(crate) fn insert(&mut self, process: Box<dyn Process>) -> Pid {
+        if self.free_head != NO_SLOT {
+            let idx = self.free_head;
+            let slot = &mut self.slots[idx as usize];
+            let ProcSlotState::Free { next_free } = slot.state else {
+                unreachable!("free list points at a live process");
+            };
+            self.free_head = next_free;
+            slot.state = ProcSlotState::Occupied(process);
+            Pid { idx, gen: slot.gen }
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("process arena exceeds u32 slots");
+            self.slots.push(ProcSlot {
+                gen: 0,
+                state: ProcSlotState::Occupied(process),
+            });
+            Pid { idx, gen: 0 }
+        }
+    }
+
+    /// Takes a live process out for a resume; returns `None` for stale or
+    /// dead pids. The slot is marked `Running` until
+    /// [`restore`](Self::restore) or [`retire`](Self::retire).
+    pub(crate) fn take(&mut self, pid: Pid) -> Option<Box<dyn Process>> {
+        let slot = self.slots.get_mut(pid.idx as usize)?;
+        if slot.gen != pid.gen {
+            return None;
+        }
+        match std::mem::replace(&mut slot.state, ProcSlotState::Running) {
+            ProcSlotState::Occupied(p) => Some(p),
+            other => {
+                slot.state = other;
+                None
+            }
+        }
+    }
+
+    /// Parks a process back after a resume that blocked.
+    pub(crate) fn restore(&mut self, pid: Pid, process: Box<dyn Process>) {
+        let slot = &mut self.slots[pid.idx as usize];
+        debug_assert!(slot.gen == pid.gen);
+        debug_assert!(matches!(slot.state, ProcSlotState::Running));
+        slot.state = ProcSlotState::Occupied(process);
+    }
+
+    /// Retires a finished process: frees the slot for reuse and bumps the
+    /// generation so outstanding pids to it go stale.
+    pub(crate) fn retire(&mut self, pid: Pid) {
+        let slot = &mut self.slots[pid.idx as usize];
+        debug_assert!(slot.gen == pid.gen);
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.state = ProcSlotState::Free {
+            next_free: self.free_head,
+        };
+        self.free_head = pid.idx;
     }
 }
 

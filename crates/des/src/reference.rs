@@ -1,0 +1,127 @@
+//! Reference future-event list, kept as a differential oracle.
+//!
+//! This is the pre-arena `BinaryHeap` implementation that
+//! [`crate::EventQueue`] replaced: a classic min-heap ordered by
+//! `(time, seq)` with lazy cancellation. It is retained verbatim so the
+//! oracle test can drive both queues over randomized schedules and assert
+//! **bit-identical pop order** — the determinism contract of the calendar
+//! queue is "indistinguishable from this heap".
+//!
+//! Not used by any simulation; only tests and benches should touch it.
+
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying an event scheduled on a [`HeapQueue`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct HeapEventId(u64);
+
+/// An entry in the future-event list carrying a caller-defined payload.
+#[derive(Debug)]
+struct Entry<P> {
+    time: SimTime,
+    seq: u64,
+    payload: P,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<P> PartialEq for Entry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for Entry<P> {}
+impl<P> PartialOrd for Entry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for Entry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// The reference queue: a deterministic binary heap of timed payloads with
+/// the same observable contract as [`crate::EventQueue`] (ascending
+/// `(time, schedule order)` pops, no-op cancellation of fired events).
+#[derive(Debug)]
+pub struct HeapQueue<P> {
+    heap: BinaryHeap<Entry<P>>,
+    next_seq: u64,
+    // Cancelled event ids; lazily dropped when popped.
+    cancelled: Vec<u64>,
+}
+
+impl<P> Default for HeapQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> HeapQueue<P> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, payload: P) -> HeapEventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        HeapEventId(seq)
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op for pop order (the id lingers in
+    /// the side list — the O(c) growth that motivated the arena rewrite).
+    pub fn cancel(&mut self, id: HeapEventId) {
+        self.cancelled.push(id.0);
+    }
+
+    /// Pops the earliest non-cancelled event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, P)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.take_cancelled(entry.seq) {
+                continue;
+            }
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Time of the earliest pending event without removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Lazily discard cancelled entries from the top.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.take_cancelled(seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    fn take_cancelled(&mut self, seq: u64) -> bool {
+        if let Some(pos) = self.cancelled.iter().position(|&c| c == seq) {
+            self.cancelled.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+}

@@ -14,9 +14,8 @@
 //! Resources are passive data structures; the [`crate::engine::Simulation`]
 //! drives them and owns the event calendar.
 
-use std::collections::VecDeque;
-
 use crate::process::Pid;
+use crate::smallq::SmallDeque;
 use crate::stats::{Tally, TimeWeighted};
 use crate::time::SimTime;
 
@@ -41,7 +40,8 @@ pub(crate) struct Server {
     pub(crate) name: String,
     capacity: usize,
     busy: usize,
-    queue: VecDeque<(Pid, SimTime, SimTime)>, // (pid, hold, enqueue_time)
+    // (pid, hold, enqueue_time); inline for the common shallow queue.
+    queue: SmallDeque<(Pid, SimTime, SimTime), 4>,
     pub(crate) busy_tw: TimeWeighted,
     pub(crate) queue_tw: TimeWeighted,
     pub(crate) waits: Tally,
@@ -57,7 +57,7 @@ impl Server {
             name: name.into(),
             capacity,
             busy: 0,
-            queue: VecDeque::new(),
+            queue: SmallDeque::new(),
             busy_tw: TimeWeighted::new(0.0),
             queue_tw: TimeWeighted::new(0.0),
             waits: Tally::new(),
@@ -238,7 +238,8 @@ impl SharedBandwidth {
 #[derive(Debug, Default)]
 struct KeySlot {
     held: bool,
-    waiters: VecDeque<Pid>,
+    // Inline for the common 1–4-waiter contention case.
+    waiters: SmallDeque<Pid, 4>,
 }
 
 #[derive(Debug)]
@@ -301,15 +302,19 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    fn pid(i: u32) -> Pid {
+        Pid { idx: i, gen: 0 }
+    }
+
     #[test]
     fn server_grants_up_to_capacity() {
         let mut s = Server::new("s", 2);
-        assert!(s.request(t(0.0), Pid(0), t(1.0)));
-        assert!(s.request(t(0.0), Pid(1), t(1.0)));
-        assert!(!s.request(t(0.0), Pid(2), t(1.0)));
+        assert!(s.request(t(0.0), pid(0), t(1.0)));
+        assert!(s.request(t(0.0), pid(1), t(1.0)));
+        assert!(!s.request(t(0.0), pid(2), t(1.0)));
         // First completion hands the slot to the queued job.
         let next = s.complete(t(1.0));
-        assert_eq!(next, Some((Pid(2), t(1.0))));
+        assert_eq!(next, Some((pid(2), t(1.0))));
         assert_eq!(s.complete(t(1.0)), None);
         assert_eq!(s.completed, 2);
     }
@@ -317,8 +322,8 @@ mod tests {
     #[test]
     fn server_records_waits() {
         let mut s = Server::new("s", 1);
-        assert!(s.request(t(0.0), Pid(0), t(2.0)));
-        assert!(!s.request(t(0.5), Pid(1), t(2.0)));
+        assert!(s.request(t(0.0), pid(0), t(2.0)));
+        assert!(!s.request(t(0.5), pid(1), t(2.0)));
         let _ = s.complete(t(2.0));
         assert_eq!(s.waits.count(), 2);
         assert!((s.waits.max() - 1.5).abs() < 1e-12);
@@ -328,21 +333,21 @@ mod tests {
     fn bandwidth_processor_sharing() {
         let mut l = SharedBandwidth::new("dram", 100.0); // 100 B/s
         l.update(t(0.0));
-        l.add(Pid(0), 100.0);
+        l.add(pid(0), 100.0);
         // Alone: 1 second to finish.
         assert_eq!(l.next_completion_in(), Some(t(1.0)));
         // Second job arrives halfway: each now gets 50 B/s.
         l.update(t(0.5));
-        l.add(Pid(1), 100.0);
+        l.add(pid(1), 100.0);
         // Job 0 has 50 B left at 50 B/s -> 1 s.
         assert_eq!(l.next_completion_in(), Some(t(1.0)));
         l.update(t(1.5));
         let done = l.take_finished();
-        assert_eq!(done, vec![Pid(0)]);
+        assert_eq!(done, vec![pid(0)]);
         // Job 1 has 50 B left, now alone at 100 B/s -> 0.5 s.
         assert_eq!(l.next_completion_in(), Some(t(0.5)));
         l.update(t(2.0));
-        assert_eq!(l.take_finished(), vec![Pid(1)]);
+        assert_eq!(l.take_finished(), vec![pid(1)]);
         assert_eq!(l.active_jobs(), 0);
         assert!((l.bytes_done - 200.0).abs() < 1e-6);
         assert!((l.busy_time - 2.0).abs() < 1e-12);
@@ -351,12 +356,12 @@ mod tests {
     #[test]
     fn keyed_locks_fifo_handoff() {
         let mut k = KeyedLocks::new("cols", 4);
-        assert!(k.acquire(Pid(0), 2));
-        assert!(!k.acquire(Pid(1), 2));
-        assert!(!k.acquire(Pid(2), 2));
-        assert!(k.acquire(Pid(3), 3)); // independent key unaffected
-        assert_eq!(k.release(2), Some(Pid(1)));
-        assert_eq!(k.release(2), Some(Pid(2)));
+        assert!(k.acquire(pid(0), 2));
+        assert!(!k.acquire(pid(1), 2));
+        assert!(!k.acquire(pid(2), 2));
+        assert!(k.acquire(pid(3), 3)); // independent key unaffected
+        assert_eq!(k.release(2), Some(pid(1)));
+        assert_eq!(k.release(2), Some(pid(2)));
         assert_eq!(k.release(2), None);
         assert_eq!(k.release(3), None);
         assert_eq!(k.acquisitions, 4);

@@ -1,0 +1,163 @@
+//! Inline small-capacity FIFO deque for resource waiter lists.
+//!
+//! Resource wait queues in this workspace are almost always 0–4 deep (a
+//! handful of workers contending for a server or a keyed lock), so a
+//! heap-backed `VecDeque` pays an allocation for every contended resource.
+//! [`SmallDeque`] keeps the first `N` elements in an inline ring buffer of
+//! `Option<T>` — no `unsafe`, per the crate's `forbid(unsafe_code)` — and
+//! spills to a `VecDeque` only past `N`. Once the spill drains the queue
+//! returns to fully-inline operation (the spill's allocation is kept for
+//! reuse), so steady-state push/pop never touches the allocator.
+//!
+//! Invariant: the spill is non-empty only while the ring is full, so FIFO
+//! order is ring-front → ring-back → spill-front → spill-back.
+
+use std::collections::VecDeque;
+
+/// A FIFO deque storing up to `N` elements inline.
+#[derive(Debug)]
+pub(crate) struct SmallDeque<T, const N: usize> {
+    /// Ring index of the front element.
+    head: usize,
+    /// Number of elements in the inline ring.
+    inline_len: usize,
+    ring: [Option<T>; N],
+    spill: VecDeque<T>,
+}
+
+impl<T, const N: usize> Default for SmallDeque<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T, const N: usize> SmallDeque<T, N> {
+    pub(crate) fn new() -> Self {
+        SmallDeque {
+            head: 0,
+            inline_len: 0,
+            ring: std::array::from_fn(|_| None),
+            spill: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push_back(&mut self, value: T) {
+        if self.inline_len < N && self.spill.is_empty() {
+            let idx = (self.head + self.inline_len) % N;
+            debug_assert!(self.ring[idx].is_none());
+            self.ring[idx] = Some(value);
+            self.inline_len += 1;
+        } else {
+            self.spill.push_back(value);
+        }
+    }
+
+    pub(crate) fn pop_front(&mut self) -> Option<T> {
+        if self.inline_len == 0 {
+            debug_assert!(self.spill.is_empty());
+            return None;
+        }
+        let value = self.ring[self.head].take();
+        debug_assert!(value.is_some());
+        self.head = (self.head + 1) % N;
+        self.inline_len -= 1;
+        // Migrate one spilled element to keep the invariant (spill
+        // non-empty ⇒ ring full) and preserve FIFO order.
+        if let Some(migrant) = self.spill.pop_front() {
+            let idx = (self.head + self.inline_len) % N;
+            self.ring[idx] = Some(migrant);
+            self.inline_len += 1;
+        }
+        value
+    }
+
+    #[cfg(test)]
+    pub(crate) fn front(&self) -> Option<&T> {
+        if self.inline_len == 0 {
+            return None;
+        }
+        self.ring[self.head].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_inline_capacity() {
+        let mut q: SmallDeque<u32, 4> = SmallDeque::new();
+        assert!(q.is_empty());
+        for i in 0..4 {
+            q.push_back(i);
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.front(), Some(&0));
+        for i in 0..4 {
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        assert_eq!(q.pop_front(), None);
+    }
+
+    #[test]
+    fn fifo_across_spill_boundary() {
+        let mut q: SmallDeque<u32, 2> = SmallDeque::new();
+        for i in 0..100 {
+            q.push_back(i);
+        }
+        assert_eq!(q.len(), 100);
+        for i in 0..100 {
+            assert_eq!(q.front(), Some(&i));
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps_the_ring() {
+        let mut q: SmallDeque<u32, 3> = SmallDeque::new();
+        let mut next = 0u32;
+        let mut expect = 0u32;
+        for round in 0..50 {
+            for _ in 0..(round % 5) {
+                q.push_back(next);
+                next += 1;
+            }
+            for _ in 0..(round % 3) {
+                if let Some(v) = q.pop_front() {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                }
+            }
+        }
+        while let Some(v) = q.pop_front() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, next);
+    }
+
+    #[test]
+    fn returns_to_inline_after_spill_drains() {
+        let mut q: SmallDeque<u32, 2> = SmallDeque::new();
+        for i in 0..10 {
+            q.push_back(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop_front(), Some(i));
+        }
+        // Back inline: pushes land in the ring, not the spill.
+        q.push_back(42);
+        assert_eq!(q.spill.len(), 0);
+        assert_eq!(q.pop_front(), Some(42));
+    }
+}

@@ -1,0 +1,171 @@
+//! Differential oracle: the calendar/arena [`EventQueue`] must be
+//! observationally indistinguishable from the retained binary-heap
+//! reference ([`HeapQueue`]).
+//!
+//! Each scenario drives both queues through the same randomized script of
+//! schedule/pop/cancel/peek operations and asserts **bit-identical** pop
+//! order (time and payload), identical peek times, and identical
+//! exhaustion. Scripts cover the workload shapes the GPU models produce:
+//! heavy time-clustering, uniform spread, adversarial same-timestamp
+//! bursts, and cancel-heavy link-retiming patterns — plus stale-handle
+//! abuse to pin down `EventId` stability under slot reuse.
+
+use cumf_des::reference::{HeapEventId, HeapQueue};
+use cumf_des::{EventId, EventQueue, SimTime};
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// How a scenario draws the next event time, given the current head time.
+#[derive(Clone, Copy)]
+enum TimePattern {
+    /// Bursts of equal timestamps on a coarse grid (GPU wavefronts).
+    Clustered,
+    /// Uniform over a wide horizon.
+    Uniform,
+    /// Everything at one single timestamp (pure FIFO stress).
+    SameInstant,
+    /// Exponential-ish spread over ten decades (forces re-windowing).
+    Sparse,
+}
+
+fn draw_time(rng: &mut ChaCha8Rng, pattern: TimePattern, base: f64) -> SimTime {
+    let t = match pattern {
+        TimePattern::Clustered => base + (rng.gen_range(0..64u32) as f64) * 1e-6,
+        TimePattern::Uniform => base + rng.gen_range(0.0..1e-2),
+        TimePattern::SameInstant => 1.0,
+        TimePattern::Sparse => base + 10f64.powf(rng.gen_range(-6.0..4.0)),
+    };
+    SimTime::from_secs(t)
+}
+
+/// Drives both queues through one randomized script and asserts they are
+/// indistinguishable step by step.
+fn run_differential(seed: u64, pattern: TimePattern, cancel_pct: u32, ops: usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut new_q: EventQueue<u64> = EventQueue::new();
+    let mut ref_q: HeapQueue<u64> = HeapQueue::new();
+    // Every handle pair ever issued — including fired/cancelled ones, so
+    // cancels hit stale ids too (both queues must treat those as no-ops).
+    let mut handles: Vec<(EventId, HeapEventId)> = Vec::new();
+    let mut next_tag = 0u64;
+    let mut base = 0.0f64;
+
+    for _ in 0..ops {
+        match rng.gen_range(0..100u32) {
+            // Schedule (with a small bias so queues stay populated).
+            0..=54 => {
+                let time = draw_time(&mut rng, pattern, base);
+                let tag = next_tag;
+                next_tag += 1;
+                let a = new_q.schedule(time, tag);
+                let b = ref_q.schedule(time, tag);
+                handles.push((a, b));
+            }
+            // Pop: results must match bit for bit.
+            55..=84 => {
+                let got = new_q.pop();
+                let want = ref_q.pop();
+                assert_eq!(got, want, "pop diverged (seed {seed})");
+                if let Some((t, _)) = got {
+                    base = t.as_secs();
+                }
+            }
+            // Cancel a random handle, live or stale.
+            _ if cancel_pct > 0 && !handles.is_empty() => {
+                let k = rng.gen_range(0..handles.len());
+                let (a, b) = handles[k];
+                new_q.cancel(a);
+                ref_q.cancel(b);
+            }
+            // Peek: head times must match.
+            _ => {
+                assert_eq!(
+                    new_q.peek_time(),
+                    ref_q.peek_time(),
+                    "peek diverged (seed {seed})"
+                );
+            }
+        }
+    }
+
+    // Drain to exhaustion: the tails must match too.
+    loop {
+        let got = new_q.pop();
+        let want = ref_q.pop();
+        assert_eq!(got, want, "drain diverged (seed {seed})");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(new_q.is_empty() && ref_q.is_empty());
+}
+
+#[test]
+fn clustered_schedules_match_the_heap_oracle() {
+    for seed in 0..8 {
+        run_differential(1000 + seed, TimePattern::Clustered, 10, 4_000);
+    }
+}
+
+#[test]
+fn uniform_schedules_match_the_heap_oracle() {
+    for seed in 0..8 {
+        run_differential(2000 + seed, TimePattern::Uniform, 10, 4_000);
+    }
+}
+
+#[test]
+fn same_instant_bursts_match_the_heap_oracle() {
+    // Pure FIFO: every event at the same timestamp, order decided solely
+    // by the monotonic sequence number.
+    for seed in 0..8 {
+        run_differential(3000 + seed, TimePattern::SameInstant, 10, 4_000);
+    }
+}
+
+#[test]
+fn sparse_far_future_schedules_match_the_heap_oracle() {
+    // Ten decades of time spread: exercises window re-anchoring and
+    // bucket-width adaptation against the oracle.
+    for seed in 0..8 {
+        run_differential(4000 + seed, TimePattern::Sparse, 10, 4_000);
+    }
+}
+
+#[test]
+fn cancel_heavy_schedules_match_the_heap_oracle() {
+    // Link-retiming shape: a third of all operations are cancellations,
+    // many of them aimed at already-fired (stale) handles.
+    for seed in 0..8 {
+        run_differential(5000 + seed, TimePattern::Clustered, 34, 4_000);
+    }
+}
+
+/// `EventId` stability: a handle must keep denoting the event it was
+/// issued for — never a later tenant of a recycled slot. The heap oracle
+/// gets this for free (ids are sequence numbers); the arena must match.
+#[test]
+fn event_ids_stay_stable_under_slot_reuse() {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut new_q: EventQueue<u64> = EventQueue::new();
+    let mut ref_q: HeapQueue<u64> = HeapQueue::new();
+    let mut retired: Vec<(EventId, HeapEventId)> = Vec::new();
+
+    for round in 0..2_000u64 {
+        // One event in, one event out: maximal slot recycling pressure.
+        let time = SimTime::from_secs(round as f64 * 1e-6);
+        let pair = (new_q.schedule(time, round), ref_q.schedule(time, round));
+        // Hammer stale handles before every pop; none may disturb the
+        // new tenant of the recycled slot.
+        for _ in 0..3 {
+            if retired.is_empty() {
+                break;
+            }
+            let k = rng.gen_range(0..retired.len());
+            new_q.cancel(retired[k].0);
+            ref_q.cancel(retired[k].1);
+        }
+        assert_eq!(new_q.pop(), ref_q.pop(), "round {round}");
+        retired.push(pair);
+    }
+    assert!(new_q.is_empty() && ref_q.is_empty());
+}
