@@ -12,8 +12,19 @@
 //!   ([`kir::coalesce`]), and an FP16 range/error pass proving binary16
 //!   overflow-freedom or producing a concrete witness
 //!   ([`kir::precision`]).
-//! * [`lint`] — a source-level determinism lint forbidding wall clocks
-//!   and hash-ordered collections in the deterministic crates.
+//! * [`lint`] — a source-level determinism lint forbidding wall clocks,
+//!   real sleeps/durations, and hash-ordered collections in the
+//!   deterministic crates (and `cumf-bench`, minus its reviewed
+//!   wall-clock reads), with stale-allowlist detection.
+//! * [`deadlock`] — a static deadlock & liveness certifier: every
+//!   shipped blocking protocol (stripe locking in `cumf-core`, the
+//!   supervisor watchdog, the DES resource configurations) is modelled
+//!   in a small acquisition-order IR; a lock-order graph pass proves
+//!   acyclicity (topological certificate, cross-validated by the
+//!   interleaving checker) or emits a replayable cycle witness, and a
+//!   liveness pass bounds every waiter's grant under the FIFO waiter
+//!   contract and checks watchdog timeouts strictly dominate the
+//!   longest certified wait chain.
 //!
 //! * [`prover`] — drives the schedule **conflict prover**
 //!   (`cumf_core::sched::conflict`) over randomized datasets: the
@@ -39,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deadlock;
 pub mod kir;
 pub mod lint;
 pub mod mc;
@@ -47,6 +59,9 @@ pub mod prover;
 #[cfg(feature = "sanitize")]
 pub mod sanitizer;
 
+pub use deadlock::{
+    DeadlockCert, DeadlockWitness, LivenessCert, ProtocolOutcome, StarvationWitness,
+};
 pub use mc::{check, CheckOutcome, Model, Violation, ViolationKind};
 pub use models::{CellModel, LockOrderModel, RowModel, WorkClaimModel};
 pub use prover::ProverCase;
@@ -188,6 +203,14 @@ pub fn model_check_section() -> SectionResult {
     }
 }
 
+/// Runs the static deadlock & liveness certifier as a section: every
+/// shipped blocking protocol must come back `Certified` (acyclic order,
+/// bounded waits, dominating watchdog), and every seeded broken twin
+/// must be refuted with a concrete, replayable witness.
+pub fn deadlock_section() -> SectionResult {
+    deadlock::run_section()
+}
+
 /// Grid the cost cross-check runs over: the acceptance matrix of
 /// feature dimensions × both storage precisions.
 pub const COST_CHECK_KS: [u32; 4] = [16, 31, 64, 128];
@@ -311,7 +334,7 @@ pub fn lint_section() -> SectionResult {
         };
     }
     let mut lines = vec![format!(
-        "scanned {} files across cumf-core, cumf-gpu-sim, cumf-des",
+        "scanned {} files across cumf-core, cumf-gpu-sim, cumf-des, cumf-bench",
         report.files_scanned
     )];
     lines.extend(report.findings.iter().map(|f| f.to_string()));
@@ -357,6 +380,7 @@ pub fn run_all(seed: u64) -> AnalysisReport {
         sections: vec![
             prover_section(seed),
             model_check_section(),
+            deadlock_section(),
             cost_section(),
             coalesce_section(),
             precision_section(),
@@ -374,12 +398,13 @@ mod tests {
     fn full_campaign_passes() {
         let report = run_all(42);
         assert!(report.pass(), "{report}");
-        assert_eq!(report.sections.len(), 7);
+        assert_eq!(report.sections.len(), 8);
         // Rendered report names every section.
         let text = report.to_string();
         for name in [
             "prover",
             "model-check",
+            "deadlock",
             "cost",
             "coalesce",
             "precision",

@@ -1,23 +1,32 @@
 //! Source-level determinism lint for the deterministic crates.
 //!
 //! The whole workspace's value proposition is *reproducible* simulated
-//! training: same seed, same trace, same certificate digests. Two std
+//! training: same seed, same trace, same certificate digests. A few std
 //! facilities silently break that promise when they creep into the
 //! deterministic paths:
 //!
 //! * `std::time::Instant` / `std::time::SystemTime` — wall-clock reads
 //!   make results machine- and run-dependent (sim time comes from the
 //!   DES clock, never the OS);
+//! * `std::thread::sleep` / `std::time::Duration::from_*` — real sleeps
+//!   and wall-clock duration constants in a hot path tie behaviour to
+//!   scheduler timing (simulated delays are `Block::Delay` on the sim
+//!   clock, and backoff schedules are plain `f64` seconds);
 //! * `std::collections::HashMap` / `HashSet` — iteration order is
 //!   randomised per process by `RandomState`, so any result derived
 //!   from iterating one is nondeterministic.
 //!
-//! The lint scans the sources of the deterministic crates
-//! (`cumf-core`, `cumf-gpu-sim`, `cumf-des`) for those tokens,
-//! skipping `#[cfg(test)]` test modules (tests may hash and time
-//! freely) and an explicit allowlist of reviewed uses. It runs in the
-//! `cumf analyze --lint` section and therefore in CI, so a regression
-//! fails the analyze job with file and line.
+//! The lint scans the sources of the deterministic crates (`cumf-core`,
+//! `cumf-gpu-sim`, `cumf-des`) **and** `cumf-bench`, skipping
+//! `#[cfg(test)]` test modules (tests may hash and time freely) and an
+//! explicit allowlist of reviewed uses. The bench crate measures real
+//! wall time by design, so the wall-clock *read* tokens are exempt
+//! there — but sleeps, `Duration` constants, and hash collections are
+//! still flagged. Allowlist entries are themselves linted: an entry
+//! whose file no longer exists is reported as a finding, so a reviewed
+//! exception cannot silently outlive the code it reviewed. The lint
+//! runs in the `cumf analyze --lint` section and therefore in CI, so a
+//! regression fails the analyze job with file and line.
 
 use std::path::{Path, PathBuf};
 
@@ -29,9 +38,22 @@ const FORBIDDEN: &[(&str, &str)] = &[
     ),
     ("time::Instant", "wall-clock time in a deterministic path"),
     ("SystemTime", "wall-clock time in a deterministic path"),
+    (
+        "thread::sleep",
+        "real sleep in a deterministic path (use Block::Delay on the sim clock)",
+    ),
+    (
+        "Duration::from_",
+        "wall-clock duration in a deterministic path (sim delays come from SimTime)",
+    ),
     ("HashMap", "randomised iteration order (use BTreeMap)"),
     ("HashSet", "randomised iteration order (use BTreeSet)"),
 ];
+
+/// Wall-clock *read* tokens exempt in the bench crate, which times real
+/// runs by design. Sleeps, `Duration` constants, and hash collections
+/// stay forbidden even there.
+const WALL_CLOCK_EXEMPT: &[&str] = &["std::time::Instant", "time::Instant", "SystemTime"];
 
 /// Reviewed exceptions: `(file suffix, token)` pairs allowed to stay.
 ///
@@ -40,22 +62,29 @@ const FORBIDDEN: &[(&str, &str)] = &[
 ///   back into training or certificates;
 /// * `sanitize.rs` is the feature-gated Eraser-style race sanitizer, a
 ///   diagnostic tool whose report ordering is explicitly sorted before
-///   display.
+///   display;
+/// * `faults/supervisor.rs` owns the retry backoff schedule. The
+///   schedule itself is plain `f64` seconds (deterministic), but the
+///   integration boundary that turns it into real sleeps is reviewed to
+///   live in this file and nowhere else.
 const ALLOWLIST: &[(&str, &str)] = &[
     ("core/src/engine/mod.rs", "time::Instant"),
     ("core/src/engine/mod.rs", "std::time::Instant"),
     ("core/src/engine/mod.rs", "Instant"),
     ("core/src/sanitize.rs", "HashMap"),
+    ("core/src/faults/supervisor.rs", "Duration::from_"),
 ];
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LintFinding {
-    /// Path of the offending file (as scanned).
+    /// Path of the offending file (as scanned; for a stale-allowlist
+    /// finding, the allowlist suffix that matched nothing).
     pub file: String,
-    /// 1-based line number.
+    /// 1-based line number (0 for stale-allowlist findings, which have
+    /// no source line).
     pub line: usize,
-    /// The forbidden token found.
+    /// The forbidden token found (or the stale allowlist token).
     pub token: &'static str,
     /// Why it is forbidden.
     pub reason: &'static str,
@@ -78,11 +107,16 @@ fn allowlisted(file: &str, token: &str) -> bool {
         .any(|(suffix, tok)| *tok == token && norm.ends_with(suffix))
 }
 
+fn in_bench_crate(file: &str) -> bool {
+    file.replace('\\', "/").contains("bench/src/")
+}
+
 /// Lints one file's content. Lines at or below the first test-module
 /// marker (`#[cfg(test)]` or `mod tests {`) are skipped — tests are
 /// allowed to hash and time. Exposed (rather than only file-driven) so
 /// the lint logic itself is unit-testable on synthetic sources.
 pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
+    let bench = in_bench_crate(file);
     let mut findings = Vec::new();
     for (lineno, line) in content.lines().enumerate() {
         let trimmed = line.trim_start();
@@ -93,6 +127,9 @@ pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
             continue;
         }
         for &(token, reason) in FORBIDDEN {
+            if bench && WALL_CLOCK_EXEMPT.contains(&token) {
+                continue;
+            }
             if line.contains(token) && !allowlisted(file, token) {
                 findings.push(LintFinding {
                     file: file.to_string(),
@@ -107,9 +144,30 @@ pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
     findings
 }
 
-/// The deterministic crates' source roots, relative to the workspace
-/// `crates/` directory.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "gpu-sim", "des"];
+/// Allowlist entries whose file suffix matches none of the scanned
+/// files: the reviewed code is gone, so the exception must go too.
+/// Reported as findings (line 0) so a stale entry fails the lint.
+pub fn stale_allowlist(scanned: &[String]) -> Vec<LintFinding> {
+    ALLOWLIST
+        .iter()
+        .filter(|(suffix, _)| {
+            !scanned
+                .iter()
+                .any(|f| f.replace('\\', "/").ends_with(suffix))
+        })
+        .map(|&(suffix, token)| LintFinding {
+            file: suffix.to_string(),
+            line: 0,
+            token,
+            reason: "stale allowlist entry: no scanned file matches this suffix",
+        })
+        .collect()
+}
+
+/// The crates the lint scans, relative to the workspace `crates/`
+/// directory: the deterministic crates plus `bench` (wall-clock reads
+/// exempt there, everything else still enforced).
+const SCANNED_CRATES: &[&str] = &["core", "gpu-sim", "des", "bench"];
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {
@@ -132,7 +190,7 @@ pub struct LintReport {
     /// Files scanned (0 means the sources were not found — e.g. an
     /// installed binary run outside the repo — and the lint abstains).
     pub files_scanned: usize,
-    /// All findings, in path order.
+    /// All findings, in path order (stale-allowlist findings last).
     pub findings: Vec<LintFinding>,
 }
 
@@ -143,25 +201,29 @@ impl LintReport {
     }
 }
 
-/// Lints the deterministic crates' sources. The workspace root is
-/// located from this crate's manifest dir at compile time, so the lint
-/// works from any cwd inside the repo; when the sources are missing
-/// (e.g. the binary moved elsewhere) the report has `files_scanned ==
-/// 0` and the caller reports a skip rather than a pass.
+/// Lints the scanned crates' sources. The workspace root is located
+/// from this crate's manifest dir at compile time, so the lint works
+/// from any cwd inside the repo; when the sources are missing (e.g. the
+/// binary moved elsewhere) the report has `files_scanned == 0` and the
+/// caller reports a skip rather than a pass.
 pub fn lint_workspace() -> LintReport {
     let crates_root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .map(Path::to_path_buf)
         .unwrap_or_default();
     let mut files = Vec::new();
-    for krate in DETERMINISTIC_CRATES {
+    for krate in SCANNED_CRATES {
         collect_rs_files(&crates_root.join(krate).join("src"), &mut files);
     }
+    let names: Vec<String> = files.iter().map(|p| p.display().to_string()).collect();
     let mut findings = Vec::new();
-    for path in &files {
+    for (path, name) in files.iter().zip(&names) {
         if let Ok(content) = std::fs::read_to_string(path) {
-            findings.extend(lint_content(&path.display().to_string(), &content));
+            findings.extend(lint_content(name, &content));
         }
+    }
+    if !files.is_empty() {
+        findings.extend(stale_allowlist(&names));
     }
     LintReport {
         files_scanned: files.len(),
@@ -181,6 +243,37 @@ mod tests {
         assert_eq!(f[0].line, 1);
         assert!(f[0].token.contains("Instant"));
         assert_eq!(f[1].token, "HashMap");
+    }
+
+    #[test]
+    fn flags_sleeps_and_duration_constants() {
+        let src = "fn f() {\n    std::thread::sleep(std::time::Duration::from_millis(5));\n}\n";
+        let f = lint_content("crates/des/src/engine.rs", src);
+        assert_eq!(f.len(), 1, "one finding per line: {f:#?}");
+        assert_eq!(f[0].token, "thread::sleep");
+        let src = "let d = Duration::from_secs(1);\n";
+        let f = lint_content("crates/core/src/solver.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].token, "Duration::from_");
+    }
+
+    #[test]
+    fn sim_time_constructors_are_not_confused_with_duration() {
+        let src = "let t = SimTime::from_secs(1.0);\n";
+        assert!(lint_content("crates/des/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bench_may_read_the_wall_clock_but_not_sleep() {
+        let clock = "let t0 = std::time::Instant::now();\n";
+        assert!(
+            lint_content("crates/bench/src/suite.rs", clock).is_empty(),
+            "bench times real runs by design"
+        );
+        let sleep = "std::thread::sleep(d);\n";
+        assert_eq!(lint_content("crates/bench/src/suite.rs", sleep).len(), 1);
+        let dur = "let d = Duration::from_micros(10);\n";
+        assert_eq!(lint_content("crates/bench/src/suite.rs", dur).len(), 1);
     }
 
     #[test]
@@ -205,12 +298,49 @@ mod tests {
         );
         let hm = "use std::collections::HashMap;\n";
         assert!(lint_content("crates/core/src/sanitize.rs", hm).is_empty());
+        let backoff = "let d = Duration::from_secs_f64(delay);\n";
+        assert!(lint_content("crates/core/src/faults/supervisor.rs", backoff).is_empty());
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_a_finding() {
+        // A scan that saw every allowlisted file: no stale findings.
+        let full: Vec<String> = ALLOWLIST
+            .iter()
+            .map(|(suffix, _)| format!("crates/{suffix}"))
+            .collect();
+        assert!(stale_allowlist(&full).is_empty());
+        // Drop engine/mod.rs from the scan: its three entries go stale.
+        let partial: Vec<String> = full
+            .iter()
+            .filter(|f| !f.contains("engine/mod.rs"))
+            .cloned()
+            .collect();
+        let stale = stale_allowlist(&partial);
+        assert_eq!(stale.len(), 3, "{stale:#?}");
+        assert!(stale.iter().all(|f| f.line == 0));
+        assert!(stale.iter().all(|f| f.reason.contains("stale")));
+    }
+
+    #[test]
+    fn no_allowlist_entry_is_stale_against_the_real_tree() {
+        // The real scan must see every allowlisted file — i.e. the
+        // allowlist refers only to code that still exists.
+        let report = lint_workspace();
+        assert!(report.files_scanned > 0, "sources must be on disk in CI");
+        let stale: Vec<&LintFinding> = report
+            .findings
+            .iter()
+            .filter(|f| f.reason.contains("stale"))
+            .collect();
+        assert!(stale.is_empty(), "{stale:#?}");
     }
 
     #[test]
     fn workspace_sources_are_clean() {
         // The real lint over the real sources: the deterministic crates
-        // must stay free of wall clocks and hash collections.
+        // (and bench, minus its wall-clock exemption) must stay free of
+        // wall clocks, sleeps, and hash collections.
         let report = lint_workspace();
         assert!(
             report.files_scanned > 20,

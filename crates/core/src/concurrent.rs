@@ -529,18 +529,26 @@ impl StripedFactors {
         row as usize % self.shards
     }
 
-    /// Runs `f` with a mutable view of row `row` while holding its stripe
-    /// lock.
-    ///
-    /// Acquisitions are tallied only once the guard is actually held;
-    /// a stripe found busy counts as contended, while a stripe poisoned by
-    /// a panicked writer is counted separately (`stripe_poisoned_total`)
-    /// and propagates a panic — the factors under it are torn.
+    /// The stripe pair a two-row update must acquire, in canonical
+    /// ascending stripe order regardless of the argument order. This is
+    /// the single place the two-row acquisition order is decided, so the
+    /// static deadlock pass and the runtime path cannot drift apart.
     #[inline]
-    fn with_row_locked<R>(&self, row: u32, f: impl FnOnce(&mut [f32]) -> R) -> R {
-        let stripe = self.stripe(row);
+    pub fn ordered_stripes(&self, a: u32, b: u32) -> (usize, usize) {
+        let (sa, sb) = (self.stripe(a), self.stripe(b));
+        (sa.min(sb), sa.max(sb))
+    }
+
+    /// Acquires one stripe lock, tallying contention and surfacing
+    /// poison. Acquisitions are counted only once the guard is actually
+    /// held; a stripe found busy counts as contended, while a stripe
+    /// poisoned by a panicked writer is counted separately
+    /// (`stripe_poisoned_total`) and propagates a panic — the factors
+    /// under it may be torn.
+    #[inline]
+    fn lock_stripe(&self, stripe: usize) -> std::sync::MutexGuard<'_, ()> {
         let lock = &self.locks[stripe];
-        let _guard = match lock.try_lock() {
+        let guard = match lock.try_lock() {
             Ok(guard) => guard,
             Err(std::sync::TryLockError::WouldBlock) => {
                 self.obs_contended.inc();
@@ -564,6 +572,15 @@ impl StripedFactors {
             }
         };
         self.obs_acquired.inc();
+        guard
+    }
+
+    /// Runs `f` with a mutable view of row `row` while holding its stripe
+    /// lock.
+    #[inline]
+    fn with_row_locked<R>(&self, row: u32, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        let stripe = self.stripe(row);
+        let _guard = self.lock_stripe(stripe);
         #[cfg(feature = "sanitize")]
         let _held = crate::sanitize::hold((self.san_id << 16) | stripe as u64);
         #[cfg(feature = "sanitize")]
@@ -579,7 +596,121 @@ impl StripedFactors {
         let slice = unsafe { std::slice::from_raw_parts_mut(self.data[base].get(), k) };
         f(slice)
     }
+
+    /// Runs `f` with mutable views of two *distinct* rows of this matrix
+    /// (passed in argument order) while holding both rows' stripe locks.
+    ///
+    /// The locks are acquired in canonical ascending **stripe** order
+    /// ([`Self::ordered_stripes`]), whatever order the rows are given
+    /// in, so two concurrent two-row updates can never wait on each
+    /// other in a cycle. When both rows share a stripe the lock is taken
+    /// once. This is the update shape the online-SGD / fold-in paths
+    /// need (two rows of the same factor matrix touched atomically);
+    /// the acquisition order is certified by the `cumf-analyze` deadlock
+    /// pass (`two-row-update` protocol) and its descending broken twin
+    /// is refuted there.
+    pub fn with_two_rows_locked<R>(
+        &self,
+        a: u32,
+        b: u32,
+        f: impl FnOnce(&mut [f32], &mut [f32]) -> R,
+    ) -> R {
+        assert_ne!(a, b, "two-row update needs distinct rows (got {a} twice)");
+        assert!(
+            a < self.rows && b < self.rows,
+            "rows ({a}, {b}) out of bounds for {} rows",
+            self.rows
+        );
+        let (lo, hi) = self.ordered_stripes(a, b);
+        let _guard_lo = self.lock_stripe(lo);
+        let _guard_hi = if hi != lo {
+            Some(self.lock_stripe(hi))
+        } else {
+            None
+        };
+        #[cfg(feature = "sanitize")]
+        let _held_lo = crate::sanitize::hold((self.san_id << 16) | lo as u64);
+        #[cfg(feature = "sanitize")]
+        let _held_hi = (hi != lo).then(|| crate::sanitize::hold((self.san_id << 16) | hi as u64));
+        #[cfg(feature = "sanitize")]
+        for row in [a, b] {
+            crate::sanitize::on_access(
+                "striped",
+                (self.san_id, row),
+                crate::sanitize::AccessKind::Write,
+            );
+        }
+        let k = self.k as usize;
+        // SAFETY: the stripe locks covering both rows are held for the
+        // whole call (one lock when the stripes coincide), the rows are
+        // distinct so the two k-cell ranges are disjoint, and neither
+        // slice escapes `f`.
+        let row_a = unsafe { std::slice::from_raw_parts_mut(self.data[a as usize * k].get(), k) };
+        let row_b = unsafe { std::slice::from_raw_parts_mut(self.data[b as usize * k].get(), k) };
+        f(row_a, row_b)
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Static lock-acquisition site annotations
+// ---------------------------------------------------------------------------
+
+/// One statically-declared lock-acquisition site: while holding `held`
+/// (`None` at a protocol entry), the anchored code acquires `acquires`.
+///
+/// These annotations are the instrument-free extraction layer of the
+/// `cumf-analyze` deadlock pass: they live next to the code they
+/// describe, and the analyzer builds the global lock-order graph from
+/// them, proves it acyclic (or refutes it with a cycle witness), and
+/// derives the FIFO wait-chain bounds of the liveness certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockSiteAnno {
+    /// Protocol the site belongs to (one lock-order graph per protocol).
+    pub protocol: &'static str,
+    /// Lock class held when the acquisition happens (`None` = entry).
+    pub held: Option<&'static str>,
+    /// Lock class being acquired.
+    pub acquires: &'static str,
+    /// Source anchor of the acquisition (`file::item`).
+    pub anchor: &'static str,
+    /// Why the order is what it is.
+    pub note: &'static str,
+}
+
+/// Every blocking acquisition this module ships, as consumed by the
+/// deadlock analyzer. Keep in sync with the executors above: the
+/// broken-twin refutations in `cumf-analyze` are what make a drift here
+/// visible.
+pub const LOCK_SITES: &[LockSiteAnno] = &[
+    LockSiteAnno {
+        protocol: "striped-epoch",
+        held: None,
+        acquires: "P.stripe",
+        anchor: "crates/core/src/concurrent.rs::striped_locked_epoch",
+        note: "per-update entry: the P-side stripe is always taken first",
+    },
+    LockSiteAnno {
+        protocol: "striped-epoch",
+        held: Some("P.stripe"),
+        acquires: "Q.stripe",
+        anchor: "crates/core/src/concurrent.rs::striped_locked_epoch",
+        note: "canonical P-then-Q order; the matrices are distinct lock arrays",
+    },
+    LockSiteAnno {
+        protocol: "two-row-update",
+        held: None,
+        acquires: "stripe.lo",
+        anchor: "crates/core/src/concurrent.rs::StripedFactors::with_two_rows_locked",
+        note: "entry: the lower-indexed stripe of the pair is taken first",
+    },
+    LockSiteAnno {
+        protocol: "two-row-update",
+        held: Some("stripe.lo"),
+        acquires: "stripe.hi",
+        anchor: "crates/core/src/concurrent.rs::StripedFactors::with_two_rows_locked",
+        note: "ascending stripe order via ordered_stripes; equal stripes lock once",
+    },
+];
 
 /// One epoch of lock-striped parallel SGD on real OS threads: each thread
 /// claims `batch`-sample chunks off a shared counter and performs each
@@ -719,6 +850,102 @@ mod striped_tests {
             1,
             "only the writer's successful acquisition may be counted"
         );
+    }
+
+    #[test]
+    fn two_row_update_acquires_ascending_stripes() {
+        // The canonical order is a pure function of the (unordered) row
+        // pair: sorted by stripe index and symmetric in the arguments —
+        // the property the deadlock pass certifies statically.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let m: FactorMatrix<f32> = FactorMatrix::random_init(64, 2, &mut rng);
+        let s = StripedFactors::from_matrix(&m, 7);
+        use cumf_rng::Rng;
+        for _ in 0..200 {
+            let a = rng.gen_range(0u32..64);
+            let b = rng.gen_range(0u32..64);
+            let (lo, hi) = s.ordered_stripes(a, b);
+            assert!(lo <= hi, "stripes out of order for rows ({a}, {b})");
+            assert_eq!(
+                (lo, hi),
+                s.ordered_stripes(b, a),
+                "order must not depend on argument order"
+            );
+        }
+        // Argument order is preserved for the data even when the stripe
+        // order swaps: rows 8 and 3 map to stripes 1 and 3, so the lock
+        // order is (1, 3) but the slices arrive as (row 8, row 3).
+        s.with_two_rows_locked(8, 3, |ra, rb| {
+            ra.copy_from_slice(&[8.0, 8.0]);
+            rb.copy_from_slice(&[3.0, 3.0]);
+        });
+        // Same-stripe pair (rows 2 and 9 are both stripe 2): locked once.
+        s.with_two_rows_locked(2, 9, |ra, rb| {
+            ra[0] = 2.0;
+            rb[0] = 9.0;
+        });
+        let back: FactorMatrix<f32> = s.into_matrix();
+        assert_eq!(back.row(8), &[8.0, 8.0]);
+        assert_eq!(back.row(3), &[3.0, 3.0]);
+        assert_eq!(back.row(2)[0], 2.0);
+        assert_eq!(back.row(9)[0], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct rows")]
+    fn two_row_update_rejects_duplicate_row() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let m: FactorMatrix<f32> = FactorMatrix::random_init(4, 2, &mut rng);
+        let s = StripedFactors::from_matrix(&m, 2);
+        s.with_two_rows_locked(1, 1, |_, _| {});
+    }
+
+    #[test]
+    fn two_row_heavy_contention_is_deadlock_free() {
+        // Half the threads update (0, 1), half (1, 0): under a naive
+        // argument-order acquisition this is the ABBA pattern; the
+        // canonical ascending-stripe order must let it finish.
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let m: FactorMatrix<f32> = FactorMatrix::random_init(2, 2, &mut rng);
+        let s = StripedFactors::from_matrix(&m, 2);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let s = &s;
+                scope.spawn(move || {
+                    let (a, b) = if t % 2 == 0 { (0, 1) } else { (1, 0) };
+                    for _ in 0..2_000 {
+                        s.with_two_rows_locked(a, b, |ra, rb| {
+                            ra[0] += 1.0;
+                            rb[1] += 1.0;
+                        });
+                    }
+                });
+            }
+        });
+        let back: FactorMatrix<f32> = s.into_matrix();
+        // 8 threads x 2000 updates each touched cell (a, 0) exactly once
+        // per update: the totals prove no update was lost or torn.
+        let total = (back.row(0)[0] - m.row(0)[0]) + (back.row(1)[0] - m.row(1)[0]);
+        assert!((total - 16_000.0).abs() < 1e-3, "lost updates: {total}");
+    }
+
+    #[test]
+    fn lock_sites_name_real_protocols() {
+        // The annotation table is consumed by the deadlock analyzer;
+        // entries must anchor into this file and every `held` class must
+        // appear as an `acquires` of the same protocol (no dangling
+        // hold-edges).
+        for site in LOCK_SITES {
+            assert!(site.anchor.contains("concurrent.rs"), "{site:?}");
+            if let Some(held) = site.held {
+                assert!(
+                    LOCK_SITES
+                        .iter()
+                        .any(|s| s.protocol == site.protocol && s.acquires == held),
+                    "dangling held class {held} in {site:?}"
+                );
+            }
+        }
     }
 
     #[test]

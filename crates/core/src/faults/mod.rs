@@ -37,7 +37,9 @@ mod supervisor;
 pub use chaos::{run_chaos, ChaosOptions, ChaosReport, ScenarioOutcome, ScenarioResult};
 pub use inject::FaultyPartitionedBackend;
 pub use retry::{detect_stall, RetryPolicy, StallVerdict};
-pub use supervisor::{SupervisedResult, SupervisorConfig, TrainError, TrainSupervisor};
+pub use supervisor::{
+    SupervisedResult, SupervisorConfig, TrainError, TrainSupervisor, WatchdogAnno,
+};
 
 use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
 

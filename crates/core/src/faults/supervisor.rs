@@ -150,6 +150,40 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Static liveness annotation of the supervisor's blocking protocol,
+/// consumed by the `cumf-analyze` deadlock/liveness pass: the watchdog
+/// timeout that must strictly dominate any certified healthy wait
+/// chain (so a contended-but-progressing transfer is never declared
+/// stalled), and the bounded retry/rollback budgets that make recovery
+/// terminate instead of livelocking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogAnno {
+    /// Source anchor of the annotated protocol.
+    pub anchor: &'static str,
+    /// Watchdog timeout raced against transfers, simulated seconds.
+    pub timeout_s: f64,
+    /// Retry attempts before giving up (clamped ≥ 1: bounded).
+    pub max_attempts: u32,
+    /// Total backoff if every attempt fails, simulated seconds.
+    pub total_backoff_s: f64,
+    /// Checkpoint rollbacks recovered before giving up.
+    pub max_rollbacks: u32,
+}
+
+impl SupervisorConfig {
+    /// This configuration's [`WatchdogAnno`], the supervisor-side input
+    /// to the deadlock analyzer's liveness certificate.
+    pub fn liveness_anno(&self) -> WatchdogAnno {
+        WatchdogAnno {
+            anchor: "crates/core/src/faults/supervisor.rs::TrainSupervisor",
+            timeout_s: self.stall_timeout_s,
+            max_attempts: self.retry.max_attempts.max(1),
+            total_backoff_s: self.retry.total_backoff_s(),
+            max_rollbacks: self.max_rollbacks,
+        }
+    }
+}
+
 /// Output of a supervised partitioned run that completed (possibly after
 /// recoveries).
 #[derive(Debug, Clone)]

@@ -3,7 +3,9 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::process::{Block, Ctx, Immediate, Pid, ProcArena, Process};
-use crate::resource::{KeyedLocks, LinkId, LockId, Server, ServerId, SharedBandwidth};
+use crate::resource::{
+    KeyedLocks, LinkId, LockId, ResourceKind, ResourceNode, Server, ServerId, SharedBandwidth,
+};
 use crate::stats::{LinkStats, LockStats, ServerStats};
 use crate::time::SimTime;
 
@@ -204,6 +206,41 @@ impl Simulation {
     /// Number of keys of a lock array.
     pub fn lock_keys(&self, lock: LockId) -> usize {
         self.locks[lock.0].keys()
+    }
+
+    /// Exports the static resource graph of this simulation: one
+    /// [`ResourceNode`] per registered server, link, and keyed-lock
+    /// array, in registration order within each family.
+    ///
+    /// The `cumf-analyze` deadlock pass consumes this to cross-check its
+    /// static wait-for models against the resources the shipped
+    /// simulations actually register — a model naming a resource the
+    /// engine does not register (or disagreeing on its capacity) fails
+    /// the analysis instead of certifying a fiction.
+    pub fn resource_topology(&self) -> Vec<ResourceNode> {
+        let mut nodes = Vec::new();
+        for s in &self.servers {
+            nodes.push(ResourceNode {
+                kind: ResourceKind::Server,
+                name: s.name.clone(),
+                slots: s.capacity(),
+            });
+        }
+        for l in &self.links {
+            nodes.push(ResourceNode {
+                kind: ResourceKind::Link,
+                name: l.name.clone(),
+                slots: 0,
+            });
+        }
+        for k in &self.locks {
+            nodes.push(ResourceNode {
+                kind: ResourceKind::Lock,
+                name: k.name.clone(),
+                slots: k.keys(),
+            });
+        }
+        nodes
     }
 
     /// Spawns a process; it first resumes at time zero (or at the current
@@ -859,5 +896,24 @@ mod tests {
         }
         sim.run(None);
         assert_eq!(*order.borrow(), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn resource_topology_exports_every_registered_resource() {
+        let mut sim = Simulation::new();
+        sim.add_server("scheduler", 1);
+        sim.add_link("pcie", 1e9);
+        sim.add_lock("columns", 64);
+        sim.add_server("copy", 2);
+        let topo = sim.resource_topology();
+        assert_eq!(topo.len(), 4);
+        let find = |name: &str| topo.iter().find(|n| n.name == name).unwrap();
+        assert_eq!(find("scheduler").kind, ResourceKind::Server);
+        assert_eq!(find("scheduler").slots, 1);
+        assert_eq!(find("copy").slots, 2);
+        assert_eq!(find("pcie").kind, ResourceKind::Link);
+        assert_eq!(find("pcie").slots, 0, "PS links never block a requester");
+        assert_eq!(find("columns").kind, ResourceKind::Lock);
+        assert_eq!(find("columns").slots, 64);
     }
 }

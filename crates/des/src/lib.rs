@@ -54,13 +54,14 @@ mod event;
 mod process;
 pub mod reference;
 mod resource;
-mod smallq;
+pub mod smallq;
 pub mod stats;
 mod time;
 
 pub use engine::{RunReport, Simulation};
 pub use event::{EventId, EventQueue};
 pub use process::{Block, Ctx, Pid, Process};
-pub use resource::{LinkId, LockId, ServerId};
+pub use resource::{LinkId, LockId, ResourceKind, ResourceNode, ServerId};
+pub use smallq::SmallDeque;
 pub use stats::{LinkStats, LockStats, LogHistogram, ServerStats, Tally, TimeWeighted};
 pub use time::SimTime;

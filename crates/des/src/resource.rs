@@ -19,6 +19,41 @@ use crate::smallq::SmallDeque;
 use crate::stats::{Tally, TimeWeighted};
 use crate::time::SimTime;
 
+/// Which resource family a [`ResourceNode`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResourceKind {
+    /// FCFS server ([`ServerId`]): `slots` parallel service slots.
+    Server,
+    /// Processor-sharing link ([`LinkId`]): transfers never queue, they
+    /// share bandwidth, so `slots` is 0 (no grant limit).
+    Link,
+    /// Keyed-lock array ([`LockId`]): `slots` independent exclusive keys.
+    Lock,
+}
+
+/// Static description of one registered resource, exported by
+/// [`crate::Simulation::resource_topology`].
+///
+/// This is the engine-side half of the `cumf-analyze` deadlock pass:
+/// the analyzer pairs these nodes with static acquisition-order models
+/// of the processes that use them and proves the resulting wait-for
+/// graph acyclic (or refutes it with a concrete cycle witness). Keeping
+/// the node list an engine export — rather than a copy inside the
+/// analyzer — means a configuration drift between the shipped
+/// simulations and their certified models is a visible cross-check
+/// failure, not a silently stale certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourceNode {
+    /// Resource family.
+    pub kind: ResourceKind,
+    /// Registered name (unique per family by convention).
+    pub name: String,
+    /// Concurrent grants the resource admits: server capacity or lock
+    /// keys; `0` for processor-sharing links, which never block a
+    /// requester.
+    pub slots: usize,
+}
+
 /// Handle to an FCFS server resource.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ServerId(pub(crate) usize);

@@ -10,13 +10,18 @@
 //! reuse), so steady-state push/pop never touches the allocator.
 //!
 //! Invariant: the spill is non-empty only while the ring is full, so FIFO
-//! order is ring-front → ring-back → spill-front → spill-back.
+//! order is ring-front → ring-back → spill-front → spill-back. This FIFO
+//! contract is what the `cumf-analyze` liveness pass leans on: a waiter's
+//! queue position strictly decreases on every grant, so every waiter is
+//! eventually dequeued (and [`SmallDeque::cancel`] — used to withdraw a
+//! waiter, e.g. when a watchdog abandons a wait — preserves the relative
+//! order of everyone else).
 
 use std::collections::VecDeque;
 
 /// A FIFO deque storing up to `N` elements inline.
 #[derive(Debug)]
-pub(crate) struct SmallDeque<T, const N: usize> {
+pub struct SmallDeque<T, const N: usize> {
     /// Ring index of the front element.
     head: usize,
     /// Number of elements in the inline ring.
@@ -32,7 +37,8 @@ impl<T, const N: usize> Default for SmallDeque<T, N> {
 }
 
 impl<T, const N: usize> SmallDeque<T, N> {
-    pub(crate) fn new() -> Self {
+    /// An empty deque (no heap allocation until the `N+1`-th element).
+    pub fn new() -> Self {
         SmallDeque {
             head: 0,
             inline_len: 0,
@@ -41,16 +47,18 @@ impl<T, const N: usize> SmallDeque<T, N> {
         }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
         self.inline_len + self.spill.len()
     }
 
-    #[cfg(test)]
-    pub(crate) fn is_empty(&self) -> bool {
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    pub(crate) fn push_back(&mut self, value: T) {
+    /// Appends `value` at the back (FIFO tail).
+    pub fn push_back(&mut self, value: T) {
         if self.inline_len < N && self.spill.is_empty() {
             let idx = (self.head + self.inline_len) % N;
             debug_assert!(self.ring[idx].is_none());
@@ -61,7 +69,8 @@ impl<T, const N: usize> SmallDeque<T, N> {
         }
     }
 
-    pub(crate) fn pop_front(&mut self) -> Option<T> {
+    /// Removes and returns the front (oldest) element.
+    pub fn pop_front(&mut self) -> Option<T> {
         if self.inline_len == 0 {
             debug_assert!(self.spill.is_empty());
             return None;
@@ -80,12 +89,51 @@ impl<T, const N: usize> SmallDeque<T, N> {
         value
     }
 
-    #[cfg(test)]
-    pub(crate) fn front(&self) -> Option<&T> {
+    /// A reference to the front (oldest) element.
+    pub fn front(&self) -> Option<&T> {
         if self.inline_len == 0 {
             return None;
         }
         self.ring[self.head].as_ref()
+    }
+
+    /// Removes the first element equal to `target`, preserving the FIFO
+    /// order of everything else. Returns `true` if an element was
+    /// removed. This is the waiter-withdrawal operation: a process that
+    /// gives up on a resource (watchdog timeout, cancelled request)
+    /// leaves the queue without perturbing anyone else's position.
+    pub fn cancel(&mut self, target: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        for i in 0..self.inline_len {
+            let idx = (self.head + i) % N;
+            if self.ring[idx].as_ref() == Some(target) {
+                // Shift the ring tail forward one slot over the hole.
+                for j in i..self.inline_len - 1 {
+                    let from = (self.head + j + 1) % N;
+                    let to = (self.head + j) % N;
+                    self.ring[to] = self.ring[from].take();
+                }
+                // When i == inline_len - 1 the loop above is empty and
+                // the matched slot itself must be vacated.
+                let last = (self.head + self.inline_len - 1) % N;
+                self.ring[last] = None;
+                self.inline_len -= 1;
+                // Re-establish the invariant (spill non-empty ⇒ ring full).
+                if let Some(migrant) = self.spill.pop_front() {
+                    let idx = (self.head + self.inline_len) % N;
+                    self.ring[idx] = Some(migrant);
+                    self.inline_len += 1;
+                }
+                return true;
+            }
+        }
+        if let Some(pos) = self.spill.iter().position(|v| v == target) {
+            self.spill.remove(pos);
+            return true;
+        }
+        false
     }
 }
 
@@ -159,5 +207,32 @@ mod tests {
         q.push_back(42);
         assert_eq!(q.spill.len(), 0);
         assert_eq!(q.pop_front(), Some(42));
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_of_the_rest() {
+        let mut q: SmallDeque<u32, 3> = SmallDeque::new();
+        for i in 0..8 {
+            q.push_back(i); // 0..2 inline, 3..7 spilled
+        }
+        assert!(q.cancel(&1)); // from the ring
+        assert!(q.cancel(&5)); // from the spill
+        assert!(!q.cancel(&99));
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop_front()).collect();
+        assert_eq!(drained, vec![0, 2, 3, 4, 6, 7]);
+    }
+
+    #[test]
+    fn cancel_last_ring_element_restores_invariant() {
+        let mut q: SmallDeque<u32, 2> = SmallDeque::new();
+        for i in 0..4 {
+            q.push_back(i); // ring [0, 1], spill [2, 3]
+        }
+        // Cancel the ring's back element: the hole must be filled from
+        // the spill so the spill-nonempty ⇒ ring-full invariant holds.
+        assert!(q.cancel(&1));
+        assert_eq!(q.len(), 3);
+        let drained: Vec<u32> = std::iter::from_fn(|| q.pop_front()).collect();
+        assert_eq!(drained, vec![0, 2, 3]);
     }
 }

@@ -1,0 +1,124 @@
+//! Randomized property tests for `cumf_des::SmallDeque` against a
+//! `VecDeque` oracle.
+//!
+//! The deadlock/liveness certifier in `cumf-analyze` leans on the FIFO
+//! contract of the resource waiter lists: a waiter's position strictly
+//! decreases on every grant, and withdrawing a waiter (`cancel`) never
+//! perturbs anyone else's relative order. These tests drive randomized
+//! push/pop/cancel scripts across the inline→spill boundary for several
+//! inline capacities and seeds, checking the queue agrees with the
+//! oracle element-for-element at every step (same convention as
+//! `tests/oracle.rs`: deterministic ChaCha8 scripts, no flakiness).
+
+use std::collections::VecDeque;
+
+use cumf_des::SmallDeque;
+use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+/// Drives one randomized script against both queues, checking len,
+/// front, and pop results at every step, then drains and compares the
+/// full remaining order.
+fn run_script<const N: usize>(seed: u64, steps: usize) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut q: SmallDeque<u32, N> = SmallDeque::new();
+    let mut oracle: VecDeque<u32> = VecDeque::new();
+    let mut next = 0u32;
+
+    for step in 0..steps {
+        match rng.gen_range(0u32..10) {
+            // Weighted towards pushes so the spill boundary is crossed
+            // and re-crossed many times per script.
+            0..=4 => {
+                q.push_back(next);
+                oracle.push_back(next);
+                next += 1;
+            }
+            5..=7 => {
+                assert_eq!(
+                    q.pop_front(),
+                    oracle.pop_front(),
+                    "N={N} seed={seed} step={step}: pop disagrees"
+                );
+            }
+            8 => {
+                // Cancel an element currently queued (when non-empty):
+                // any position — ring head, ring tail, spill.
+                if !oracle.is_empty() {
+                    let idx = rng.gen_range(0usize..oracle.len());
+                    let target = oracle[idx];
+                    assert!(
+                        q.cancel(&target),
+                        "N={N} seed={seed} step={step}: present element not cancelled"
+                    );
+                    oracle.remove(idx);
+                }
+            }
+            _ => {
+                // Cancel an element that is definitely absent: both
+                // queues must be untouched.
+                assert!(
+                    !q.cancel(&u32::MAX),
+                    "N={N} seed={seed} step={step}: cancelled a ghost"
+                );
+            }
+        }
+        assert_eq!(
+            q.len(),
+            oracle.len(),
+            "N={N} seed={seed} step={step}: len disagrees"
+        );
+        assert_eq!(
+            q.front(),
+            oracle.front(),
+            "N={N} seed={seed} step={step}: front disagrees"
+        );
+    }
+
+    let drained: Vec<u32> = std::iter::from_fn(|| q.pop_front()).collect();
+    let expected: Vec<u32> = std::iter::from_fn(|| oracle.pop_front()).collect();
+    assert_eq!(
+        drained, expected,
+        "N={N} seed={seed}: drain order disagrees"
+    );
+    assert!(q.is_empty());
+}
+
+#[test]
+fn fifo_preserved_across_spill_boundary_randomized() {
+    for seed in 0..12 {
+        run_script::<2>(seed, 400);
+        run_script::<3>(seed, 400);
+        run_script::<4>(seed, 400);
+    }
+}
+
+#[test]
+fn long_scripts_return_to_inline_operation() {
+    // Longer scripts with a small ring: the queue repeatedly spills and
+    // fully drains, exercising the spill→inline migration path.
+    for seed in 100..106 {
+        run_script::<2>(seed, 3_000);
+    }
+}
+
+#[test]
+fn cancel_only_scripts_empty_both_queues_identically() {
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut q: SmallDeque<u32, 3> = SmallDeque::new();
+    let mut oracle: VecDeque<u32> = VecDeque::new();
+    for i in 0..40 {
+        q.push_back(i);
+        oracle.push_back(i);
+    }
+    // Cancel every element one by one in random order; the survivors'
+    // relative order must match the oracle's after every removal.
+    while !oracle.is_empty() {
+        let idx = rng.gen_range(0usize..oracle.len());
+        let target = oracle[idx];
+        assert!(q.cancel(&target));
+        oracle.remove(idx);
+        assert_eq!(q.len(), oracle.len());
+        assert_eq!(q.front(), oracle.front());
+    }
+    assert!(q.is_empty());
+}

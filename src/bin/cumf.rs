@@ -94,8 +94,8 @@ USAGE:
                 [--metrics profile_metrics.prom]
   cumf bench    [--quick] [--trials N] [--suite des|train]...
                 [--no-save] [--check BENCH_a.json [BENCH_b.json ...]]
-  cumf analyze  [--all] [--prover] [--model-check] [--cost] [--coalesce]
-                [--precision] [--lint] [--sanitize] [--seed 42]
+  cumf analyze  [--all] [--prover] [--model-check] [--deadlock] [--cost]
+                [--coalesce] [--precision] [--lint] [--sanitize] [--seed 42]
   cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
 
 Data files may be .bin (compact binary) or text (`u v r` per line).
@@ -112,7 +112,12 @@ run).
 `analyze` runs the offline analyzers (exit code 1 on any failure): the
 schedule conflict prover (wavefront / LIBMF certified conflict-free,
 batch-Hogwild! refuted with a witness), the interleaving model checker
-(stripe-lock order, torn rows/cells, work claiming), the kernel-IR
+(stripe-lock order, torn rows/cells, work claiming), --deadlock, the
+static deadlock & liveness certifier (lock-order graphs of every
+shipped blocking protocol proven acyclic with replayable cycle
+witnesses for the broken twins, waiter grants bounded under the FIFO
+contract, watchdog timeouts checked against the certified wait
+chains), the kernel-IR
 static passes — --cost certifies Eq. 5's bytes/flops-per-update against
 both the analytical model and the DES executor's charged bytes (and
 refutes a deliberately broken twin), --coalesce derives per-warp cache-
@@ -162,6 +167,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 | "all"
                 | "prover"
                 | "model-check"
+                | "deadlock"
                 | "cost"
                 | "coalesce"
                 | "precision"
@@ -640,6 +646,7 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     let explicit = [
         "prover",
         "model-check",
+        "deadlock",
         "cost",
         "coalesce",
         "precision",
@@ -655,6 +662,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     }
     if all || flags.contains_key("model-check") {
         sections.push(analyze::model_check_section());
+    }
+    if all || flags.contains_key("deadlock") {
+        sections.push(analyze::deadlock_section());
     }
     if all || flags.contains_key("cost") {
         sections.push(analyze::cost_section());

@@ -290,14 +290,16 @@ fn solver_cost_cert_matches_kir_closed_form() {
     }
 }
 
-/// The full analyze campaign — all seven sections, including the new
-/// cost/coalesce/precision/lint static passes — passes end-to-end.
+/// The full analyze campaign — all eight sections, including the
+/// cost/coalesce/precision/lint static passes and the deadlock &
+/// liveness certifier — passes end-to-end.
 #[test]
 fn full_campaign_with_static_passes() {
     let report = cumf_sgd::analyze::run_all(7);
     assert!(report.pass(), "{report}");
     let text = report.to_string();
     for needle in [
+        "deadlock",
         "cost",
         "coalesce",
         "precision",
@@ -307,4 +309,102 @@ fn full_campaign_with_static_passes() {
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }
+}
+
+/// The deadlock section certifies every shipped protocol and refutes
+/// every seeded twin; in particular the two-row update path (ascending
+/// stripe acquisition by `ordered_stripes`) certifies while its
+/// descending twin is refuted with a replayable lock-order cycle.
+#[test]
+fn deadlock_certifier_proves_shipped_order_and_refutes_twins() {
+    use cumf_sgd::analyze::deadlock::{analyze_protocol, protocols, ProtocolOutcome};
+
+    let shipped = protocols::shipped_protocols();
+    assert!(shipped.len() >= 6, "expected ≥6 shipped protocols");
+    for p in &shipped {
+        match analyze_protocol(p) {
+            ProtocolOutcome::Certified { order, live } => {
+                assert_ne!(order.digest, 0, "{}", p.name);
+                assert!(live.chain_s > 0.0, "{}", p.name);
+                if p.watchdog.is_some() {
+                    let margin = live.watchdog_margin_s.expect("watchdog must be bounded");
+                    assert!(margin > 0.0, "{}: watchdog margin {margin}", p.name);
+                }
+            }
+            other => panic!("{} must certify, got {other:?}", p.name),
+        }
+    }
+
+    let twins = protocols::broken_twins();
+    assert!(twins.len() >= 3, "refutation campaign needs ≥3 twins");
+    let mut cycles = 0;
+    let mut starvations = 0;
+    for p in &twins {
+        match analyze_protocol(p) {
+            ProtocolOutcome::Certified { .. } => panic!("twin {} certified", p.name),
+            ProtocolOutcome::Deadlocked(w) => {
+                cycles += 1;
+                assert!(w.replays, "{}: {w}", p.name);
+                assert_eq!(
+                    w.schedule.len(),
+                    w.cycle.len(),
+                    "minimal schedule: one step per cycle thread"
+                );
+            }
+            ProtocolOutcome::Starved { witness, .. } => {
+                starvations += 1;
+                assert!(witness.timeout_s < witness.grant_by_s, "{witness}");
+            }
+        }
+    }
+    assert!(cycles >= 2, "need cycle twins (ABBA, descending, DES)");
+    assert!(starvations >= 1, "need the short-watchdog twin");
+
+    // The descending two-row twin specifically cycles lo ↔ hi.
+    let desc = twins
+        .iter()
+        .find(|p| p.name == "twin/two-row-descending")
+        .expect("descending two-row twin must be seeded");
+    match analyze_protocol(desc) {
+        ProtocolOutcome::Deadlocked(w) => {
+            assert!(w.cycle.contains(&"stripe.lo".to_string()), "{w}");
+            assert!(w.cycle.contains(&"stripe.hi".to_string()), "{w}");
+        }
+        other => panic!("descending twin must deadlock, got {other:?}"),
+    }
+}
+
+/// The determinism lint's file census is honest: an independent walk of
+/// the scanned crates' `src/` trees finds exactly as many `.rs` files
+/// as the lint reports scanning. A silent drop of a crate (or a whole
+/// subtree) from the scan would show up here.
+#[test]
+fn lint_scans_every_source_file_of_the_scanned_crates() {
+    fn count_rs(dir: &std::path::Path) -> usize {
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .map(|e| {
+                let p = e.path();
+                if p.is_dir() {
+                    count_rs(&p)
+                } else {
+                    usize::from(p.extension().is_some_and(|x| x == "rs"))
+                }
+            })
+            .sum()
+    }
+    let crates_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let expected: usize = ["core", "gpu-sim", "des", "bench"]
+        .iter()
+        .map(|krate| count_rs(&crates_root.join(krate).join("src")))
+        .sum();
+    assert!(expected > 20, "independent walk found {expected} files");
+    let report = cumf_sgd::analyze::lint::lint_workspace();
+    assert_eq!(
+        report.files_scanned, expected,
+        "lint file census drifted from the source tree"
+    );
 }
