@@ -14,6 +14,7 @@
 use super::{ClassSpec, Protocol, RetrySpec, SiteSpec, WatchdogSpec};
 use cumf_core::faults::SupervisorConfig;
 use cumf_des::{ResourceKind, ResourceNode, Simulation};
+use cumf_serve::ServeConfig;
 
 /// Certified stripe critical-section time: the epoch loop holds a
 /// stripe for one k≤128 row update (a few hundred FLOPs), comfortably
@@ -287,6 +288,47 @@ fn supervisor_transfer(watchdog_timeout_s: Option<f64>) -> Protocol {
     }
 }
 
+/// The serving scatter-gather read path: every request queues on a
+/// shard's replica service slots holding nothing (entry-only order
+/// graph), raced against the per-request deadline. The numbers come
+/// from `cumf_serve::ServeConfig::default().liveness_anno()`, so the
+/// model moves in lockstep with the shipped configuration: the deadline
+/// must strictly dominate the certified worst-case wait chain
+/// (ceil(31 waiters / 8 slots) × 1 ms hold + 1 ms = 5 ms ≪ 50 ms).
+fn serve_request(deadline_override: Option<f64>) -> Protocol {
+    let anno = ServeConfig::default().liveness_anno();
+    let classes = vec![ClassSpec {
+        name: "serve:shard-read".to_string(),
+        anchor: anno.anchor.to_string(),
+        slots: anno.slots as usize,
+        hold_s: anno.hold_s,
+        max_waiters: anno.max_waiters as usize,
+    }];
+    let sites = vec![entry(
+        0,
+        "crates/serve/src/service.rs::Sim::enqueue_read",
+        "scatter-gather: a request queues on a shard's replica slots holding nothing; \
+         partial results compose into a degraded answer, so no read waits on another",
+    )];
+    Protocol {
+        name: if deadline_override.is_some() {
+            "twin/serve-deadline-short"
+        } else {
+            "serve-request"
+        },
+        classes,
+        sites,
+        watchdog: Some(WatchdogSpec {
+            timeout_s: deadline_override.unwrap_or(anno.deadline_s),
+            anchor: anno.anchor.to_string(),
+        }),
+        retry: Some(RetrySpec {
+            max_attempts: anno.retry_attempts.max(1),
+            total_backoff_s: anno.retry_total_backoff_s,
+        }),
+    }
+}
+
 /// Every blocking protocol the workspace ships; all must certify.
 pub fn shipped_protocols() -> Vec<Protocol> {
     vec![
@@ -296,6 +338,7 @@ pub fn shipped_protocols() -> Vec<Protocol> {
         des_wavefront(),
         des_bench_pipeline(),
         supervisor_transfer(None),
+        serve_request(None),
     ]
 }
 
@@ -410,6 +453,12 @@ pub fn broken_twins() -> Vec<Protocol> {
     // transfer.
     twins.push(supervisor_transfer(Some(1e-3)));
 
+    // (5) Serve deadline shorter than the certified shard wait chain: a
+    // 2 ms deadline fires before the 5 ms worst-case queue+service
+    // bound, so healthy contention alone would finalize requests
+    // degraded. The certifier must starve this twin.
+    twins.push(serve_request(Some(2e-3)));
+
     twins
 }
 
@@ -419,9 +468,9 @@ mod tests {
     use crate::deadlock::{analyze_protocol, ProtocolOutcome};
 
     #[test]
-    fn ships_six_protocols_and_four_twins() {
-        assert_eq!(shipped_protocols().len(), 6);
-        assert_eq!(broken_twins().len(), 4);
+    fn ships_seven_protocols_and_five_twins() {
+        assert_eq!(shipped_protocols().len(), 7);
+        assert_eq!(broken_twins().len(), 5);
     }
 
     #[test]
@@ -486,6 +535,38 @@ mod tests {
                 assert!(w.cycle.contains(&"Q.stripe".to_string()), "{w}");
             }
             other => panic!("ABBA twin must deadlock: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_protocol_certifies_with_the_shipped_deadline() {
+        let p = serve_request(None);
+        let anno = ServeConfig::default().liveness_anno();
+        let w = p.watchdog.as_ref().expect("serve has a deadline watchdog");
+        assert_eq!(w.timeout_s, anno.deadline_s);
+        assert!(p.sites.iter().all(|s| s.held.is_none()), "entry-only");
+        match analyze_protocol(&p) {
+            ProtocolOutcome::Certified { live, .. } => {
+                // The deadline strictly dominates the certified chain.
+                assert!(anno.deadline_s > live.chain_s, "{live:?}");
+            }
+            other => panic!("serve-request must certify: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_deadline_twin_starves_on_the_shard_wait_chain() {
+        let twins = broken_twins();
+        let short = twins
+            .iter()
+            .find(|p| p.name == "twin/serve-deadline-short")
+            .unwrap();
+        match analyze_protocol(short) {
+            ProtocolOutcome::Starved { witness, .. } => {
+                assert!(witness.timeout_s <= witness.grant_by_s, "{witness}");
+                assert!(witness.class.contains("shard-read"), "{witness}");
+            }
+            other => panic!("short serve deadline must starve: {other:?}"),
         }
     }
 

@@ -334,7 +334,7 @@ pub fn lint_section() -> SectionResult {
         };
     }
     let mut lines = vec![format!(
-        "scanned {} files across cumf-core, cumf-gpu-sim, cumf-des, cumf-bench",
+        "scanned {} files across cumf-core, cumf-gpu-sim, cumf-des, cumf-bench, cumf-serve",
         report.files_scanned
     )];
     lines.extend(report.findings.iter().map(|f| f.to_string()));

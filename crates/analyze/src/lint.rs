@@ -166,8 +166,10 @@ pub fn stale_allowlist(scanned: &[String]) -> Vec<LintFinding> {
 
 /// The crates the lint scans, relative to the workspace `crates/`
 /// directory: the deterministic crates plus `bench` (wall-clock reads
-/// exempt there, everything else still enforced).
-const SCANNED_CRATES: &[&str] = &["core", "gpu-sim", "des", "bench"];
+/// exempt there, everything else still enforced). `serve` is scanned
+/// with full strictness: its bit-reproducible latency percentiles
+/// depend on the same no-wall-clock, no-hash-iteration discipline.
+const SCANNED_CRATES: &[&str] = &["core", "gpu-sim", "des", "bench", "serve"];
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else {

@@ -2,7 +2,7 @@
 //! workloads, run for N trials and reported as median + MAD in
 //! schema-versioned `BENCH_*.json` files.
 //!
-//! Two suites mirror the repo's two performance fronts:
+//! Three suites mirror the repo's performance fronts:
 //!
 //! * **`des`** — event-calendar throughput (ROADMAP item 5's gate):
 //!   events/sec for pure delays, a contended server, and a shared
@@ -11,6 +11,9 @@
 //! * **`train`** — the paper's currency (§6): `sgd_update` updates/sec
 //!   per precision, epoch wall time on a small synthetic problem, and
 //!   the machine-model updates/sec (sim-domain, deterministic).
+//! * **`serve`** — the serving layer: closed-loop QPS and p99 latency
+//!   on sim time (deterministic), plus host wall-clock throughput of
+//!   the blocked top-N scorer.
 //!
 //! Wall-domain metrics measure this machine and carry MAD-sized noise;
 //! sim-domain metrics are pure f64 arithmetic and must reproduce
@@ -75,7 +78,7 @@ impl Better {
 pub struct BenchCase {
     /// Metric id, stable across versions (the `--check` join key).
     pub id: &'static str,
-    /// Owning suite: `"des"` or `"train"`.
+    /// Owning suite: `"des"`, `"train"`, or `"serve"`.
     pub suite: &'static str,
     /// Unit of the reported value.
     pub unit: &'static str,
@@ -430,7 +433,40 @@ fn machine_model_updates_per_sec(quick: bool) -> f64 {
     last.updates as f64 / last.seconds.max(1e-12)
 }
 
-/// The registered benchmark cases, both suites, registration order.
+// -------------------------------------------------------------- serve suite
+
+fn serve_report(quick: bool) -> cumf_serve::ServeReport {
+    let model = cumf_serve::chaos::synth_model(crate::SEED, 4, 2);
+    let cfg = cumf_serve::ServeConfig {
+        requests: if quick { 500 } else { 2000 },
+        ..cumf_serve::ServeConfig::default()
+    };
+    cumf_serve::run_closed_loop(&model, &cfg)
+}
+
+fn serve_sim_qps(quick: bool) -> f64 {
+    serve_report(quick).qps()
+}
+
+fn serve_sim_p99_ms(quick: bool) -> f64 {
+    serve_report(quick).p(0.99) * 1e3
+}
+
+fn serve_topn_queries_per_sec(quick: bool) -> f64 {
+    let model = cumf_serve::chaos::synth_model(crate::SEED, 4, 2);
+    let q = model.q_matrix();
+    let queries: u64 = if quick { 2_000 } else { 10_000 };
+    let users = model.users();
+    let t0 = Instant::now();
+    for i in 0..queries {
+        let user = (i % users as u64) as u32;
+        let row = model.user_row(user);
+        std::hint::black_box(cumf_serve::top_n_blocked(row, q, 0..q.rows(), 10, 64));
+    }
+    queries as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// The registered benchmark cases, all suites, registration order.
 pub fn cases() -> Vec<BenchCase> {
     vec![
         BenchCase {
@@ -520,6 +556,30 @@ pub fn cases() -> Vec<BenchCase> {
             domain: Domain::Sim,
             better: Better::Higher,
             run: machine_model_updates_per_sec,
+        },
+        BenchCase {
+            id: "serve_sim_qps",
+            suite: "serve",
+            unit: "req/s",
+            domain: Domain::Sim,
+            better: Better::Higher,
+            run: serve_sim_qps,
+        },
+        BenchCase {
+            id: "serve_sim_p99_ms",
+            suite: "serve",
+            unit: "ms",
+            domain: Domain::Sim,
+            better: Better::Lower,
+            run: serve_sim_p99_ms,
+        },
+        BenchCase {
+            id: "serve_topn_queries_per_sec",
+            suite: "serve",
+            unit: "queries/s",
+            domain: Domain::Wall,
+            better: Better::Higher,
+            run: serve_topn_queries_per_sec,
         },
     ]
 }
@@ -654,10 +714,10 @@ mod tests {
     }
 
     #[test]
-    fn registry_covers_both_suites_and_domains() {
+    fn registry_covers_all_suites_and_domains() {
         let all = cases();
-        assert_eq!(suite_names(), vec!["des", "train"]);
-        for suite in ["des", "train"] {
+        assert_eq!(suite_names(), vec!["des", "train", "serve"]);
+        for suite in ["des", "train", "serve"] {
             let in_suite: Vec<_> = all.iter().filter(|c| c.suite == suite).collect();
             assert!(in_suite.len() >= 3, "{suite} suite too small");
             assert!(

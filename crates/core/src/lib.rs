@@ -82,7 +82,9 @@ pub use lrate::{LearningRate, LrState, Schedule};
 pub use metrics::{rmse, updates_per_sec, Trace, TracePoint};
 pub use model_io::{load_model, load_model_file, save_model, save_model_file, Model};
 pub use multi_gpu::{train_partitioned, MultiGpuConfig, MultiGpuResult};
-pub use partition::{count_feasible_orders, schedule_epoch, BlockId, Grid, WaveSchedule};
+pub use partition::{
+    count_feasible_orders, schedule_epoch, segment_of, segment_range, BlockId, Grid, WaveSchedule,
+};
 pub use sched::{certify, resolve_exec_mode, ConflictCert, ConflictWitness, Verdict};
 pub use solver::{train, Scheme, SolverConfig, TimeModel, TrainResult};
 

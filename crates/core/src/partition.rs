@@ -117,6 +117,24 @@ fn range_of(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
     start..end.max(start)
 }
 
+/// Coordinate range of segment `idx` when `total` coordinates split into
+/// `parts` equal segments — the exact boundary rule of
+/// [`Grid::row_range`]/[`Grid::col_range`] (`bi = u*i/m`, boundaries at
+/// `ceil(b*total/parts)`). Public so downstream layers (the serving
+/// shards) can reproduce the grid's factor-segment layout without
+/// holding rating data.
+pub fn segment_range(total: u32, parts: u32, idx: u32) -> std::ops::Range<u32> {
+    assert!(parts > 0 && idx < parts, "segment {idx} out of {parts}");
+    range_of(total, parts, idx)
+}
+
+/// Segment index of coordinate `x` under the same assignment rule as
+/// [`Grid::build`] (`bi = x*parts/total`, clamped to the last segment).
+pub fn segment_of(total: u32, parts: u32, x: u32) -> u32 {
+    assert!(parts > 0 && total > 0, "empty segmentation");
+    ((x as u64 * parts as u64) / total as u64).min(parts as u64 - 1) as u32
+}
+
 /// A schedule of block *waves*: in each wave, `gpus` mutually independent
 /// blocks run concurrently (one per GPU); `None` means that GPU idles.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -388,5 +406,21 @@ mod tests {
     #[should_panic(expected = "exceeds matrix")]
     fn grid_larger_than_matrix_rejected() {
         let _ = Grid::build(&matrix(4, 4, 10), 8, 2);
+    }
+
+    #[test]
+    fn segment_helpers_match_the_grid() {
+        let grid = Grid::build(&matrix(103, 77, 100), 4, 3);
+        for bi in 0..4 {
+            assert_eq!(segment_range(103, 4, bi), grid.row_range(bi));
+        }
+        for bj in 0..3 {
+            assert_eq!(segment_range(77, 3, bj), grid.col_range(bj));
+        }
+        // Every coordinate lands in the segment whose range contains it.
+        for u in 0..103 {
+            let s = segment_of(103, 4, u);
+            assert!(segment_range(103, 4, s).contains(&u), "u={u} s={s}");
+        }
     }
 }

@@ -1,0 +1,243 @@
+//! LRU result cache keyed by `(user, model_version)`.
+//!
+//! A fixed-capacity slab holds the entries; recency is an intrusive
+//! doubly-linked list over slab slots (head = most recent) and the key
+//! index is a `BTreeMap` — deliberately not a `HashMap`, so iteration
+//! anywhere in the serve path stays deterministic and the crate passes
+//! the workspace determinism lint. Keying on the model version gives
+//! invalidate-on-reload for free: after `bump_version` every old entry
+//! simply stops being reachable by `get` and ages out via LRU, while
+//! [`ResultCache::get_stale`] can still surface the newest stale entry
+//! for degraded (cache-only) answers.
+
+use std::collections::BTreeMap;
+
+use crate::topn::Scored;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    user: u32,
+    version: u64,
+    value: Vec<Scored>,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU cache of top-N results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    capacity: usize,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    index: BTreeMap<(u32, u64), usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            slab: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            index: BTreeMap::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Cache hits observed via [`ResultCache::get`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed via [`ResultCache::get`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slab[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slab[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Looks up `(user, version)`, promoting the entry to most-recent
+    /// on a hit.
+    pub fn get(&mut self, user: u32, version: u64) -> Option<&[Scored]> {
+        match self.index.get(&(user, version)).copied() {
+            Some(slot) => {
+                self.hits += 1;
+                self.unlink(slot);
+                self.push_front(slot);
+                Some(&self.slab[slot].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The freshest cached entry for `user` at *any* version, without
+    /// promoting it (degraded cache-only answers must not look like
+    /// live traffic to the eviction policy). Returns the version it was
+    /// computed against alongside the results.
+    pub fn get_stale(&self, user: u32) -> Option<(u64, &[Scored])> {
+        self.index
+            .range((user, 0)..=(user, u64::MAX))
+            .next_back()
+            .map(|(&(_, version), &slot)| (version, self.slab[slot].value.as_slice()))
+    }
+
+    /// Inserts (or replaces) the entry for `(user, version)`, evicting
+    /// the least-recently-used entry when at capacity.
+    pub fn put(&mut self, user: u32, version: u64, value: Vec<Scored>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&slot) = self.index.get(&(user, version)) {
+            self.slab[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return;
+        }
+        if self.index.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.index
+                .remove(&(self.slab[victim].user, self.slab[victim].version));
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = Entry {
+                    user,
+                    version,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                };
+                s
+            }
+            None => {
+                self.slab.push(Entry {
+                    user,
+                    version,
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert((user, version), slot);
+        self.push_front(slot);
+    }
+
+    /// Keys currently cached, in index (not recency) order — test hook.
+    pub fn keys(&self) -> Vec<(u32, u64)> {
+        self.index.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(tag: u32) -> Vec<Scored> {
+        vec![Scored {
+            item: tag,
+            score: tag as f32,
+        }]
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent() {
+        let mut c = ResultCache::new(2);
+        c.put(1, 1, val(1));
+        c.put(2, 1, val(2));
+        assert!(c.get(1, 1).is_some()); // 1 is now most recent
+        c.put(3, 1, val(3)); // evicts 2
+        assert!(c.get(2, 1).is_none());
+        assert!(c.get(1, 1).is_some());
+        assert!(c.get(3, 1).is_some());
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn version_bump_invalidates_get_but_not_get_stale() {
+        let mut c = ResultCache::new(4);
+        c.put(7, 1, val(10));
+        assert!(c.get(7, 2).is_none(), "new version must miss");
+        let (v, stale) = c.get_stale(7).expect("stale entry survives");
+        assert_eq!(v, 1);
+        assert_eq!(stale[0].item, 10);
+        c.put(7, 2, val(20));
+        let (v, stale) = c.get_stale(7).expect("freshest version wins");
+        assert_eq!(v, 2);
+        assert_eq!(stale[0].item, 20);
+    }
+
+    #[test]
+    fn replace_updates_in_place() {
+        let mut c = ResultCache::new(2);
+        c.put(1, 1, val(1));
+        c.put(1, 1, val(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(1, 1).unwrap()[0].item, 9);
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut c = ResultCache::new(0);
+        c.put(1, 1, val(1));
+        assert!(c.is_empty());
+        assert!(c.get(1, 1).is_none());
+    }
+}

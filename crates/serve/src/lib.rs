@@ -1,0 +1,61 @@
+//! `cumf-serve` — the serving layer of the cuMF_SGD reproduction.
+//!
+//! Training produces factor matrices; this crate answers the question
+//! they exist for: *"top-N items for user u, now, under load, while
+//! things break"*. The model is stored in shards that reproduce the
+//! training partition grid (`cumf_core::partition` — `i` P-segments of
+//! user factors, `j` Q-segments of item factors), because the
+//! block-partitioned layout cuMF_SGD uses for Hugewiki-scale data is
+//! also the layout a serving fleet would keep resident per node — and
+//! it dictates the failure domains the request path must survive.
+//!
+//! The request path is a deterministic scatter-gather over simulated
+//! shard reads, driven entirely on `cumf-des` sim time so every latency
+//! percentile is bit-reproducible:
+//!
+//! * **admission** — a token bucket sheds load at the front door
+//!   instead of letting queues collapse the tail ([`policy::TokenBucket`]);
+//! * **deadlines** — every request carries a deadline; at the deadline
+//!   it is *finalized* with the best degraded answer available rather
+//!   than allowed to return late ([`service`]);
+//! * **budgeted retries** — shard-read timeouts retry on the other
+//!   replica under the seeded-jitter backoff envelope of
+//!   [`cumf_core::faults::RetryPolicy`], gated by a global retry token
+//!   bucket so retry storms cannot amplify an outage;
+//! * **hedging** — a duplicate read is issued to the second replica
+//!   after a quantile-derived delay ([`policy::HedgeTracker`]);
+//! * **circuit breaking** — per-shard breakers fast-fail reads to a
+//!   shard that keeps timing out, degrading immediately instead of
+//!   queueing doomed work ([`policy::CircuitBreaker`]);
+//! * **graceful degradation** — responses compose from what survived:
+//!   partial item coverage, stale cache entries, or the popularity
+//!   prior, every one marked with a [`DegradeKind`] so tests can count
+//!   exactly what quality was served.
+//!
+//! The closed-loop load generator draws Zipf-skewed users from
+//! `cumf-data`'s alias table; the chaos scenarios ([`chaos`]) inject
+//! shard loss and stalls and assert availability, deadline compliance,
+//! and bit-determinism (every scenario runs twice and the latency and
+//! recovery-log digests must match).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chaos;
+pub mod hist;
+pub mod policy;
+pub mod service;
+pub mod shard;
+pub mod topn;
+
+pub use cache::ResultCache;
+pub use chaos::{run_serve_chaos, ServeChaosOptions, ServeChaosReport, ServeScenarioResult};
+pub use hist::LatencyHistogram;
+pub use policy::{BreakerState, CircuitBreaker, HedgeTracker, TokenBucket};
+pub use service::{
+    run_closed_loop, DegradeKind, OverloadPolicy, ServeConfig, ServeFault, ServeLivenessAnno,
+    ServeReport,
+};
+pub use shard::{ShardId, ShardedModel};
+pub use topn::{top_n_blocked, top_n_naive, top_n_popular, Scored};

@@ -1,0 +1,296 @@
+//! Overload-control primitives: token-bucket admission, per-shard
+//! circuit breakers, and the quantile-derived hedging delay.
+//!
+//! All three are pure functions of simulated time — no wall clocks, no
+//! background threads. Refill is lazy (computed from the elapsed
+//! sim-time delta at each decision), which is both allocation-free and
+//! trivially deterministic.
+
+use crate::hist::LatencyHistogram;
+
+/// Token-bucket rate limiter over sim-time.
+///
+/// Used twice in the serve path: as the front-door admission controller
+/// (shedding requests the fleet cannot finish before their deadline)
+/// and as the global retry budget (a retry storm during an outage must
+/// not amplify the outage).
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+    admitted: u64,
+    denied: u64,
+}
+
+impl TokenBucket {
+    /// A bucket refilling at `rate` tokens/s with capacity `burst`,
+    /// starting full.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0 && burst > 0.0, "rate and burst must be positive");
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last_s: 0.0,
+            admitted: 0,
+            denied: 0,
+        }
+    }
+
+    /// Tries to take one token at sim-time `now_s`; `false` means shed.
+    pub fn try_take(&mut self, now_s: f64) -> bool {
+        if now_s > self.last_s {
+            self.tokens = (self.tokens + (now_s - self.last_s) * self.rate).min(self.burst);
+            self.last_s = now_s;
+        }
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            self.admitted += 1;
+            true
+        } else {
+            self.denied += 1;
+            false
+        }
+    }
+
+    /// Tokens granted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests denied so far.
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
+/// Circuit-breaker state (the classic three-state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests fast-fail until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is let through.
+    HalfOpen,
+}
+
+/// Per-shard circuit breaker driven by consecutive read failures.
+///
+/// `threshold` consecutive failures open the circuit for `cooldown_s`
+/// of sim-time; after the cooldown one probe is admitted (half-open) —
+/// its success closes the circuit, its failure re-opens it for another
+/// cooldown. While open, the serve path skips the read entirely and
+/// degrades immediately, so a dead shard costs microseconds instead of
+/// a full read-timeout per request.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_s: f64,
+    state: BreakerState,
+    consecutive: u32,
+    open_until_s: f64,
+    probe_inflight: bool,
+    opens: u64,
+    fast_fails: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures.
+    pub fn new(threshold: u32, cooldown_s: f64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        CircuitBreaker {
+            threshold,
+            cooldown_s,
+            state: BreakerState::Closed,
+            consecutive: 0,
+            open_until_s: 0.0,
+            probe_inflight: false,
+            opens: 0,
+            fast_fails: 0,
+        }
+    }
+
+    /// Current state (transitions happen inside [`CircuitBreaker::allow`]).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times the breaker has opened.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// Requests fast-failed while open.
+    pub fn fast_fails(&self) -> u64 {
+        self.fast_fails
+    }
+
+    /// Asks whether a read may be attempted at sim-time `now_s`.
+    /// `false` means fast-fail (degrade without touching the shard).
+    pub fn allow(&mut self, now_s: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now_s >= self.open_until_s {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_inflight = true;
+                    true
+                } else {
+                    self.fast_fails += 1;
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_inflight {
+                    // One probe at a time.
+                    self.fast_fails += 1;
+                    false
+                } else {
+                    self.probe_inflight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Reports a successful read: closes the circuit.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+        self.probe_inflight = false;
+    }
+
+    /// Reports a failed (timed-out) read at sim-time `now_s`.
+    pub fn on_failure(&mut self, now_s: f64) {
+        self.probe_inflight = false;
+        self.consecutive += 1;
+        let trip = self.state == BreakerState::HalfOpen || self.consecutive >= self.threshold;
+        if trip && self.state != BreakerState::Open {
+            self.state = BreakerState::Open;
+            self.open_until_s = now_s + self.cooldown_s;
+            self.opens += 1;
+        }
+    }
+}
+
+/// Tracks the read-latency distribution and derives the hedging delay
+/// from its tail.
+///
+/// Hedging after a fixed delay is either too eager (duplicates healthy
+/// traffic) or too lazy (waits out the whole timeout); hedging after
+/// the observed `q`-quantile duplicates only the slowest `1−q` of reads
+/// — the standard "tail at scale" construction. Until `min_samples`
+/// observations arrive the tracker returns a conservative initial
+/// delay.
+#[derive(Debug, Clone)]
+pub struct HedgeTracker {
+    hist: LatencyHistogram,
+    quantile: f64,
+    initial_s: f64,
+    floor_s: f64,
+    min_samples: u64,
+}
+
+impl HedgeTracker {
+    /// A tracker hedging at the `quantile` of observed read latencies,
+    /// starting from `initial_s` and never below `floor_s`.
+    pub fn new(quantile: f64, initial_s: f64, floor_s: f64) -> Self {
+        assert!((0.0..1.0).contains(&quantile), "quantile must be in [0,1)");
+        HedgeTracker {
+            hist: LatencyHistogram::new(),
+            quantile,
+            initial_s,
+            floor_s,
+            min_samples: 32,
+        }
+    }
+
+    /// Records one completed primary-read latency.
+    pub fn observe(&mut self, seconds: f64) {
+        self.hist.record(seconds);
+    }
+
+    /// The delay after which a hedge read should be issued.
+    pub fn delay_s(&self) -> f64 {
+        if self.hist.count() < self.min_samples {
+            return self.initial_s;
+        }
+        self.hist
+            .quantile(self.quantile)
+            .map_or(self.initial_s, |q| q.max(self.floor_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_sheds_past_burst_and_refills() {
+        let mut b = TokenBucket::new(10.0, 2.0);
+        assert!(b.try_take(0.0));
+        assert!(b.try_take(0.0));
+        assert!(!b.try_take(0.0), "burst exhausted");
+        assert!(b.try_take(0.1), "one token refilled after 100ms @ 10/s");
+        assert_eq!(b.admitted(), 3);
+        assert_eq!(b.denied(), 1);
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(1000.0, 3.0);
+        assert!(b.try_take(100.0));
+        assert!(b.try_take(100.0));
+        assert!(b.try_take(100.0));
+        assert!(!b.try_take(100.0), "burst caps the backlog");
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recovers() {
+        let mut cb = CircuitBreaker::new(3, 1.0);
+        for t in 0..3 {
+            assert!(cb.allow(t as f64));
+            cb.on_failure(t as f64);
+        }
+        assert_eq!(cb.state(), BreakerState::Open);
+        assert!(!cb.allow(2.5), "open: fast-fail inside cooldown");
+        assert!(cb.allow(3.1), "cooldown over: probe admitted");
+        assert!(!cb.allow(3.1), "only one probe at a time");
+        cb.on_success();
+        assert_eq!(cb.state(), BreakerState::Closed);
+        assert!(cb.allow(3.2));
+        assert_eq!(cb.opens(), 1);
+        assert!(cb.fast_fails() >= 2);
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let mut cb = CircuitBreaker::new(2, 1.0);
+        cb.on_failure(0.0);
+        cb.on_failure(0.0);
+        assert_eq!(cb.state(), BreakerState::Open);
+        assert!(cb.allow(1.5)); // probe
+        cb.on_failure(1.5);
+        assert_eq!(cb.state(), BreakerState::Open);
+        assert_eq!(cb.opens(), 2);
+        assert!(
+            !cb.allow(2.0),
+            "second cooldown runs from the probe failure"
+        );
+    }
+
+    #[test]
+    fn hedge_delay_follows_the_observed_tail() {
+        let mut h = HedgeTracker::new(0.95, 0.005, 0.0001);
+        assert_eq!(h.delay_s(), 0.005, "initial until warm");
+        for _ in 0..100 {
+            h.observe(0.001);
+        }
+        let d = h.delay_s();
+        assert!(d < 0.005, "warm delay tracks the observed p95, got {d}");
+        assert!(d >= 0.0001);
+    }
+}

@@ -1,0 +1,211 @@
+//! Top-N dot-product scoring: a naive scan, an exact cache-blocked
+//! scan, and the popularity-prior fallback.
+//!
+//! The blocked scorer walks the item range in fixed-size blocks so the
+//! user row stays hot in L1 and the Q rows stream through cache lines
+//! sequentially — but it is *exact*: per item the k-loop runs in the
+//! identical order as the naive scan, so every f32 partial sum is
+//! bit-identical (this matters for the odd-k FP16 path, where the
+//! widen-to-f32 accumulation order is the whole numeric contract).
+//! Selection uses a total order (score descending, item id ascending on
+//! ties), so the two scans return identical lists, not merely
+//! equivalent ones.
+
+use cumf_core::{Element, FactorMatrix};
+
+/// One scored item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Item id.
+    pub item: u32,
+    /// Predicted score (f32 dot product of the factor rows).
+    pub score: f32,
+}
+
+/// Total order for selection: higher score first, lower item id on
+/// ties (and NaN scores sort last, so a poisoned row cannot win).
+fn beats(a: &Scored, b: &Scored) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or_else(|| b.score.is_nan().cmp(&a.score.is_nan()))
+        .then(a.item.cmp(&b.item))
+}
+
+/// A bounded top-N accumulator: keeps the best `n` offers seen so far
+/// under the scorer's total order (score descending, item ascending,
+/// NaN last).
+#[derive(Debug, Clone)]
+pub struct TopAcc {
+    n: usize,
+    best: Vec<Scored>,
+}
+
+impl TopAcc {
+    /// An empty accumulator holding at most `n` items.
+    pub fn new(n: usize) -> Self {
+        TopAcc {
+            n,
+            best: Vec::with_capacity(n + 1),
+        }
+    }
+
+    /// Offers one scored item.
+    pub fn offer(&mut self, item: u32, score: f32) {
+        if self.n == 0 {
+            return;
+        }
+        let s = Scored { item, score };
+        if self.best.len() == self.n {
+            // Full: reject anything that does not beat the current worst.
+            if beats(self.best.last().unwrap(), &s) != std::cmp::Ordering::Greater {
+                return;
+            }
+            self.best.pop();
+        }
+        let at = self
+            .best
+            .partition_point(|b| beats(b, &s) != std::cmp::Ordering::Greater);
+        self.best.insert(at, s);
+    }
+
+    /// The accumulated items, best first.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        self.best
+    }
+}
+
+/// f32 dot product of two factor rows, accumulated in k-order (each
+/// element widened via [`Element::to_f32`] before the multiply-add).
+pub fn dot<E: Element>(a: &[E], b: &[E]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += x.to_f32() * y.to_f32();
+    }
+    acc
+}
+
+/// Naive reference scan: scores every item of `items` against `user`
+/// and returns the top `n`.
+pub fn top_n_naive<E: Element>(
+    user: &[E],
+    q: &FactorMatrix<E>,
+    items: std::ops::Range<u32>,
+    n: usize,
+) -> Vec<Scored> {
+    let mut acc = TopAcc::new(n);
+    for v in items {
+        acc.offer(v, dot(user, q.row(v)));
+    }
+    acc.into_sorted()
+}
+
+/// Item ids per block of the blocked scan: sized so a block of k≤128
+/// f32 rows fits comfortably in L1 alongside the user row.
+pub const SCAN_BLOCK: usize = 64;
+
+/// Exact cache-blocked scan: identical scores and identical selection
+/// as [`top_n_naive`], visiting items block by block.
+pub fn top_n_blocked<E: Element>(
+    user: &[E],
+    q: &FactorMatrix<E>,
+    items: std::ops::Range<u32>,
+    n: usize,
+    block: usize,
+) -> Vec<Scored> {
+    assert!(block > 0, "block size must be positive");
+    let mut acc = TopAcc::new(n);
+    let mut lo = items.start;
+    while lo < items.end {
+        let hi = (lo + block as u32).min(items.end);
+        for v in lo..hi {
+            acc.offer(v, dot(user, q.row(v)));
+        }
+        lo = hi;
+    }
+    acc.into_sorted()
+}
+
+/// Popularity-prior fallback: top `n` of `items` by the prior weight
+/// alone (the answer of last resort when no factor shard is readable).
+pub fn top_n_popular(popularity: &[f32], items: std::ops::Range<u32>, n: usize) -> Vec<Scored> {
+    let mut acc = TopAcc::new(n);
+    for v in items {
+        acc.offer(v, popularity[v as usize]);
+    }
+    acc.into_sorted()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cumf_core::F16;
+    use cumf_rng::{ChaCha8Rng, Rng, SeedableRng};
+
+    fn matrices<E: Element>(n: u32, k: u32, seed: u64) -> (Vec<E>, FactorMatrix<E>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let user: Vec<E> = (0..k)
+            .map(|_| E::from_f32(rng.gen::<f32>() - 0.5))
+            .collect();
+        let q = FactorMatrix::<E>::random_init(n, k, &mut rng);
+        (user, q)
+    }
+
+    #[test]
+    fn blocked_equals_naive_bitwise_f32() {
+        for k in [8u32, 31, 64, 128] {
+            let (user, q) = matrices::<f32>(501, k, k as u64);
+            let a = top_n_naive(&user, &q, 0..501, 10);
+            let b = top_n_blocked(&user, &q, 0..501, 10, SCAN_BLOCK);
+            assert_eq!(a, b, "k={k}");
+            assert!(a[0].score.to_bits() == b[0].score.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_equals_naive_bitwise_f16() {
+        for k in [8u32, 31, 64, 128] {
+            let (user, q) = matrices::<F16>(333, k, 1000 + k as u64);
+            let a = top_n_naive(&user, &q, 0..333, 7);
+            let b = top_n_blocked(&user, &q, 0..333, 7, 17);
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn selection_is_ordered_and_tie_broken_by_item() {
+        let q = FactorMatrix::<f32>::from_f32_slice(4, 1, &[1.0, 2.0, 2.0, 0.5]);
+        let user = [1.0f32];
+        let top = top_n_naive(&user, &q, 0..4, 3);
+        assert_eq!(
+            top.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn partial_ranges_score_only_their_shard() {
+        let (user, q) = matrices::<f32>(100, 16, 5);
+        let top = top_n_blocked(&user, &q, 40..60, 5, 8);
+        assert!(top.iter().all(|s| (40..60).contains(&s.item)));
+        assert_eq!(top.len(), 5);
+    }
+
+    #[test]
+    fn popularity_prior_ranks_by_weight() {
+        let pop = vec![0.1, 5.0, 3.0, 5.0];
+        let top = top_n_popular(&pop, 0..4, 2);
+        assert_eq!(
+            top.iter().map(|s| s.item).collect::<Vec<_>>(),
+            vec![1, 3],
+            "equal weights tie-break by item id"
+        );
+    }
+
+    #[test]
+    fn top_zero_is_empty_and_n_larger_than_range_is_all() {
+        let (user, q) = matrices::<f32>(5, 4, 9);
+        assert!(top_n_naive(&user, &q, 0..5, 0).is_empty());
+        assert_eq!(top_n_naive(&user, &q, 0..5, 10).len(), 5);
+    }
+}

@@ -57,6 +57,7 @@ fn main() -> ExitCode {
         "profile" => cmd_profile(&flags),
         "analyze" => cmd_analyze(&flags),
         "chaos" => cmd_chaos(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -92,11 +93,15 @@ USAGE:
                 [--folded profile_folded.txt]
   cumf profile  --des [--folded profile_folded.txt]
                 [--metrics profile_metrics.prom]
-  cumf bench    [--quick] [--trials N] [--suite des|train]...
+  cumf bench    [--quick] [--trials N] [--suite des|train|serve]...
                 [--no-save] [--check BENCH_a.json [BENCH_b.json ...]]
   cumf analyze  [--all] [--prover] [--model-check] [--deadlock] [--cost]
                 [--coalesce] [--precision] [--lint] [--sanitize] [--seed 42]
   cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
+                [--serve]
+  cumf serve    [--model model.cmfm] [--requests 2000] [--zipf-s 1.1]
+                [--deadline-ms 50] [--shards 4x2] [--seed 42]
+                [--inject none|shard-loss|shard-stall] [--no-admission]
 
 Data files may be .bin (compact binary) or text (`u v r` per line).
 --trace writes Chrome trace_event JSON (open in Perfetto or
@@ -134,7 +139,7 @@ collapsed stacks). `profile --des` profiles the DES engine itself:
 per-event-type dequeue counts, schedule->fire dwell-time quantiles,
 queue occupancy, and the span attribution table.
 
-`bench` runs the registered performance suites (des, train) for N
+`bench` runs the registered performance suites (des, train, serve) for N
 trials (default 5, --quick 3), prints median + MAD per metric, and
 writes schema-versioned bench_results/BENCH_<suite>.json (set
 CUMF_BENCH_DIR to redirect). --check compares the fresh run against
@@ -148,7 +153,18 @@ the self-healing training supervisor and checks the recovery contract:
 same seed => identical recovery event log, recovered runs within
 --tolerance of the fault-free RMSE, unrecoverable faults surfacing as
 typed errors. Exit code 1 on any scenario failure. --quick is the CI
-profile; --metrics exports the cumf_faults_* counters.";
+profile; --metrics exports the cumf_faults_* counters. The default run
+appends the serving scenarios (shard loss/stall, overload shedding,
+hedging) after the training matrix; --serve runs only those.
+
+`serve` drives the closed-loop top-N recommendation service (Zipf
+users, sharded factors, per-request deadlines, hedged reads, admission
+control, circuit breakers) on sim time and prints the p50/p99/p999 +
+QPS + shed/degraded summary. Without --model it serves a built-in
+synthetic model; --model loads a trained .cmfm. All latencies are
+simulated and bit-deterministic for a given seed. --inject adds a
+shard fault; --no-admission disables the admission controller and
+deadline finalization to demonstrate the unprotected tail.";
 
 type Flags = HashMap<String, String>;
 
@@ -175,6 +191,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 | "sanitize"
                 | "quick"
                 | "des"
+                | "serve"
+                | "no-admission"
         ) {
             flags.insert(name.to_string(), "true".to_string());
             continue;
@@ -597,7 +615,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             if quick { ", quick workloads" } else { "" }
         );
         let report = suite::run_suite(name, trials, quick)
-            .ok_or_else(|| format!("unknown suite `{name}` (have: des, train)"))?;
+            .ok_or_else(|| format!("unknown suite `{name}` (have: des, train, serve)"))?;
         for m in &report.metrics {
             println!(
                 "  {:<32} median {:>12.4e} {} (mad {:.2e}) [{}]",
@@ -700,32 +718,151 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
 
 fn cmd_chaos(flags: &Flags) -> Result<(), String> {
     use cumf_sgd::core::faults::{run_chaos, ChaosOptions};
-    let opts = ChaosOptions {
-        seed: get_parse(flags, "seed", 42)?,
-        quick: flags.contains_key("quick"),
-        tolerance: get_parse(flags, "tolerance", 0.02)?,
-    };
+    use cumf_sgd::serve::{run_serve_chaos, ServeChaosOptions};
+    let seed: u64 = get_parse(flags, "seed", 42)?;
+    let quick = flags.contains_key("quick");
+    let serve_only = flags.contains_key("serve");
     let metrics_out = flags.get("metrics").cloned();
     if metrics_out.is_some() {
         obs::set_enabled(true);
     }
+    let mut passed = true;
+    if !serve_only {
+        let opts = ChaosOptions {
+            seed,
+            quick,
+            tolerance: get_parse(flags, "tolerance", 0.02)?,
+        };
+        println!(
+            "chaos: seed {}, {} profile, tolerance {:.1}%\n",
+            opts.seed,
+            if opts.quick { "quick" } else { "full" },
+            opts.tolerance * 100.0
+        );
+        let report = run_chaos(&opts);
+        println!("{}", report.render());
+        passed &= report.passed;
+    }
     println!(
-        "chaos: seed {}, {} profile, tolerance {:.1}%\n",
-        opts.seed,
-        if opts.quick { "quick" } else { "full" },
-        opts.tolerance * 100.0
+        "chaos [serve]: seed {seed}, {} profile\n",
+        if quick { "quick" } else { "full" }
     );
-    let report = run_chaos(&opts);
-    println!("{}", report.render());
+    let serve_report = run_serve_chaos(&ServeChaosOptions { seed, quick });
+    println!("{}", serve_report.render());
+    passed &= serve_report.all_passed();
     if let Some(path) = metrics_out {
         std::fs::write(&path, obs::prometheus()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("metrics written to {path}");
     }
-    if report.passed {
+    if passed {
         Ok(())
     } else {
         Err("chaos matrix failed (see report above)".into())
     }
+}
+
+/// Parses a `RxC` shard-grid spec like `4x2`.
+fn parse_shard_grid(s: &str) -> Result<(u32, u32), String> {
+    let (r, c) = s
+        .split_once('x')
+        .ok_or_else(|| format!("--shards wants RxC (e.g. 4x2), got `{s}`"))?;
+    let rows: u32 = r
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad --shards rows: {e}"))?;
+    let cols: u32 = c
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad --shards cols: {e}"))?;
+    if rows == 0 || cols == 0 {
+        return Err("--shards needs at least a 1x1 grid".into());
+    }
+    Ok((rows, cols))
+}
+
+/// `cumf serve`: the closed-loop top-N serving benchmark — sharded
+/// factors, Zipf users, deadlines, hedging, admission control — run on
+/// sim time, so the whole latency table is bit-deterministic per seed.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use cumf_sgd::serve::{
+        chaos::synth_model, run_closed_loop, OverloadPolicy, ServeConfig, ServeFault, ShardedModel,
+    };
+    let seed: u64 = get_parse(flags, "seed", 42)?;
+    let (p_shards, q_shards) = parse_shard_grid(get(flags, "shards", "4x2"))?;
+    let model: ShardedModel<f32> = match flags.get("model") {
+        Some(path) => {
+            let m: Model<f32> = load_model_file(path).map_err(|e| e.to_string())?;
+            ShardedModel::new(m.p, m.q, p_shards, q_shards, None)
+        }
+        None => synth_model(seed, p_shards, q_shards),
+    };
+    let mut cfg = ServeConfig {
+        requests: get_parse(flags, "requests", 2000)?,
+        zipf_s: get_parse(flags, "zipf-s", 1.1)?,
+        deadline_s: get_parse(flags, "deadline-ms", 50.0)? * 1e-3,
+        seed,
+        ..ServeConfig::default()
+    };
+    if cfg.deadline_s <= 0.0 {
+        return Err("--deadline-ms must be positive".into());
+    }
+    if flags.contains_key("no-admission") {
+        cfg.policy = OverloadPolicy::no_admission();
+    }
+    cfg.fault = match get(flags, "inject", "none") {
+        "none" => None,
+        // Both replicas of the last Q shard go dark; the window must
+        // outlast the deadline so degradation (not waiting) is the only
+        // way to answer in time.
+        "shard-loss" => Some(ServeFault::ShardLoss {
+            shard: model.q_shard_id(q_shards - 1),
+            from_s: 0.020,
+            until_s: 0.020 + 3.0 * cfg.deadline_s,
+        }),
+        "shard-stall" => Some(ServeFault::ShardStall {
+            shard: model.q_shard_id(0),
+            replica: 0,
+            from_s: 0.010,
+            until_s: 0.010 + 6.0 * cfg.deadline_s,
+            factor: 20.0,
+        }),
+        other => {
+            return Err(format!(
+                "unknown --inject `{other}` (none | shard-loss | shard-stall)"
+            ))
+        }
+    };
+    println!(
+        "serve: {} users x {} items (k={}), grid {p_shards}x{q_shards}, \
+         {} requests, zipf s={}, deadline {:.1} ms, seed {seed}{}{}",
+        model.users(),
+        model.items(),
+        model.k(),
+        cfg.requests,
+        cfg.zipf_s,
+        cfg.deadline_s * 1e3,
+        if flags.contains_key("no-admission") {
+            ", admission DISABLED"
+        } else {
+            ""
+        },
+        match &cfg.fault {
+            Some(f) => format!(", inject: {f:?}"),
+            None => String::new(),
+        }
+    );
+    let report = run_closed_loop(&model, &cfg);
+    println!("{}", report.render());
+    if !report.transcript.is_empty() {
+        println!(
+            "transcript (first {} notable events):",
+            report.transcript.len()
+        );
+        for line in &report.transcript {
+            println!("  {line}");
+        }
+    }
+    Ok(())
 }
 
 fn report_and_save(

@@ -12,7 +12,10 @@
 //! * [`gpu_sim`] — the calibrated GPU/CPU/interconnect machine models;
 //! * [`des`] — the discrete-event simulation engine beneath them;
 //! * [`obs`] — metrics registry, sim/wall-clock tracer, and exporters;
-//! * [`rng`] — the in-tree deterministic random number generators.
+//! * [`rng`] — the in-tree deterministic random number generators;
+//! * [`serve`] — overload-resilient top-N serving over trained models:
+//!   sharded storage, deadlines, hedging, admission control, graceful
+//!   degradation.
 //!
 //! Depend on the individual crates directly in downstream projects; this
 //! crate exists for the repository's own examples and tests.
@@ -29,3 +32,4 @@ pub use cumf_des as des;
 pub use cumf_gpu_sim as gpu_sim;
 pub use cumf_obs as obs;
 pub use cumf_rng as rng;
+pub use cumf_serve as serve;
