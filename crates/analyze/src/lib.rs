@@ -26,6 +26,16 @@
 //!   contract and checks watchdog timeouts strictly dominate the
 //!   longest certified wait chain.
 //!
+//! * [`stale`] — a static staleness & asynchrony certifier: every
+//!   lock-free update path (`solver-hogwild`, the threaded
+//!   batch-Hogwild executor, the striped-epoch and two-row lock paths,
+//!   the partitioned multi-GPU grid) is lifted from the
+//!   `cumf_core::concurrent::UPDATE_PATHS` in-source annotations into
+//!   an asynchrony IR; the worst-case per-row staleness bound τ is
+//!   derived, exhaustively validated over all interleavings with the
+//!   model checker, and the lr·τ safety condition certified — with
+//!   three broken twins (deleted stripe locks, removed epoch barrier,
+//!   overlapping grid blocks) each refuted by a replayable witness.
 //! * [`prover`] — drives the schedule **conflict prover**
 //!   (`cumf_core::sched::conflict`) over randomized datasets: the
 //!   paper's conflict-free-by-construction schedules (wavefront-update
@@ -58,6 +68,7 @@ pub mod models;
 pub mod prover;
 #[cfg(feature = "sanitize")]
 pub mod sanitizer;
+pub mod stale;
 
 pub use deadlock::{
     DeadlockCert, DeadlockWitness, LivenessCert, ProtocolOutcome, StarvationWitness,
@@ -65,6 +76,7 @@ pub use deadlock::{
 pub use mc::{check, CheckOutcome, Model, Violation, ViolationKind};
 pub use models::{CellModel, LockOrderModel, RowModel, WorkClaimModel};
 pub use prover::ProverCase;
+pub use stale::{PathOutcome, ShippedPath, StaleModel, StalenessWitness};
 
 /// State budget for each model-checker run; every model in [`models`] is
 /// orders of magnitude below this.
@@ -209,6 +221,15 @@ pub fn model_check_section() -> SectionResult {
 /// must be refuted with a concrete, replayable witness.
 pub fn deadlock_section() -> SectionResult {
     deadlock::run_section()
+}
+
+/// Runs the static staleness & asynchrony certifier as a section: every
+/// shipped update path must certify (finite τ, exhaustively validated
+/// by the interleaving checker, lr·τ condition under the reference
+/// schedule), and every broken twin must be refuted with a replayable
+/// [`StalenessWitness`].
+pub fn staleness_section() -> SectionResult {
+    stale::run_section()
 }
 
 /// Grid the cost cross-check runs over: the acceptance matrix of
@@ -381,6 +402,7 @@ pub fn run_all(seed: u64) -> AnalysisReport {
             prover_section(seed),
             model_check_section(),
             deadlock_section(),
+            staleness_section(),
             cost_section(),
             coalesce_section(),
             precision_section(),
@@ -398,13 +420,14 @@ mod tests {
     fn full_campaign_passes() {
         let report = run_all(42);
         assert!(report.pass(), "{report}");
-        assert_eq!(report.sections.len(), 8);
+        assert_eq!(report.sections.len(), 9);
         // Rendered report names every section.
         let text = report.to_string();
         for name in [
             "prover",
             "model-check",
             "deadlock",
+            "staleness",
             "cost",
             "coalesce",
             "precision",

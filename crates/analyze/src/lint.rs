@@ -30,25 +30,118 @@
 
 use std::path::{Path, PathBuf};
 
-/// Forbidden tokens and why.
-const FORBIDDEN: &[(&str, &str)] = &[
+/// Forbidden tokens: stable rule id, token, and why. Rule ids are
+/// permanent (`CUMF-LINT-001`…): they appear in findings and CI
+/// failures, and `cumf analyze --explain <id>` prints the matching
+/// entry of [`explain`]. Never renumber — retire an id instead.
+const FORBIDDEN: &[(&str, &str, &str)] = &[
     (
+        "CUMF-LINT-001",
         "std::time::Instant",
         "wall-clock time in a deterministic path",
     ),
-    ("time::Instant", "wall-clock time in a deterministic path"),
-    ("SystemTime", "wall-clock time in a deterministic path"),
     (
+        "CUMF-LINT-002",
+        "time::Instant",
+        "wall-clock time in a deterministic path",
+    ),
+    (
+        "CUMF-LINT-003",
+        "SystemTime",
+        "wall-clock time in a deterministic path",
+    ),
+    (
+        "CUMF-LINT-004",
         "thread::sleep",
         "real sleep in a deterministic path (use Block::Delay on the sim clock)",
     ),
     (
+        "CUMF-LINT-005",
         "Duration::from_",
         "wall-clock duration in a deterministic path (sim delays come from SimTime)",
     ),
-    ("HashMap", "randomised iteration order (use BTreeMap)"),
-    ("HashSet", "randomised iteration order (use BTreeSet)"),
+    (
+        "CUMF-LINT-006",
+        "HashMap",
+        "randomised iteration order (use BTreeMap)",
+    ),
+    (
+        "CUMF-LINT-007",
+        "HashSet",
+        "randomised iteration order (use BTreeSet)",
+    ),
 ];
+
+/// Rule id of the stale-allowlist check (an allowlist entry whose file
+/// vanished); it has no source token of its own.
+pub const STALE_ALLOWLIST_ID: &str = "CUMF-LINT-008";
+
+/// Long-form documentation per rule id, for `cumf analyze --explain`.
+const EXPLANATIONS: &[(&str, &str)] = &[
+    (
+        "CUMF-LINT-001",
+        "`std::time::Instant` reads the OS monotonic clock, making any value derived \
+         from it machine- and run-dependent. Deterministic paths take time from the \
+         DES simulation clock (`SimTime`); the bench crate, which measures real wall \
+         time by design, is exempt from this rule (but not from 004-007).",
+    ),
+    (
+        "CUMF-LINT-002",
+        "`time::Instant` is the imported-path spelling of CUMF-LINT-001: a wall-clock \
+         read in a deterministic path. Use the DES simulation clock instead.",
+    ),
+    (
+        "CUMF-LINT-003",
+        "`SystemTime` reads the OS realtime clock (and can jump backwards). Nothing in \
+         the deterministic crates may observe it; timestamps in reports come from sim \
+         time or are injected by the caller.",
+    ),
+    (
+        "CUMF-LINT-004",
+        "`thread::sleep` ties behaviour to OS scheduler timing, destroying run-to-run \
+         reproducibility. Simulated delays are `Block::Delay` events on the sim clock; \
+         real backoff belongs only in the reviewed supervisor boundary.",
+    ),
+    (
+        "CUMF-LINT-005",
+        "`Duration::from_*` constants are wall-clock quantities; deterministic delays \
+         and timeouts are plain `f64` seconds interpreted against `SimTime`. The one \
+         reviewed exception is the supervisor's real-sleep integration boundary.",
+    ),
+    (
+        "CUMF-LINT-006",
+        "`HashMap` iteration order is randomised per process by `RandomState`, so any \
+         result derived from iterating one differs across runs. Use `BTreeMap` (or an \
+         index-keyed `Vec`) in deterministic paths.",
+    ),
+    (
+        "CUMF-LINT-007",
+        "`HashSet` iteration order is randomised per process by `RandomState`. Use \
+         `BTreeSet` (or a sorted `Vec`) in deterministic paths.",
+    ),
+    (
+        "CUMF-LINT-008",
+        "A lint allowlist entry refers to a file no scanned source matches: the code \
+         the exception reviewed is gone, so the exception must be deleted too. Remove \
+         the stale `(file suffix, token)` pair from `ALLOWLIST` in \
+         crates/analyze/src/lint.rs.",
+    ),
+];
+
+/// The long-form documentation for a rule id (`CUMF-LINT-001`…), for
+/// `cumf analyze --explain <id>`. Case-insensitive; `None` for unknown
+/// ids.
+pub fn explain(id: &str) -> Option<&'static str> {
+    EXPLANATIONS
+        .iter()
+        .find(|(rule, _)| rule.eq_ignore_ascii_case(id.trim()))
+        .map(|&(_, text)| text)
+}
+
+/// Every rule id the lint can emit, in catalogue order.
+pub fn rule_ids() -> impl Iterator<Item = &'static str> {
+    EXPLANATIONS.iter().map(|&(id, _)| id)
+}
 
 /// Wall-clock *read* tokens exempt in the bench crate, which times real
 /// runs by design. Sleeps, `Duration` constants, and hash collections
@@ -84,6 +177,8 @@ pub struct LintFinding {
     /// 1-based line number (0 for stale-allowlist findings, which have
     /// no source line).
     pub line: usize,
+    /// Stable rule id (`CUMF-LINT-001`…), explained by [`explain`].
+    pub id: &'static str,
     /// The forbidden token found (or the stale allowlist token).
     pub token: &'static str,
     /// Why it is forbidden.
@@ -94,8 +189,8 @@ impl std::fmt::Display for LintFinding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: `{}` — {}",
-            self.file, self.line, self.token, self.reason
+            "{}:{}: [{}] `{}` — {}",
+            self.file, self.line, self.id, self.token, self.reason
         )
     }
 }
@@ -126,7 +221,7 @@ pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
         if trimmed.starts_with("//") {
             continue;
         }
-        for &(token, reason) in FORBIDDEN {
+        for &(id, token, reason) in FORBIDDEN {
             if bench && WALL_CLOCK_EXEMPT.contains(&token) {
                 continue;
             }
@@ -134,6 +229,7 @@ pub fn lint_content(file: &str, content: &str) -> Vec<LintFinding> {
                 findings.push(LintFinding {
                     file: file.to_string(),
                     line: lineno + 1,
+                    id,
                     token,
                     reason,
                 });
@@ -158,6 +254,7 @@ pub fn stale_allowlist(scanned: &[String]) -> Vec<LintFinding> {
         .map(|&(suffix, token)| LintFinding {
             file: suffix.to_string(),
             line: 0,
+            id: STALE_ALLOWLIST_ID,
             token,
             reason: "stale allowlist entry: no scanned file matches this suffix",
         })
@@ -322,6 +419,29 @@ mod tests {
         assert_eq!(stale.len(), 3, "{stale:#?}");
         assert!(stale.iter().all(|f| f.line == 0));
         assert!(stale.iter().all(|f| f.reason.contains("stale")));
+    }
+
+    #[test]
+    fn findings_carry_stable_rule_ids() {
+        let src = "use std::time::Instant;\nuse std::collections::HashMap;\n";
+        let f = lint_content("crates/core/src/solver.rs", src);
+        assert_eq!(f[0].id, "CUMF-LINT-001");
+        assert_eq!(f[1].id, "CUMF-LINT-006");
+        assert!(f[0].to_string().contains("[CUMF-LINT-001]"), "{}", f[0]);
+        let stale = stale_allowlist(&[]);
+        assert!(stale.iter().all(|f| f.id == STALE_ALLOWLIST_ID));
+    }
+
+    #[test]
+    fn every_rule_id_is_explained() {
+        for &(id, _, _) in FORBIDDEN {
+            assert!(explain(id).is_some(), "{id} has no explanation");
+        }
+        assert!(explain(STALE_ALLOWLIST_ID).is_some());
+        assert!(explain("cumf-lint-001").is_some(), "case-insensitive");
+        assert!(explain(" CUMF-LINT-004 ").is_some(), "whitespace-tolerant");
+        assert!(explain("CUMF-LINT-999").is_none());
+        assert_eq!(rule_ids().count(), FORBIDDEN.len() + 1);
     }
 
     #[test]

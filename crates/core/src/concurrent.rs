@@ -712,6 +712,59 @@ pub const LOCK_SITES: &[LockSiteAnno] = &[
     },
 ];
 
+/// Every shipped update path, lifted into the asynchrony IR consumed by
+/// the `cumf-analyze` staleness certifier. Like [`LOCK_SITES`], these
+/// annotations live next to the executors they describe; the analyzer
+/// instantiates each path, computes its worst-case per-row staleness
+/// bound τ, and cross-validates τ by exhaustive interleaving model
+/// checking. Keep in sync with the executors: the analyzer panics on
+/// drift (a path here with no model, or a model with no path here).
+pub const UPDATE_PATHS: &[crate::stale::UpdatePathAnno] = &[
+    crate::stale::UpdatePathAnno {
+        path: "solver-hogwild",
+        footprint: crate::stale::Footprint::SharedRows,
+        sync: crate::stale::SyncKind::RoundBarrier,
+        anchor: "crates/core/src/engine/exec.rs::stale_additive_epoch",
+        note: "lockstep rounds: snapshot reads, additive commits, barrier \
+               every round — each of the other W−1 workers publishes at \
+               most one write between a read and the write it feeds",
+    },
+    crate::stale::UpdatePathAnno {
+        path: "batch-hogwild-threaded",
+        footprint: crate::stale::Footprint::SharedRows,
+        sync: crate::stale::SyncKind::EpochJoin,
+        anchor: "crates/core/src/concurrent.rs::threaded_hogwild_epoch",
+        note: "free-running threads claim batches off a shared counter; \
+               the only barrier is the epoch join, so τ is bounded by \
+               (W−1) × the per-epoch update quota",
+    },
+    crate::stale::UpdatePathAnno {
+        path: "striped-epoch",
+        footprint: crate::stale::Footprint::RowLocked,
+        sync: crate::stale::SyncKind::LockRelease,
+        anchor: "crates/core/src/concurrent.rs::striped_locked_epoch",
+        note: "every read-modify-write holds both row stripes, so the \
+               read a write feeds is never stale (τ = 0)",
+    },
+    crate::stale::UpdatePathAnno {
+        path: "two-row-update",
+        footprint: crate::stale::Footprint::RowLocked,
+        sync: crate::stale::SyncKind::LockRelease,
+        anchor: "crates/core/src/concurrent.rs::StripedFactors::with_two_rows_locked",
+        note: "both rows locked in ascending stripe order across the \
+               whole update — serialised per row pair (τ = 0)",
+    },
+    crate::stale::UpdatePathAnno {
+        path: "partitioned-grid",
+        footprint: crate::stale::Footprint::DisjointRows,
+        sync: crate::stale::SyncKind::GridIndependence,
+        anchor: "crates/core/src/multi_gpu.rs::train_partitioned",
+        note: "Eq. 6 wave schedule: concurrently-executed blocks share no \
+               row or column segment, so cross-writer row sets are \
+               disjoint (τ = 0 across blocks)",
+    },
+];
+
 /// One epoch of lock-striped parallel SGD on real OS threads: each thread
 /// claims `batch`-sample chunks off a shared counter and performs each
 /// update under its rows' stripe locks (P row lock held, then Q row lock —

@@ -20,6 +20,9 @@
 //!   observers) that every training path in the workspace runs through;
 //! * [`solver`] — the single-GPU training loop producing convergence
 //!   traces;
+//! * [`stale`] — the bounded-staleness certifier: every lock-free update
+//!   path lifted into an asynchrony IR, its worst-case per-row staleness
+//!   τ bounded, and the lr·τ safety condition checked per run;
 //! * [`partition`] — §6.1's i×j workload grid, Eq. 6 independence, the
 //!   §7.5 convergence constraints, and Fig 15's feasible-order analysis;
 //! * [`multi_gpu`] — §6's staged multi-GPU solver with transfer/compute
@@ -62,6 +65,7 @@ pub mod partition;
 pub mod sanitize;
 pub mod sched;
 pub mod solver;
+pub mod stale;
 
 pub use bias::{train_biased, BiasedConfig, BiasedModel, BiasedResult};
 pub use concurrent::{
@@ -87,6 +91,10 @@ pub use partition::{
 };
 pub use sched::{certify, resolve_exec_mode, ConflictCert, ConflictWitness, Verdict};
 pub use solver::{train, Scheme, SolverConfig, TimeModel, TrainResult};
+pub use stale::{
+    certify_staleness, resolve_stale_mode, staleness_bound, Footprint, PathSpec, StaleCert,
+    StaleVerdict, StaleWitness, SyncEdge, SyncKind, UpdatePathAnno,
+};
 
 /// Canonical re-export of the per-update memory cost model: core code and
 /// downstream crates import `SgdUpdateCost` from exactly one path per

@@ -26,6 +26,8 @@ use crate::kernel::CostCert;
 use crate::lrate::Schedule;
 use crate::metrics::Trace;
 use crate::model_io::ModelIoError;
+use crate::stale::StaleVerdict;
+
 use crate::sched::{
     resolve_exec_mode, BatchHogwildStream, HogwildStream, LibmfTableStream, SerialStream,
     UpdateStream, Verdict, WavefrontStream,
@@ -213,6 +215,13 @@ pub struct TrainResult<E: Element> {
     /// [`crate::sched::ConflictWitness`] that forced a downgrade to the
     /// stale-additive conflict engine. `None` for racy-by-design modes.
     pub schedule_verdict: Option<Verdict>,
+    /// The staleness certifier's verdict, when racy execution was the
+    /// resolved default: the [`crate::stale::StaleCert`] bounding the
+    /// run's per-row staleness τ and checking the lr·τ condition, or
+    /// the [`crate::stale::StaleWitness`] that forced a downgrade to
+    /// sequential execution. `None` for explicit mode overrides and
+    /// non-racy schedules.
+    pub stale_verdict: Option<StaleVerdict>,
     /// The Eq. 5 cost certificate for this run's kernel: kernel-contract
     /// bytes/flops per update certified against [`crate::SgdUpdateCost`]
     /// for the run's `k`, storage precision, and rating-access pattern
@@ -306,6 +315,21 @@ pub fn train_resumable<E: Element>(
             }
         }
     };
+    // Racy execution must also be *earned*: lift the solver's Hogwild
+    // path into the asynchrony IR and certify bounded staleness plus the
+    // lr·τ condition against the configured schedule; a refuted
+    // configuration is serialised. Explicit `mode` overrides skip it,
+    // and a run the conflict prover already adjudicated keeps that
+    // verdict's mode (no downgrade ping-pong).
+    let (mode, stale_verdict) = if config.mode.is_none() && schedule_verdict.is_none() {
+        let spec = crate::stale::PathSpec::solver_hogwild(
+            config.scheme.workers(),
+            train.rows().min(train.cols()),
+        );
+        crate::stale::resolve_stale_mode(&spec, &config.schedule, config.epochs, mode)
+    } else {
+        (mode, None)
+    };
     let thread_batch = match config.scheme {
         Scheme::BatchHogwild { batch, .. } => batch as usize,
         _ => crate::concurrent::DEFAULT_THREAD_BATCH,
@@ -354,6 +378,7 @@ pub fn train_resumable<E: Element>(
         diverged: run.diverged,
         exec_mode: mode,
         schedule_verdict,
+        stale_verdict,
         cost_cert,
     })
 }
@@ -499,6 +524,11 @@ mod tests {
             batch: 8,
         });
         cfg.schedule = Schedule::Fixed(0.5);
+        // Pin the racy mode explicitly: the staleness certifier would
+        // (correctly) refuse this configuration and serialise it, and
+        // this test exists to demonstrate the very pathology it guards
+        // against.
+        cfg.mode = Some(ExecMode::StaleAdditive);
         let racy = train::<f32>(&d.train, &d.test, &cfg, None);
         let mut serial_cfg = base_config(Scheme::Serial);
         serial_cfg.schedule = Schedule::Fixed(0.5);

@@ -578,6 +578,13 @@ struct Sim<'m, E: Element> {
     think_seq: Vec<u64>,
     issued: u64,
     report: ServeReport,
+    /// Lockset-sanitizer instance id for the shard/slot state (feature
+    /// `sanitize`): every `Server::busy`/`Server::queue` mutation is
+    /// reported as a write to `("serve-slot", (san_id, server idx))`.
+    /// The DES event loop is single-threaded, so each slot must stay in
+    /// the sanitizer's thread-exclusive state — any report is a bug.
+    #[cfg(feature = "sanitize")]
+    san_id: u64,
 }
 
 impl<'m, E: Element> Sim<'m, E> {
@@ -634,8 +641,24 @@ impl<'m, E: Element> Sim<'m, E> {
             issued: 0,
             cfg,
             report,
+            #[cfg(feature = "sanitize")]
+            san_id: cumf_core::sanitize::new_instance(),
         }
     }
+
+    /// Reports a slot-state mutation to the lockset sanitizer (no-op
+    /// without the `sanitize` feature).
+    #[cfg(feature = "sanitize")]
+    fn san_slot_write(&self, idx: usize) {
+        cumf_core::sanitize::on_access(
+            "serve-slot",
+            (self.san_id, idx as u32),
+            cumf_core::sanitize::AccessKind::Write,
+        );
+    }
+
+    #[cfg(not(feature = "sanitize"))]
+    fn san_slot_write(&self, _idx: usize) {}
 
     fn note(&mut self, line: String) {
         if self.report.transcript.len() < self.cfg.transcript_limit {
@@ -703,6 +726,7 @@ impl<'m, E: Element> Sim<'m, E> {
 
     fn enqueue_read(&mut self, read_id: usize) {
         let idx = self.server_idx(self.reads[read_id].shard, self.reads[read_id].replica);
+        self.san_slot_write(idx);
         if self.servers[idx].busy < self.cfg.slots_per_replica {
             self.servers[idx].busy += 1;
             self.start_service(read_id);
@@ -956,6 +980,7 @@ impl<'m, E: Element> Sim<'m, E> {
         // still interested; stale queue entries are dropped unserved.
         let sidx = self.server_idx(self.reads[read_id].shard, self.reads[read_id].replica);
         self.reads[read_id].done = true;
+        self.san_slot_write(sidx);
         self.servers[sidx].busy -= 1;
         while let Some(next) = self.servers[sidx].queue.pop_front() {
             let r = &self.reads[next];

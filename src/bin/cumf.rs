@@ -95,8 +95,9 @@ USAGE:
                 [--metrics profile_metrics.prom]
   cumf bench    [--quick] [--trials N] [--suite des|train|serve]...
                 [--no-save] [--check BENCH_a.json [BENCH_b.json ...]]
-  cumf analyze  [--all] [--prover] [--model-check] [--deadlock] [--cost]
-                [--coalesce] [--precision] [--lint] [--sanitize] [--seed 42]
+  cumf analyze  [--all] [--prover] [--model-check] [--deadlock]
+                [--staleness] [--cost] [--coalesce] [--precision] [--lint]
+                [--sanitize] [--seed 42] [--explain CUMF-LINT-001]
   cumf chaos    [--quick] [--seed 42] [--tolerance 0.02] [--metrics out.prom]
                 [--serve]
   cumf serve    [--model model.cmfm] [--requests 2000] [--zipf-s 1.1]
@@ -122,7 +123,12 @@ static deadlock & liveness certifier (lock-order graphs of every
 shipped blocking protocol proven acyclic with replayable cycle
 witnesses for the broken twins, waiter grants bounded under the FIFO
 contract, watchdog timeouts checked against the certified wait
-chains), the kernel-IR
+chains), --staleness, the static staleness & asynchrony certifier
+(every lock-free update path lifted into an asynchrony IR, its
+worst-case per-row staleness bound τ derived and exhaustively validated
+by the interleaving checker, the lr·τ safety condition certified, and
+three broken twins — deleted stripe locks, removed epoch barrier,
+overlapping grid blocks — refuted with replayable witnesses), the kernel-IR
 static passes — --cost certifies Eq. 5's bytes/flops-per-update against
 both the analytical model and the DES executor's charged bytes (and
 refutes a deliberately broken twin), --coalesce derives per-warp cache-
@@ -132,6 +138,8 @@ relative-error domains — plus --lint, the source determinism lint (no
 wall clocks / hash-ordered containers in deterministic crates), and —
 when built with `--features sanitize` — the Eraser-style lockset race
 sanitizer over the threaded executors. No section flag means --all.
+--explain <id> prints the long-form documentation of a lint rule id
+(CUMF-LINT-001…) and exits.
 
 `profile` prints a sampling-free self/cumulative attribution table
 built from the recorded spans (and --folded writes flamegraph
@@ -184,6 +192,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 | "prover"
                 | "model-check"
                 | "deadlock"
+                | "staleness"
                 | "cost"
                 | "coalesce"
                 | "precision"
@@ -661,10 +670,23 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     use cumf_sgd::analyze;
     let seed: u64 = get_parse(flags, "seed", 42)?;
+    if let Some(id) = flags.get("explain") {
+        return match analyze::lint::explain(id) {
+            Some(text) => {
+                println!("{id}: {text}");
+                Ok(())
+            }
+            None => Err(format!(
+                "unknown rule id `{id}` (known: {})",
+                analyze::lint::rule_ids().collect::<Vec<_>>().join(", ")
+            )),
+        };
+    }
     let explicit = [
         "prover",
         "model-check",
         "deadlock",
+        "staleness",
         "cost",
         "coalesce",
         "precision",
@@ -683,6 +705,9 @@ fn cmd_analyze(flags: &Flags) -> Result<(), String> {
     }
     if all || flags.contains_key("deadlock") {
         sections.push(analyze::deadlock_section());
+    }
+    if all || flags.contains_key("staleness") {
+        sections.push(analyze::staleness_section());
     }
     if all || flags.contains_key("cost") {
         sections.push(analyze::cost_section());

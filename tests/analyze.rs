@@ -290,9 +290,10 @@ fn solver_cost_cert_matches_kir_closed_form() {
     }
 }
 
-/// The full analyze campaign — all eight sections, including the
-/// cost/coalesce/precision/lint static passes and the deadlock &
-/// liveness certifier — passes end-to-end.
+/// The full analyze campaign — all nine sections, including the
+/// cost/coalesce/precision/lint static passes, the deadlock & liveness
+/// certifier, and the staleness & asynchrony certifier — passes
+/// end-to-end.
 #[test]
 fn full_campaign_with_static_passes() {
     let report = cumf_sgd::analyze::run_all(7);
@@ -300,6 +301,7 @@ fn full_campaign_with_static_passes() {
     let text = report.to_string();
     for needle in [
         "deadlock",
+        "staleness",
         "cost",
         "coalesce",
         "precision",

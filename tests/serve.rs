@@ -292,6 +292,44 @@ fn assert_blocked_matches_naive<E: Element>(seed: u64) {
     }
 }
 
+// --------------------------------------------- slot-path lockset audit
+
+/// With `--features sanitize`, the shard/slot access path of the
+/// closed-loop service reports every `Server` slot mutation to the
+/// Eraser-style lockset sanitizer. The DES event loop is
+/// single-threaded, so every slot location must stay in the sanitizer's
+/// thread-exclusive state: zero reports, across a healthy run and a
+/// shard-loss run (which exercises the abandon/requeue paths).
+#[cfg(feature = "sanitize")]
+#[test]
+fn slot_access_path_is_race_free_under_the_lockset_sanitizer() {
+    use cumf_sgd::core::sanitize;
+    let model = synth_model(42, 2, 2);
+    sanitize::set_enabled(true);
+    let healthy = ServeConfig {
+        requests: 600,
+        ..ServeConfig::default()
+    };
+    run_closed_loop(&model, &healthy);
+    let lossy = ServeConfig {
+        requests: 600,
+        fault: Some(ServeFault::ShardLoss {
+            shard: model.q_shard_id(1),
+            from_s: 0.020,
+            until_s: 0.150,
+        }),
+        ..ServeConfig::default()
+    };
+    run_closed_loop(&model, &lossy);
+    sanitize::set_enabled(false);
+    let reports = sanitize::take_reports();
+    assert!(
+        reports.is_empty(),
+        "serve slot path must be race-free: {reports:#?}"
+    );
+    assert_eq!(sanitize::race_count(), 0);
+}
+
 #[test]
 fn blocked_scorer_is_bitwise_consistent_with_naive_f32() {
     assert_blocked_matches_naive::<f32>(7);
